@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy work — running all 21 benchmarks through both pipelines and
+the detailed simulator — happens once per pytest session in
+``suite_runs`` and is shared by every figure/table benchmark. Exhibit
+benchmarks therefore measure figure *generation* over the cached runs,
+and their assertions check the paper's qualitative shapes (documented
+per exhibit in DESIGN.md and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_benchmark, run_suite
+from repro.programs.suite import benchmark_names
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def suite_runs(experiment_config):
+    """All 21 paper benchmarks through the full experiment (cached)."""
+    return run_suite(benchmark_names(), experiment_config, progress=True)
+
+
+@pytest.fixture(scope="session")
+def gcc_run(suite_runs):
+    return suite_runs["gcc"]
+
+
+@pytest.fixture(scope="session")
+def apsi_run(suite_runs):
+    return suite_runs["apsi"]
+
+
+@pytest.fixture(scope="session")
+def applu_run(suite_runs):
+    return suite_runs["applu"]
+
+
+def run_once(benchmark, func):
+    """Benchmark a harness function with a single measured round."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Ablation: the Section 3.3 inlining-recovery heuristic.
+
+With the count-signature heuristic enabled, loops whose debug lines
+were clobbered by inlining can still become mappable points when their
+counts identify them uniquely. The heuristic can never help applu's
+solver region — the five PDE procedures have identical counts, which
+is exactly the ambiguity the paper describes.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.suite import build_benchmark
+
+INTERVAL = 100_000
+
+
+def _profiles(name):
+    program = build_benchmark(name)
+    binaries = compile_standard_binaries(program)
+    ordered = [binaries[target] for target in STANDARD_TARGETS]
+    return ordered, [
+        (binary, collect_call_branch_profile(binary)) for binary in ordered
+    ]
+
+
+def test_inlining_recovery_ablation(benchmark):
+    def sweep():
+        out = {}
+        for name in ("gcc", "applu"):
+            binaries, profiles = _profiles(name)
+            on_set, on_report = find_mappable_points(
+                profiles, enable_signature_recovery=True
+            )
+            off_set, off_report = find_mappable_points(
+                profiles, enable_signature_recovery=False
+            )
+            vlis_on = collect_vli_bbvs(binaries[0], on_set, INTERVAL)
+            vlis_off = collect_vli_bbvs(binaries[0], off_set, INTERVAL)
+            out[name] = (on_set, on_report, off_set, off_report,
+                         vlis_on, vlis_off)
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    print()
+    for name, (on_set, on_report, off_set, off_report,
+               vlis_on, vlis_off) in results.items():
+        print(
+            f"{name}: markers on/off = {on_set.n_points}/{off_set.n_points}, "
+            f"recovered = {on_report.loops_recovered_by_signature}, "
+            f"ambiguous = {on_report.loops_dropped_ambiguous}, "
+            f"max VLI on/off = "
+            f"{max(i.instructions for i in vlis_on):,} / "
+            f"{max(i.instructions for i in vlis_off):,}"
+        )
+
+    gcc_on, gcc_on_report, gcc_off, _, _, _ = results["gcc"]
+    # Recovery finds extra mappable points on gcc...
+    assert gcc_on_report.loops_recovered_by_signature >= 1
+    assert gcc_on.n_points > gcc_off.n_points
+
+    applu_on, applu_on_report, _, _, vlis_on, vlis_off = results["applu"]
+    # ...but cannot disambiguate applu's identical-count PDE loops.
+    assert applu_on_report.loops_dropped_ambiguous >= 1
+    # The solver region stays marker-free either way: the largest VLI
+    # is far above the target in both configurations.
+    assert max(i.instructions for i in vlis_on) >= 3 * INTERVAL
+    assert max(i.instructions for i in vlis_off) >= 3 * INTERVAL

@@ -1,0 +1,44 @@
+"""Ablation: interval size.
+
+SimPoint's interval size trades profile resolution against detailed-
+simulation budget per point (the paper's lineage used 1M/10M/100M
+studies before settling on 100M). This ablation runs the full
+experiment for gcc at half, default, and double the interval size (via
+`repro.experiments.sweeps.sweep_interval_sizes`) and reports interval
+counts, chosen k, and both methods' errors.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import sweep_interval_sizes
+
+SIZES = (50_000, 100_000, 200_000)
+
+
+def test_interval_size_ablation(benchmark):
+    results = run_once(
+        benchmark, lambda: sweep_interval_sizes("gcc", SIZES)
+    )
+
+    print()
+    header = (f"{'size':>8} {'intervals':>9} {'k':>3} {'FLI cpi':>8} "
+              f"{'VLI cpi':>8} {'FLI spd':>8} {'VLI spd':>8}")
+    print(header)
+    print("-" * len(header))
+    for size, point in results.items():
+        print(f"{size:>8,} {point.n_intervals:>9} {point.k:>3} "
+              f"{point.fli_cpi_error:>8.1%} {point.vli_cpi_error:>8.1%} "
+              f"{point.fli_speedup_error:>8.1%} "
+              f"{point.vli_speedup_error:>8.1%}")
+
+    # Halving the size roughly doubles the interval count.
+    counts = [results[size].n_intervals for size in SIZES]
+    assert counts[0] > counts[1] > counts[2]
+    assert counts[0] >= 1.7 * counts[1]
+    # The headline holds at every granularity: VLI speedup error beats
+    # FLI on gcc's 32u->32o comparison.
+    for size in SIZES:
+        point = results[size]
+        assert point.vli_speedup_error < point.fli_speedup_error, size
+        # Estimates stay usable at every granularity.
+        assert point.fli_cpi_error <= 0.25
+        assert point.vli_cpi_error <= 0.25

@@ -1,0 +1,76 @@
+"""Ablation: which binary is the primary?
+
+The paper (Section 3.2.4) notes the primary binary "can be selected
+arbitrarily", but interval sizes expand or contract depending on the
+choice: intervals are built at the target size in *primary*
+instructions, so when an unoptimized binary is primary, the mapped
+intervals shrink in the optimized binaries — and vice versa.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS
+from repro.core.pipeline import CrossBinaryConfig, run_cross_binary_simpoint
+from repro.programs.suite import build_benchmark
+from repro.simpoint.simpoint import SimPointConfig
+
+INTERVAL = 100_000
+
+
+@pytest.fixture(scope="module")
+def gcc_binaries():
+    program = build_benchmark("gcc")
+    binaries = compile_standard_binaries(program)
+    return [binaries[target] for target in STANDARD_TARGETS]
+
+
+def _average_sizes(result):
+    """Average mapped interval size per binary, keyed by label suffix."""
+    sizes = {}
+    for name, counts in result.interval_instructions.items():
+        sizes[name.rsplit("/", 1)[1]] = sum(counts) / len(counts)
+    return sizes
+
+
+def test_primary_binary_choice(benchmark, gcc_binaries):
+    def sweep():
+        results = {}
+        for primary_index in range(4):
+            results[primary_index] = run_cross_binary_simpoint(
+                gcc_binaries,
+                CrossBinaryConfig(
+                    interval_size=INTERVAL,
+                    simpoint=SimPointConfig(),
+                    primary_index=primary_index,
+                ),
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    print()
+    for primary_index, result in results.items():
+        sizes = _average_sizes(result)
+        print(
+            f"primary={STANDARD_TARGETS[primary_index].label}: "
+            f"{len(result.intervals)} intervals | avg mapped sizes "
+            + ", ".join(f"{k}={v:,.0f}" for k, v in sorted(sizes.items()))
+        )
+
+    # Primary = 32u (O0): intervals are >= target in the primary and
+    # shrink when mapped to the optimized binaries.
+    sizes_u = _average_sizes(results[0])
+    assert sizes_u["32u"] >= INTERVAL
+    assert sizes_u["32o"] < 0.6 * sizes_u["32u"]
+
+    # Primary = 32o (O2): the mapped intervals *expand* in the
+    # unoptimized binaries instead.
+    sizes_o = _average_sizes(results[1])
+    assert sizes_o["32o"] >= INTERVAL
+    assert sizes_o["32u"] > 1.5 * sizes_o["32o"]
+
+    # An optimized primary executes fewer instructions, so the same
+    # target size yields fewer intervals.
+    assert len(results[1].intervals) < len(results[0].intervals)

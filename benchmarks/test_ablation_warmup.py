@@ -1,0 +1,61 @@
+"""Ablation: warm vs cold fast-forward in region simulation.
+
+The harness's default (matching the paper's methodology of running the
+binary under the simulator with a PinPoints file) keeps the caches
+functionally warm while fast-forwarding between simulation points.
+This ablation quantifies what cold fast-forward — skipping the cache
+model outside the chosen regions — does to the region statistics.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cmpsim.simulator import CMPSim, regions_from_mapped_points
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS
+from repro.programs.suite import build_benchmark
+
+
+def test_warmup_ablation(benchmark, gcc_run):
+    program = build_benchmark("gcc")
+    binaries = compile_standard_binaries(program)
+    binary = binaries[STANDARD_TARGETS[0]]  # 32u, the primary
+    table = gcc_run.cross.marker_set.table_for(binary.name)
+    regions = regions_from_mapped_points(gcc_run.cross.mapped_points)
+
+    def sweep():
+        sim = CMPSim(binary)
+        warm = sim.run_regions(regions, table, warm=True)
+        cold = sim.run_regions(regions, table, warm=False)
+        return warm, cold
+
+    warm, cold = run_once(benchmark, sweep)
+
+    print()
+    drifts = {}
+    for point in gcc_run.cross.mapped_points:
+        warm_cpi = warm.region(point.cluster).cpi
+        cold_cpi = cold.region(point.cluster).cpi
+        drifts[point.cluster] = abs(cold_cpi - warm_cpi) / warm_cpi
+        print(
+            f"cluster {point.cluster}: warm CPI {warm_cpi:.2f}, "
+            f"cold CPI {cold_cpi:.2f}, drift {drifts[point.cluster]:.1%}"
+        )
+
+    # Warm region stats reproduce the full-run per-interval stats.
+    outcome = gcc_run.outcome("32u")
+    for point in gcc_run.cross.mapped_points:
+        tracked = outcome.vli_intervals[point.interval_index]
+        region = warm.region(point.cluster)
+        assert region.instructions == tracked.instructions
+        assert region.cycles == pytest.approx(tracked.cycles)
+
+    # Cold fast-forward changes at least some regions' CPI: cache
+    # state at region entry is stale instead of current.
+    assert max(drifts.values()) > 0.005
+    # Instruction counts are mode-independent (functional execution).
+    for point in gcc_run.cross.mapped_points:
+        assert (
+            warm.region(point.cluster).instructions
+            == cold.region(point.cluster).instructions
+        )

@@ -1,0 +1,43 @@
+"""Design-space exploration benchmark (the paper's Section 1 scenario).
+
+Not one of the paper's numbered exhibits, but its stated motivation:
+"determining which (binary, architecture) pair performs the best."
+The check encodes the consistent-bias claim on every architecture of
+the space, and that the mappable method identifies the true best pair.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.design_space import (
+    STANDARD_DESIGN_SPACE,
+    explore_design_space,
+    render_design_space,
+)
+
+BENCHMARKS = ("twolf", "gcc")
+
+
+def test_design_space_exploration(benchmark):
+    def sweep():
+        return {
+            name: explore_design_space(name) for name in BENCHMARKS
+        }
+
+    results = run_once(benchmark, sweep)
+
+    print()
+    for name, result in results.items():
+        print(render_design_space(result))
+        print()
+
+    for name, result in results.items():
+        # Within every architecture, cross-binary comparisons are more
+        # accurate with mappable points.
+        for arch in STANDARD_DESIGN_SPACE:
+            fli = result.cross_binary_error("fli", arch.name)
+            vli = result.cross_binary_error("vli", arch.name)
+            assert vli < fli, (name, arch.name)
+            assert vli <= 0.05, (name, arch.name)
+        # The mappable method identifies the true best design point.
+        assert result.best_pair("vli") == result.best_pair(), name

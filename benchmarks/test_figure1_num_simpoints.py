@@ -1,0 +1,29 @@
+"""Figure 1: number of SimPoints, per-binary FLI vs mappable VLI.
+
+Paper shape: both techniques select a *similar* number of simulation
+points on average ("this is expected since the binaries all represent
+the same program, so we are still observing the same behaviors").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure1_number_of_simpoints
+from repro.experiments.reporting import render_figure
+
+
+def test_figure1_number_of_simpoints(benchmark, suite_runs):
+    data = run_once(
+        benchmark, lambda: figure1_number_of_simpoints(suite_runs)
+    )
+    print()
+    print(render_figure(data, precision=2))
+
+    fli_avg = data.average("FLI")
+    vli_avg = data.average("VLI")
+    # Both averages sit under the maxK=10 budget and close together.
+    assert 5.0 <= fli_avg <= 10.0
+    assert 5.0 <= vli_avg <= 10.0
+    assert abs(fli_avg - vli_avg) <= 2.0
+
+    for name in data.benchmarks:
+        assert 1 <= data.value("FLI", name) <= 10
+        assert 1 <= data.value("VLI", name) <= 10

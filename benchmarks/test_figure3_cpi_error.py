@@ -1,0 +1,30 @@
+"""Figure 3: CPI error vs full simulation, per method.
+
+Paper shape: *both* techniques accurately estimate per-binary
+performance on average (each binary's own estimate vs its own full
+run), with a handful of larger outliers (the paper's figure carries
+10.8% and 21.7% callouts). The cross-binary story is in Figures 4-5;
+Figure 3 only establishes that VLI does not sacrifice single-binary
+accuracy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3_cpi_error
+from repro.experiments.reporting import render_figure
+
+
+def test_figure3_cpi_error(benchmark, suite_runs):
+    data = run_once(benchmark, lambda: figure3_cpi_error(suite_runs))
+    print()
+    print(render_figure(data))
+
+    fli_avg = data.average("FLI")
+    vli_avg = data.average("VLI")
+    # Both methods are accurate on average...
+    assert fli_avg <= 0.10
+    assert vli_avg <= 0.10
+    # ...and comparable to each other.
+    assert abs(fli_avg - vli_avg) <= 0.05
+    # Outliers exist but stay bounded (paper's worst callout: 21.7%).
+    assert max(data.series["FLI"]) <= 0.30
+    assert max(data.series["VLI"]) <= 0.30

@@ -1,0 +1,35 @@
+"""Figure 4: speedup error across optimization levels, same platform.
+
+Paper shape (the headline result): mappable SimPoint (VLI) yields a
+*lower* speedup-estimation error than per-binary SimPoint (FLI) on
+average, for both the 32u->32o and 64u->64o configurations, because
+its per-phase biases are consistent across the two binaries and cancel
+out of the speedup ratio.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4_speedup_error_same_platform
+from repro.experiments.reporting import render_figure
+
+
+def test_figure4_speedup_error_same_platform(benchmark, suite_runs):
+    data = run_once(
+        benchmark, lambda: figure4_speedup_error_same_platform(suite_runs)
+    )
+    print()
+    print(render_figure(data))
+
+    for pair in ("32u32o", "64u64o"):
+        fli_avg = data.average(f"fli_{pair}")
+        vli_avg = data.average(f"vli_{pair}")
+        # The headline: VLI beats FLI on average, by a clear factor.
+        assert vli_avg < fli_avg, pair
+        assert vli_avg <= 0.5 * fli_avg, pair
+        # And VLI's absolute error is small.
+        assert vli_avg <= 0.05, pair
+
+    # FLI shows heavy-tail outliers (the paper calls out 12.5%/21.7%).
+    worst_fli = max(
+        max(data.series["fli_32u32o"]), max(data.series["fli_64u64o"])
+    )
+    assert worst_fli >= 0.08

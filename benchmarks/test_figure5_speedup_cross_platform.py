@@ -1,0 +1,31 @@
+"""Figure 5: speedup error across platforms (32-bit vs 64-bit).
+
+Paper shape: as in Figure 4, mappable SimPoint's consistent bias makes
+cross-platform speedup estimates far more reliable than per-binary
+SimPoint's — the paper's worst FLI case here is gcc at 38%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure5_speedup_error_cross_platform
+from repro.experiments.reporting import render_figure
+
+
+def test_figure5_speedup_error_cross_platform(benchmark, suite_runs):
+    data = run_once(
+        benchmark, lambda: figure5_speedup_error_cross_platform(suite_runs)
+    )
+    print()
+    print(render_figure(data))
+
+    for pair in ("32u64u", "32o64o"):
+        fli_avg = data.average(f"fli_{pair}")
+        vli_avg = data.average(f"vli_{pair}")
+        assert vli_avg < fli_avg, pair
+        assert vli_avg <= 0.5 * fli_avg, pair
+        assert vli_avg <= 0.05, pair
+
+    # FLI's heavy tail: at least one benchmark above 15% error.
+    worst_fli = max(
+        max(data.series["fli_32u64u"]), max(data.series["fli_32o64o"])
+    )
+    assert worst_fli >= 0.10

@@ -1,0 +1,77 @@
+"""Performance micro-benchmarks of the library's hot kernels.
+
+Unlike the exhibit benchmarks (single-round regenerations of the
+paper's figures), these are genuine repeated-round timing benchmarks of
+the components that dominate a reproduction run: the execution engine,
+the BBV profiler, the cache hierarchy, weighted k-means, and the full
+detailed simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.hierarchy import MemoryHierarchy
+from repro.cmpsim.simulator import CMPSim
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import TARGET_32U
+from repro.execution.engine import run_binary
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.suite import build_benchmark
+from repro.simpoint.kmeans import weighted_kmeans
+
+
+@pytest.fixture(scope="module")
+def art_32u():
+    program = build_benchmark("art")
+    return compile_standard_binaries(program, (TARGET_32U,))[TARGET_32U]
+
+
+def test_perf_execution_engine(benchmark, art_32u):
+    """Functional execution throughput (bulk iteration spans)."""
+    totals = benchmark(run_binary, art_32u)
+    assert totals.instructions > 1_000_000
+
+
+def test_perf_bbv_collection(benchmark, art_32u):
+    """FLI BBV profiling over a full run."""
+    intervals = benchmark(collect_fli_bbvs, art_32u, 100_000)
+    assert len(intervals) > 10
+
+
+def test_perf_call_branch_profile(benchmark, art_32u):
+    """Call-and-branch profiling over a full run."""
+    profile = benchmark(collect_call_branch_profile, art_32u)
+    assert profile.total_instructions > 1_000_000
+
+
+def test_perf_cache_hierarchy(benchmark):
+    """Demand-access throughput of the three-level hierarchy."""
+    hierarchy = MemoryHierarchy()
+    lines = [(line * 131) % 65_536 for line in range(20_000)]
+
+    def access_all():
+        access = hierarchy.access
+        for line in lines:
+            access(line, False)
+
+    benchmark(access_all)
+
+
+def test_perf_weighted_kmeans(benchmark):
+    """k-means over a SimPoint-sized problem (200 x 15, k=10)."""
+    rng = np.random.default_rng(0)
+    points = rng.uniform(size=(200, 15))
+    weights = rng.uniform(0.5, 2.0, size=200)
+    result = benchmark(
+        weighted_kmeans, points, 10, weights, 5, 100, 42
+    )
+    assert result.k == 10
+
+
+def test_perf_detailed_simulation(benchmark, art_32u):
+    """One full CMP$im run (the dominant cost of the harness)."""
+    result = benchmark.pedantic(
+        lambda: CMPSim(art_32u).run_full(), rounds=1, iterations=2
+    )
+    assert result.stats.cpi > 0.5

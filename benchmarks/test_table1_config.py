@@ -1,0 +1,33 @@
+"""Table 1: memory system configuration.
+
+Regenerates the paper's Table 1 from the live simulator configuration
+and checks it row by row against the paper's text.
+"""
+
+from repro.experiments.reporting import render_table1
+from repro.experiments.tables import table1_configuration
+
+
+def test_table1_configuration(benchmark):
+    rows = benchmark(table1_configuration)
+    print()
+    print(render_table1(rows))
+
+    by_level = {row.level: row for row in rows}
+    assert list(by_level) == ["FLC(L1D)", "MLC(L2D)", "LLC(L3D)", "DRAM"]
+
+    l1 = by_level["FLC(L1D)"]
+    assert (l1.capacity, l1.associativity, l1.line_size, l1.hit_latency) == (
+        "32KB", "2-way", "64 bytes", "3 cycles"
+    )
+    l2 = by_level["MLC(L2D)"]
+    assert (l2.capacity, l2.associativity, l2.hit_latency) == (
+        "512KB", "8-way", "14 cycles"
+    )
+    l3 = by_level["LLC(L3D)"]
+    assert (l3.capacity, l3.associativity, l3.hit_latency) == (
+        "1024KB", "16-way", "35 cycles"
+    )
+    assert by_level["DRAM"].hit_latency == "250 cycles"
+    for level in ("FLC(L1D)", "MLC(L2D)", "LLC(L3D)"):
+        assert by_level[level].policy == "WriteBack"

@@ -1,0 +1,34 @@
+"""Table 2: gcc phase comparison, 32-bit vs 64-bit unoptimized.
+
+Paper shape: with per-binary FLI, the largest phases' weights and
+biases swing between the two binaries (the paper shows a phase bias
+going from +56% to -17%); with mappable VLI, phases correspond across
+binaries and their biases stay consistent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.reporting import render_phase_comparison
+from repro.experiments.tables import table2_gcc_phases
+
+
+def test_table2_gcc_phase_bias(benchmark, gcc_run):
+    comparison = run_once(
+        benchmark, lambda: table2_gcc_phases(run=gcc_run)
+    )
+    print()
+    print(render_phase_comparison(comparison))
+
+    # VLI's top phases are the same clusters in both binaries, with
+    # nearly identical weights.
+    rows_a = {r.cluster: r for r in comparison.vli_rows["32u"]}
+    rows_b = {r.cluster: r for r in comparison.vli_rows["64u"]}
+    assert set(rows_a) == set(rows_b)
+    for cluster in rows_a:
+        assert abs(rows_a[cluster].weight - rows_b[cluster].weight) <= 0.05
+
+    # The bias swing (how much a phase's bias changes across binaries)
+    # is far larger for FLI than for VLI.
+    fli_swing = comparison.max_fli_bias_swing()
+    vli_swing = comparison.max_vli_bias_swing()
+    assert vli_swing < fli_swing
+    assert vli_swing <= 0.10

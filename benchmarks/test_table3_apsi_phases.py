@@ -1,0 +1,32 @@
+"""Table 3: apsi phase comparison, 32-bit vs 64-bit optimized.
+
+Paper shape: apsi's per-binary FLI bias for one of the top phases
+changes from -0.7% to +37% between the binaries, while the mappable
+VLI biases stay consistent across the phases.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.reporting import render_phase_comparison
+from repro.experiments.tables import table3_apsi_phases
+
+
+def test_table3_apsi_phase_bias(benchmark, apsi_run):
+    comparison = run_once(
+        benchmark, lambda: table3_apsi_phases(run=apsi_run)
+    )
+    print()
+    print(render_phase_comparison(comparison))
+
+    rows_a = {r.cluster: r for r in comparison.vli_rows["32o"]}
+    rows_b = {r.cluster: r for r in comparison.vli_rows["64o"]}
+    assert set(rows_a) == set(rows_b)
+    for cluster in rows_a:
+        assert abs(rows_a[cluster].weight - rows_b[cluster].weight) <= 0.05
+
+    fli_swing = comparison.max_fli_bias_swing()
+    vli_swing = comparison.max_vli_bias_swing()
+    assert vli_swing < fli_swing
+    # The paper's apsi FLI swing is dramatic (-0.7% -> 37%); ours is
+    # the same order.
+    assert fli_swing >= 0.10
+    assert vli_swing <= 0.10

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` works offline through this
+shim (the PEP 517 editable path needs ``wheel``, which may be absent).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""Whole-program estimates from sampled simulation.
+
+SimPoint's promise (paper Section 2.3 step 6): simulate one interval
+per phase, then estimate any architecture metric as the weighted
+average of the per-point measurements. Here the metric is CPI; the
+estimated cycle count (estimated CPI x total instructions) is what the
+speedup analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """The paper's error metric: ``|true - estimate| / true``."""
+    if true_value == 0:
+        raise SimulationError("relative error undefined for true value 0")
+    return abs(true_value - estimate) / abs(true_value)
+
+
+def signed_relative_error(true_value: float, estimate: float) -> float:
+    """Signed bias, as shown in the paper's Tables 2-3:
+    ``(true - estimate) / true``."""
+    if true_value == 0:
+        raise SimulationError("relative error undefined for true value 0")
+    return (true_value - estimate) / true_value
+
+
+def estimate_weighted_metric(
+    point_weights: Sequence[Tuple[int, float]],
+    interval_stats: Sequence[IntervalStats],
+    metric,
+) -> float:
+    """Weighted estimate of ANY per-interval architecture metric.
+
+    The paper's step 6: "SimPoint computes a weighted average for the
+    architecture metric of interest (CPI, miss rate, etc.)". ``metric``
+    maps an :class:`IntervalStats` to a number (e.g.
+    ``lambda s: s.dram_mpki``); the estimate is the weight-normalized
+    average over the simulation points.
+    """
+    if not point_weights:
+        raise SimulationError("no simulation points")
+    total_weight = sum(weight for _, weight in point_weights)
+    if total_weight <= 0:
+        raise SimulationError(f"weights sum to {total_weight}")
+    estimate = 0.0
+    for interval_index, weight in point_weights:
+        if not 0 <= interval_index < len(interval_stats):
+            raise SimulationError(
+                f"simulation point interval {interval_index} out of "
+                f"range ({len(interval_stats)} intervals)"
+            )
+        estimate += (weight / total_weight) * metric(
+            interval_stats[interval_index]
+        )
+    return estimate
+
+
+@dataclass(frozen=True)
+class MethodEstimate:
+    """One method's estimate for one binary."""
+
+    binary_name: str
+    method: str  # "fli" or "vli"
+    n_points: int
+    true_cpi: float
+    estimated_cpi: float
+    total_instructions: int
+    true_cycles: float
+
+    @property
+    def cpi_error(self) -> float:
+        return relative_error(self.true_cpi, self.estimated_cpi)
+
+    @property
+    def estimated_cycles(self) -> float:
+        """Estimated whole-run cycles (the PinPoints-style projection).
+
+        Total instruction counts are known exactly from the functional
+        run, so only the CPI is estimated.
+        """
+        return self.estimated_cpi * self.total_instructions
+
+
+def estimate_from_points(
+    binary_name: str,
+    method: str,
+    point_weights: Sequence[Tuple[int, float]],
+    interval_stats: Sequence[IntervalStats],
+    true_stats: IntervalStats,
+) -> MethodEstimate:
+    """Build a :class:`MethodEstimate` from chosen points and weights.
+
+    ``point_weights`` pairs each simulation point's interval index with
+    its weight (per-binary weights for the VLI method; the profiled
+    binary's own weights for FLI). Weights are renormalized defensively
+    (they should already sum to 1).
+    """
+    if not point_weights:
+        raise SimulationError(f"{binary_name}: no simulation points")
+    total_weight = sum(weight for _, weight in point_weights)
+    if total_weight <= 0:
+        raise SimulationError(f"{binary_name}: weights sum to {total_weight}")
+    estimated = 0.0
+    for interval_index, weight in point_weights:
+        if not 0 <= interval_index < len(interval_stats):
+            raise SimulationError(
+                f"{binary_name}: simulation point interval {interval_index} "
+                f"out of range ({len(interval_stats)} intervals)"
+            )
+        estimated += (weight / total_weight) * interval_stats[interval_index].cpi
+    return MethodEstimate(
+        binary_name=binary_name,
+        method=method,
+        n_points=len(point_weights),
+        true_cpi=true_stats.cpi,
+        estimated_cpi=estimated,
+        total_instructions=true_stats.instructions,
+        true_cycles=true_stats.cycles,
+    )

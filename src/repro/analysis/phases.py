@@ -1,0 +1,90 @@
+"""Per-phase bias breakdowns (the paper's Tables 2 and 3).
+
+For one binary and one method, each phase row reports the phase's
+weight (fraction of executed instructions), its *true* CPI (the
+instruction-weighted CPI over every interval assigned to the phase),
+the CPI of the phase's single simulation point, and the signed bias
+``(true - SP) / true``. Comparing these rows across two binaries shows
+whether the method's bias is consistent — the heart of the paper's
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.estimate import signed_relative_error
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One phase's statistics in one binary."""
+
+    rank: int  # 1-based, by descending weight
+    cluster: int
+    weight: float
+    true_cpi: float
+    sp_cpi: float
+
+    @property
+    def cpi_error(self) -> float:
+        """Signed bias, as the paper's tables print it."""
+        return signed_relative_error(self.true_cpi, self.sp_cpi)
+
+
+def phase_table(
+    labels: Sequence[int],
+    interval_stats: Sequence[IntervalStats],
+    point_intervals: Mapping[int, int],
+    weights: Optional[Mapping[int, float]] = None,
+    top: int = 3,
+) -> Tuple[PhaseRow, ...]:
+    """Build the largest-``top`` phase rows for one binary.
+
+    ``labels`` assigns each interval to a cluster; ``interval_stats``
+    are this binary's per-interval detailed statistics (same indexing);
+    ``point_intervals`` maps each cluster to its simulation point's
+    interval index. ``weights`` overrides the phase weights (used for
+    the VLI method, whose weights are re-measured per binary); when
+    omitted, weights are computed from the interval statistics.
+    """
+    if len(labels) != len(interval_stats):
+        raise SimulationError(
+            f"{len(labels)} labels but {len(interval_stats)} interval stats"
+        )
+    per_cluster: Dict[int, IntervalStats] = {}
+    total_instructions = 0
+    for label, stats in zip(labels, interval_stats):
+        agg = per_cluster.setdefault(label, IntervalStats())
+        agg.instructions += stats.instructions
+        agg.cycles += stats.cycles
+        total_instructions += stats.instructions
+    if total_instructions <= 0:
+        raise SimulationError("no instructions in any interval")
+
+    rows = []
+    for cluster, agg in per_cluster.items():
+        if cluster not in point_intervals:
+            raise SimulationError(f"no simulation point for cluster {cluster}")
+        sp_index = point_intervals[cluster]
+        if weights is not None:
+            weight = weights.get(cluster, 0.0)
+        else:
+            weight = agg.instructions / total_instructions
+        rows.append(
+            (weight, cluster, agg.cpi, interval_stats[sp_index].cpi)
+        )
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    return tuple(
+        PhaseRow(
+            rank=rank + 1,
+            cluster=cluster,
+            weight=weight,
+            true_cpi=true_cpi,
+            sp_cpi=sp_cpi,
+        )
+        for rank, (weight, cluster, true_cpi, sp_cpi) in enumerate(rows[:top])
+    )

@@ -1,0 +1,56 @@
+"""Cross-binary speedup estimation and its error (paper Section 5.2).
+
+``TrueSpeedup`` between two binaries is the ratio of their full-run
+cycle counts; ``EstimatedSpeedup`` is the same ratio over
+sampled-simulation cycle estimates. The paper's error metric is
+``|(TrueSpeedup - EstimatedSpeedup) / TrueSpeedup|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.estimate import MethodEstimate, relative_error
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SpeedupComparison:
+    """One binary-pair speedup comparison under one method."""
+
+    method: str
+    baseline_name: str  # the "from" binary (numerator of the ratio)
+    improved_name: str  # the "to" binary (denominator)
+    true_speedup: float
+    estimated_speedup: float
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.true_speedup, self.estimated_speedup)
+
+
+def speedup_comparison(
+    baseline: MethodEstimate, improved: MethodEstimate
+) -> SpeedupComparison:
+    """Compare two binaries' estimates produced by the same method.
+
+    Following the paper's convention, e.g. the ``32u32o`` configuration
+    has the 32-bit unoptimized binary as ``baseline`` and the 32-bit
+    optimized binary as ``improved``: the true speedup is the ratio of
+    cycles(baseline) to cycles(improved).
+    """
+    if baseline.method != improved.method:
+        raise SimulationError(
+            f"cannot compare methods {baseline.method!r} and "
+            f"{improved.method!r}"
+        )
+    if improved.true_cycles <= 0 or improved.estimated_cycles <= 0:
+        raise SimulationError("cycle counts must be positive")
+    return SpeedupComparison(
+        method=baseline.method,
+        baseline_name=baseline.binary_name,
+        improved_name=improved.binary_name,
+        true_speedup=baseline.true_cycles / improved.true_cycles,
+        estimated_speedup=baseline.estimated_cycles
+        / improved.estimated_cycles,
+    )

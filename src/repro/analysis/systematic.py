@@ -1,0 +1,129 @@
+"""Systematic (statistical) sampling baseline.
+
+The paper's related work contrasts phase-based sampling (SimPoint)
+with statistical approaches that sample execution at regular intervals
+(SMARTS-style systematic sampling; the paper's reference [8] samples
+by program structure). This module implements the classic baseline:
+
+* measure every ``period``-th interval in detail (starting at a fixed
+  offset);
+* estimate the whole-program metric as the instruction-weighted mean
+  over the measured intervals;
+* report a CLT-based confidence interval from the sample variance.
+
+It plugs into the same per-interval statistics the trackers produce,
+so the three methods (per-binary SimPoint, Cross Binary SimPoint, and
+systematic sampling) can be compared on identical runs. Note that for
+cross-binary comparisons systematic sampling has the same structural
+problem as per-binary SimPoint — the sampled positions fall on
+different semantic parts of execution in each binary — plus a much
+larger detailed-simulation budget for comparable variance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SystematicSample:
+    """A systematic sample of intervals and the derived estimate."""
+
+    period: int
+    offset: int
+    sampled_indices: Tuple[int, ...]
+    estimate: float
+    std_error: float
+    sampled_instructions: int
+    total_instructions: int
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.sampled_indices)
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of instructions simulated in detail."""
+        return self.sampled_instructions / self.total_instructions
+
+    @property
+    def half_width_95(self) -> float:
+        """~95% confidence half-width (CLT)."""
+        return 1.96 * self.std_error
+
+
+def systematic_sample(
+    interval_stats: Sequence[IntervalStats],
+    period: int,
+    offset: int = 0,
+    metric: Callable[[IntervalStats], float] = lambda stats: stats.cpi,
+) -> SystematicSample:
+    """Estimate a metric by measuring every ``period``-th interval.
+
+    The estimate weights each sampled interval by its instruction count
+    (intervals may be variable-length); the standard error comes from
+    the weighted sample variance over the sampled metric values.
+    """
+    if period < 1:
+        raise SimulationError(f"period must be >= 1, got {period}")
+    if not 0 <= offset < period:
+        raise SimulationError(
+            f"offset must be in [0, {period}), got {offset}"
+        )
+    if not interval_stats:
+        raise SimulationError("no intervals to sample")
+    indices = tuple(range(offset, len(interval_stats), period))
+    if not indices:
+        raise SimulationError(
+            f"period {period} with offset {offset} samples nothing from "
+            f"{len(interval_stats)} intervals"
+        )
+    sampled = [interval_stats[i] for i in indices]
+    weight_total = sum(s.instructions for s in sampled)
+    mean = (
+        sum(metric(s) * s.instructions for s in sampled) / weight_total
+    )
+    variance = (
+        sum(
+            s.instructions * (metric(s) - mean) ** 2 for s in sampled
+        )
+        / weight_total
+    )
+    n = len(sampled)
+    std_error = math.sqrt(variance / n) if n > 1 else float("inf")
+    return SystematicSample(
+        period=period,
+        offset=offset,
+        sampled_indices=indices,
+        estimate=mean,
+        std_error=std_error,
+        sampled_instructions=weight_total,
+        total_instructions=sum(s.instructions for s in interval_stats),
+    )
+
+
+def compare_sampling_budgets(
+    interval_stats: Sequence[IntervalStats],
+    true_value: float,
+    periods: Sequence[int],
+    metric: Callable[[IntervalStats], float] = lambda stats: stats.cpi,
+) -> List[Tuple[int, SystematicSample, float]]:
+    """Sweep sampling periods; returns (period, sample, relative error).
+
+    Used by the sampling-budget comparison benchmark: SimPoint's
+    handful of phase-picked points versus systematic sampling at
+    various budgets.
+    """
+    if true_value == 0:
+        raise SimulationError("true value must be non-zero")
+    results = []
+    for period in periods:
+        sample = systematic_sample(interval_stats, period, metric=metric)
+        error = abs(sample.estimate - true_value) / abs(true_value)
+        results.append((period, sample, error))
+    return results

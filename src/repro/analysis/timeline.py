@@ -1,0 +1,66 @@
+"""Phase timelines: a compact text view of phase behaviour over time.
+
+SimPoint's phase labels are a time series — one label per interval.
+Rendering them as a character strip makes the periodic structure (and
+cross-binary clustering differences) visible at a glance:
+
+    phase timeline (each column ~1 interval)
+    AAABBCCAAABBCC...
+    legend: A=phase 0 (34.2%), B=phase 1 (33.1%), ...
+
+Used by the CLI's ``phases`` command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _glyph(label: int) -> str:
+    if label < 0:
+        raise SimulationError(f"negative phase label {label}")
+    if label < len(_GLYPHS):
+        return _GLYPHS[label]
+    return "#"  # beyond 26 phases: lump together visually
+
+
+def phase_strip(labels: Sequence[int], width: int = 72) -> str:
+    """The label sequence as character rows of at most ``width``."""
+    if not labels:
+        raise SimulationError("cannot render an empty timeline")
+    if width < 1:
+        raise SimulationError(f"width must be positive, got {width}")
+    chars = "".join(_glyph(label) for label in labels)
+    rows = [
+        chars[start:start + width] for start in range(0, len(chars), width)
+    ]
+    return "\n".join(rows)
+
+
+def render_phase_timeline(
+    labels: Sequence[int],
+    weights: Optional[Dict[int, float]] = None,
+    title: str = "phase timeline",
+    width: int = 72,
+) -> str:
+    """A titled strip plus a legend with optional phase weights."""
+    strip = phase_strip(labels, width)
+    seen: List[int] = []
+    for label in labels:
+        if label not in seen:
+            seen.append(label)
+    legend_parts = []
+    for label in sorted(seen):
+        entry = f"{_glyph(label)}=phase {label}"
+        if weights is not None and label in weights:
+            entry += f" ({weights[label]:.1%})"
+        legend_parts.append(entry)
+    legend = "legend: " + ", ".join(legend_parts)
+    return (
+        f"{title} ({len(labels)} intervals, 1 char per interval)\n"
+        f"{strip}\n{legend}"
+    )

@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the synthetic benchmark suite.
+``summary <benchmark>``
+    Run one benchmark through both pipelines and print its per-binary
+    estimates and speedup errors.
+``pinpoints <benchmark> [--target 32u] [--output DIR]``
+    Run the per-binary PinPoints tool chain and write
+    ``.simpoints``/``.weights`` files.
+``regions <benchmark> [--output DIR]``
+    Run the cross-binary pipeline and write the regions file.
+``figures [--benchmarks a,b,c]``
+    Regenerate every figure and table of the paper (all 21 benchmarks
+    by default; takes a couple of minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS, target_by_label
+from repro.experiments.figures import (
+    figure1_number_of_simpoints,
+    figure2_interval_sizes,
+    figure3_cpi_error,
+    figure4_speedup_error_same_platform,
+    figure5_speedup_error_cross_platform,
+    pair_speedup_error,
+)
+from repro.experiments.reporting import (
+    render_figure,
+    render_phase_comparison,
+    render_table1,
+)
+from repro.experiments.runner import run_benchmark, run_suite
+from repro.experiments.tables import (
+    table1_configuration,
+    table2_gcc_phases,
+    table3_apsi_phases,
+)
+from repro.pinpoints.toolchain import (
+    generate_cross_binary_pinpoints,
+    generate_pinpoints,
+)
+from repro.programs.suite import (
+    BENCHMARK_SPECS,
+    benchmark_names,
+    build_benchmark,
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'benchmark':<10} {'class':<12} {'stages':>6} {'kernels':>7}")
+    print("-" * 40)
+    for name in benchmark_names():
+        spec = BENCHMARK_SPECS[name]
+        print(
+            f"{name:<10} {spec.workload_class.value:<12} "
+            f"{spec.n_stages:>6} {spec.n_kernels:>7}"
+        )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    run = run_benchmark(args.benchmark)
+    print(f"== {args.benchmark} ==")
+    match = run.cross.match_report
+    print(
+        f"mappable points: {run.cross.marker_set.n_points} "
+        f"({match.procedures_matched} procs, "
+        f"{match.loop_entries_matched} loop entries, "
+        f"{match.loop_branches_matched} branches, "
+        f"{match.loops_recovered_by_signature} recovered, "
+        f"{match.loops_dropped_ambiguous} ambiguous)"
+    )
+    print(f"mapped intervals: {len(run.cross.intervals)}, "
+          f"k={run.cross.simpoint.k}\n")
+    header = (f"{'binary':<6} {'instructions':>13} {'true CPI':>9} "
+              f"{'FLI est':>8} {'FLI err':>8} {'VLI est':>8} {'VLI err':>8}")
+    print(header)
+    print("-" * len(header))
+    for label in (target.label for target in STANDARD_TARGETS):
+        outcome = run.outcome(label)
+        fli = outcome.fli_estimate
+        vli = outcome.vli_estimate
+        print(
+            f"{label:<6} {outcome.stats.instructions:>13,} "
+            f"{outcome.true_cpi:>9.3f} {fli.estimated_cpi:>8.3f} "
+            f"{fli.cpi_error:>8.2%} {vli.estimated_cpi:>8.3f} "
+            f"{vli.cpi_error:>8.2%}"
+        )
+    print("\nspeedup errors:")
+    for baseline, improved in (("32u", "32o"), ("64u", "64o"),
+                               ("32u", "64u"), ("32o", "64o")):
+        fli = pair_speedup_error(run, "fli", baseline, improved)
+        vli = pair_speedup_error(run, "vli", baseline, improved)
+        print(
+            f"  {baseline}->{improved}: true {fli.true_speedup:.3f} | "
+            f"FLI err {fli.error:.2%} | VLI err {vli.error:.2%}"
+        )
+    if args.detail:
+        from repro.experiments.reporting import render_simulation_stats
+
+        for label in (target.label for target in STANDARD_TARGETS):
+            outcome = run.outcome(label)
+            print(f"\nmemory system, {outcome.binary_name}:")
+            print(render_simulation_stats(outcome.stats))
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import render_phase_timeline
+
+    run = run_benchmark(args.benchmark)
+    vli_weights = run.cross.weights_for(run.cross.primary_name)
+    print(
+        render_phase_timeline(
+            run.cross.simpoint.labels,
+            weights=vli_weights,
+            title=f"{args.benchmark}: mappable (VLI) phases, shared by "
+                  f"all binaries",
+        )
+    )
+    for label in (target.label for target in STANDARD_TARGETS):
+        outcome = run.outcome(label)
+        weights = {
+            point.cluster: point.weight
+            for point in outcome.fli_simpoint.points
+        }
+        print()
+        print(
+            render_phase_timeline(
+                outcome.fli_simpoint.labels,
+                weights=weights,
+                title=f"{args.benchmark}/{label}: per-binary (FLI) phases",
+            )
+        )
+    return 0
+
+
+def _cmd_pinpoints(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark)
+    target = target_by_label(args.target)
+    binaries = compile_standard_binaries(program, (target,))
+    package = generate_pinpoints(
+        binaries[target],
+        interval_size=args.interval_size,
+        output_dir=args.output,
+    )
+    print(f"{package.binary_name}: {len(package.intervals)} intervals, "
+          f"{package.simpoint.n_points} simulation points")
+    if package.simpoints_path:
+        print(f"wrote {package.simpoints_path}")
+        print(f"wrote {package.weights_path}")
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    program = build_benchmark(args.benchmark)
+    binaries = compile_standard_binaries(program)
+    ordered = [binaries[target] for target in STANDARD_TARGETS]
+    result, path = generate_cross_binary_pinpoints(
+        ordered, output_dir=args.output
+    )
+    print(f"{args.benchmark}: {result.marker_set.n_points} mappable "
+          f"points, {len(result.mapped_points)} regions")
+    if path:
+        print(f"wrote {path}")
+    if args.markers and args.output:
+        from pathlib import Path
+
+        from repro.pinpoints.markers_io import write_marker_set
+
+        markers_path = Path(args.output) / f"{args.benchmark}.markers"
+        write_marker_set(markers_path, result.marker_set)
+        print(f"wrote {markers_path}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.benchmarks:
+        names: Sequence[str] = tuple(args.benchmarks.split(","))
+    else:
+        names = benchmark_names()
+    runs = run_suite(names, progress=True)
+    figures = [
+        figure1_number_of_simpoints(runs),
+        figure2_interval_sizes(runs),
+        figure3_cpi_error(runs),
+        figure4_speedup_error_same_platform(runs),
+        figure5_speedup_error_cross_platform(runs),
+    ]
+    print()
+    print(render_table1(table1_configuration()))
+    for figure in figures:
+        print()
+        print(render_figure(figure))
+    if "gcc" in runs:
+        print()
+        print(render_phase_comparison(table2_gcc_phases(run=runs["gcc"])))
+    if "apsi" in runs:
+        print()
+        print(render_phase_comparison(table3_apsi_phases(run=runs["apsi"])))
+    if args.json:
+        from repro.experiments.serialize import (
+            benchmark_run_to_dict,
+            figure_to_dict,
+            save_json,
+        )
+
+        payload = {
+            "figures": {
+                figure.figure: figure_to_dict(figure) for figure in figures
+            },
+            "benchmarks": {
+                name: benchmark_run_to_dict(run)
+                for name, run in runs.items()
+            },
+        }
+        path = save_json(payload, args.json)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import (
+        Verdict,
+        render_validation,
+        validate_reproduction,
+    )
+
+    if args.benchmarks:
+        names: Sequence[str] = tuple(args.benchmarks.split(","))
+    else:
+        names = benchmark_names()
+    runs = run_suite(names, progress=True)
+    results = validate_reproduction(runs)
+    print()
+    print(render_validation(results))
+    return 1 if any(r.verdict is Verdict.FAIL for r in results) else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross Binary Simulation Points (ISPASS 2007) "
+                    "reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    summary = sub.add_parser("summary", help="one benchmark, both methods")
+    summary.add_argument("benchmark", choices=benchmark_names())
+    summary.add_argument(
+        "--detail", action="store_true",
+        help="also print per-binary memory-system statistics",
+    )
+
+    phases = sub.add_parser(
+        "phases", help="phase timelines (VLI shared + per-binary FLI)"
+    )
+    phases.add_argument("benchmark", choices=benchmark_names())
+
+    pinpoints = sub.add_parser(
+        "pinpoints", help="per-binary SimPoint files for one binary"
+    )
+    pinpoints.add_argument("benchmark", choices=benchmark_names())
+    pinpoints.add_argument("--target", default="32u",
+                           choices=[t.label for t in STANDARD_TARGETS])
+    pinpoints.add_argument("--interval-size", type=int, default=100_000)
+    pinpoints.add_argument("--output", default="pinpoints.out")
+
+    regions = sub.add_parser(
+        "regions", help="cross-binary regions file for one benchmark"
+    )
+    regions.add_argument("benchmark", choices=benchmark_names())
+    regions.add_argument("--output", default="pinpoints.out")
+    regions.add_argument(
+        "--markers", action="store_true",
+        help="also archive the matched marker set",
+    )
+
+    figures = sub.add_parser(
+        "figures", help="regenerate every figure and table"
+    )
+    figures.add_argument(
+        "--benchmarks",
+        help="comma-separated subset (default: all 21)",
+    )
+    figures.add_argument(
+        "--json",
+        help="also write all figures and run summaries to this JSON file",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="check every paper claim against measured results",
+    )
+    validate.add_argument(
+        "--benchmarks",
+        help="comma-separated subset (default: all 21)",
+    )
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "summary": _cmd_summary,
+    "phases": _cmd_phases,
+    "pinpoints": _cmd_pinpoints,
+    "regions": _cmd_regions,
+    "figures": _cmd_figures,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

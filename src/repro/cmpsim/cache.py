@@ -1,0 +1,143 @@
+"""Set-associative LRU write-back cache.
+
+Lines are identified by integer line ids (byte address divided by line
+size); the cache stores full line ids per set with true LRU ordering
+(most recent first). A write marks the line dirty; evicting a dirty
+line reports it so the hierarchy can write it back to the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cmpsim.config import CacheLevelConfig
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks_out: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.read_hits
+            + self.read_misses
+            + self.write_hits
+            + self.write_misses
+        )
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class SetAssociativeCache:
+    """One cache level with LRU replacement and write-back policy."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self._n_sets = config.n_sets
+        self._assoc = config.associativity
+        # Per set: parallel MRU-ordered lists of line ids and dirty bits.
+        self._tags: List[List[int]] = [[] for _ in range(self._n_sets)]
+        self._dirty: List[List[bool]] = [[] for _ in range(self._n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
+        """Access a line; returns ``(hit, evicted dirty line or None)``.
+
+        On a miss the line is allocated (fetch-on-write for write
+        misses, as a write-back write-allocate cache does); if the set
+        overflows, the LRU entry is evicted and returned when dirty.
+        """
+        index = line % self._n_sets
+        tags = self._tags[index]
+        dirty = self._dirty[index]
+        stats = self.stats
+        try:
+            position = tags.index(line)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            if position != 0:
+                tags.insert(0, tags.pop(position))
+                dirty.insert(0, dirty.pop(position))
+            if write:
+                dirty[0] = True
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return True, None
+        if write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+        tags.insert(0, line)
+        dirty.insert(0, write)
+        victim: Optional[int] = None
+        if len(tags) > self._assoc:
+            victim_line = tags.pop()
+            victim_dirty = dirty.pop()
+            if victim_dirty:
+                stats.writebacks_out += 1
+                victim = victim_line
+        return False, victim
+
+    def fill(self, line: int, dirty: bool) -> Optional[int]:
+        """Install a line without counting a demand access (writebacks
+        arriving from an upper level). Returns an evicted dirty line."""
+        index = line % self._n_sets
+        tags = self._tags[index]
+        dirty_bits = self._dirty[index]
+        try:
+            position = tags.index(line)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            if position != 0:
+                tags.insert(0, tags.pop(position))
+                dirty_bits.insert(0, dirty_bits.pop(position))
+            dirty_bits[0] = dirty_bits[0] or dirty
+            return None
+        tags.insert(0, line)
+        dirty_bits.insert(0, dirty)
+        if len(tags) > self._assoc:
+            victim_line = tags.pop()
+            victim_dirty = dirty_bits.pop()
+            if victim_dirty:
+                self.stats.writebacks_out += 1
+                return victim_line
+        return None
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching LRU state (tests/inspection)."""
+        return line in self._tags[line % self._n_sets]
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(tags) for tags in self._tags)
+
+    def reset(self) -> None:
+        """Drop all contents and statistics (cold restart)."""
+        for tags in self._tags:
+            tags.clear()
+        for dirty in self._dirty:
+            dirty.clear()
+        self.stats = CacheStats()

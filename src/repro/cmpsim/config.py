@@ -1,0 +1,113 @@
+"""Memory-system configuration (the paper's Table 1).
+
+A single-core processor with a three-level non-inclusive data-cache
+hierarchy; all caches use 64-byte lines, LRU replacement, and
+write-back policy.
+
+========  ========  =============  =========  ===========
+Level     Capacity  Associativity  Line size  Hit latency
+========  ========  =============  =========  ===========
+FLC(L1D)  32 KB     2-way          64 B       3 cycles
+MLC(L2D)  512 KB    8-way          64 B       14 cycles
+LLC(L3D)  1024 KB   16-way         64 B       35 cycles
+DRAM      --        --             --         250 cycles
+========  ========  =============  =========  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One cache level's geometry and latency."""
+
+    name: str
+    capacity: int  # bytes
+    associativity: int
+    line_size: int = 64
+    hit_latency: int = 1
+    writeback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.associativity <= 0 or self.line_size <= 0:
+            raise SimulationError(
+                f"cache {self.name}: geometry must be positive"
+            )
+        if self.capacity % (self.associativity * self.line_size) != 0:
+            raise SimulationError(
+                f"cache {self.name}: capacity {self.capacity} not divisible "
+                f"into {self.associativity}-way sets of "
+                f"{self.line_size}-byte lines"
+            )
+        if self.hit_latency < 0:
+            raise SimulationError(f"cache {self.name}: negative latency")
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity // (self.associativity * self.line_size)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Whole memory system: cache levels (nearest first) plus DRAM.
+
+    ``next_line_prefetch`` enables a simple next-line prefetcher: every
+    L1 demand miss also pulls the following line into the outer levels.
+    The paper's configuration has no prefetcher; the option exists for
+    the design-space-exploration example, which needs more than one
+    architecture to compare.
+    """
+
+    levels: Tuple[CacheLevelConfig, ...]
+    dram_latency: int = 250
+    next_line_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise SimulationError("memory config needs at least one cache")
+        line_sizes = {level.line_size for level in self.levels}
+        if len(line_sizes) != 1:
+            raise SimulationError(
+                f"all cache levels must share a line size, got {line_sizes}"
+            )
+        if self.dram_latency <= 0:
+            raise SimulationError("dram_latency must be positive")
+
+    @property
+    def line_size(self) -> int:
+        return self.levels[0].line_size
+
+
+KB = 1024
+
+#: The paper's Table 1 configuration.
+TABLE1_CONFIG = MemoryConfig(
+    levels=(
+        CacheLevelConfig("FLC(L1D)", 32 * KB, 2, 64, hit_latency=3),
+        CacheLevelConfig("MLC(L2D)", 512 * KB, 8, 64, hit_latency=14),
+        CacheLevelConfig("LLC(L3D)", 1024 * KB, 16, 64, hit_latency=35),
+    ),
+    dram_latency=250,
+)
+
+#: Design-space variant: a 4 MB last-level cache (slightly slower hit).
+BIG_LLC_CONFIG = MemoryConfig(
+    levels=(
+        CacheLevelConfig("FLC(L1D)", 32 * KB, 2, 64, hit_latency=3),
+        CacheLevelConfig("MLC(L2D)", 512 * KB, 8, 64, hit_latency=14),
+        CacheLevelConfig("LLC(L3D)", 4096 * KB, 16, 64, hit_latency=40),
+    ),
+    dram_latency=250,
+)
+
+#: Design-space variant: Table 1 plus a next-line prefetcher.
+PREFETCH_CONFIG = MemoryConfig(
+    levels=TABLE1_CONFIG.levels,
+    dram_latency=250,
+    next_line_prefetch=True,
+)

@@ -1,0 +1,45 @@
+"""In-order core CPI accounting.
+
+CMP$im models an in-order processor: every memory stall is exposed.
+A block execution costs ``instructions x base CPI`` plus, per memory
+reference, the hit latency of the level that serviced it beyond the L1
+(an L1 hit is considered pipelined into the base CPI; L2/L3/DRAM
+services stall the core for their full latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CPIModel:
+    """Stall penalties per servicing level, derived from the config."""
+
+    penalties: Tuple[int, ...]  # indexed by AccessResult (L1..DRAM)
+
+    @classmethod
+    def from_config(cls, config: MemoryConfig = TABLE1_CONFIG) -> "CPIModel":
+        if len(config.levels) != 3:
+            raise SimulationError(
+                "the CPI model expects a three-level hierarchy (Table 1)"
+            )
+        l1, l2, l3 = config.levels
+        return cls(
+            penalties=(
+                0,  # L1 hit: pipelined
+                l2.hit_latency,
+                l3.hit_latency,
+                config.dram_latency,
+            )
+        )
+
+    def block_cycles(
+        self, instructions: int, base_cpi: float, penalty_cycles: int
+    ) -> float:
+        """Cycles for one block execution."""
+        return instructions * base_cpi + penalty_cycles

@@ -1,0 +1,103 @@
+"""Three-level non-inclusive cache hierarchy with DRAM backing.
+
+Demand accesses probe L1 -> L2 -> L3 -> DRAM, allocating the line in
+every probed level on the way back (levels then age independently, so
+contents diverge over time — non-inclusive). Dirty victims are written
+back to the next level down (installed there without a demand-access
+charge); an L3 dirty victim counts as a DRAM writeback.
+
+The hierarchy reports, per access, the level that serviced it, from
+which the CPU model derives the stall penalty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cmpsim.cache import SetAssociativeCache
+from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+
+
+class AccessResult(enum.IntEnum):
+    """Which level serviced a demand access (index into the hierarchy).
+
+    :meth:`MemoryHierarchy.access` returns these as plain ints (the
+    simulator's hot loop indexes penalty tables with them); the enum
+    exists for readable comparisons in tests and reports.
+    """
+
+    L1 = 0
+    L2 = 1
+    L3 = 2
+    DRAM = 3
+
+
+class MemoryHierarchy:
+    """The paper's Table 1 memory system (configurable)."""
+
+    def __init__(self, config: MemoryConfig = TABLE1_CONFIG) -> None:
+        self.config = config
+        self.caches: Tuple[SetAssociativeCache, ...] = tuple(
+            SetAssociativeCache(level) for level in config.levels
+        )
+        self.dram_reads = 0
+        self.dram_writebacks = 0
+        self.prefetches = 0
+        self._prefetch_enabled = config.next_line_prefetch
+
+    def access(self, line: int, write: bool) -> int:
+        """Perform one demand access; returns the servicing level (0-3).
+
+        Missed levels allocate the line on the way (levels then age
+        independently — non-inclusive); compare the result against
+        :class:`AccessResult` for readability. With next-line
+        prefetching enabled, an L1 miss also pulls ``line + 1`` into
+        the outer levels (no demand-access charge).
+        """
+        serviced = len(self.caches)
+        for depth, cache in enumerate(self.caches):
+            hit, victim = cache.access(line, write)
+            if victim is not None:
+                self._writeback(depth + 1, victim)
+            if hit:
+                serviced = depth
+                break
+        else:
+            self.dram_reads += 1
+        if serviced > 0 and self._prefetch_enabled:
+            self._prefetch(line + 1)
+        return serviced
+
+    def _prefetch(self, line: int) -> None:
+        """Install a prefetched line into the outer cache levels."""
+        self.prefetches += 1
+        for depth in range(1, len(self.caches)):
+            cache = self.caches[depth]
+            if cache.contains(line):
+                continue
+            victim = cache.fill(line, dirty=False)
+            if victim is not None:
+                self._writeback(depth + 1, victim)
+
+    def _writeback(self, depth: int, line: int) -> None:
+        """Install a dirty victim in the next level down (or DRAM)."""
+        if depth >= len(self.caches):
+            self.dram_writebacks += 1
+            return
+        victim = self.caches[depth].fill(line, dirty=True)
+        if victim is not None:
+            self._writeback(depth + 1, victim)
+
+    def warm_access(self, line: int, write: bool) -> None:
+        """Access without caring about the result (functional warmup)."""
+        self.access(line, write)
+
+    def reset(self) -> None:
+        """Cold caches and zeroed statistics."""
+        for cache in self.caches:
+            cache.reset()
+        self.dram_reads = 0
+        self.dram_writebacks = 0
+        self.prefetches = 0

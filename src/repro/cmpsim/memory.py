@@ -1,0 +1,156 @@
+"""Deterministic per-block address-stream generation.
+
+Each :class:`~repro.compilation.binary.AccessSpec` owns a cursor keyed
+by its stream id; executing the block advances the cursor and yields
+``refs_per_exec`` ``(line, is_write)`` references:
+
+* ``STREAM``/``STACK`` — fixed-stride sweep wrapping at the footprint;
+* ``BLOCKED`` — stride-1 sweeps inside an 8 KB window that is re-swept
+  several times before moving on (tiled reuse);
+* ``RANDOM``/``POINTER_CHASE`` — an LCG draw over the footprint per
+  reference.
+
+Writes are interleaved deterministically at ``1 - read_fraction`` of
+references via an integer accumulator. :func:`advance_stream` advances
+a stream's state *as if* ``n`` executions happened, in O(log n) — used
+by the cold fast-forward mode of region simulation, where addresses
+must stay deterministic even though the caches are not touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compilation.binary import AccessSpec
+from repro.programs.behaviors import AccessKind
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+#: BLOCKED kind: window geometry.
+_WINDOW = 8 * 1024
+_WINDOW_SWEEPS = 4
+
+#: Write accumulator denominator (per-mille style, power of two).
+_WDENOM = 1024
+
+
+class AddressStreamState:
+    """Mutable cursor state for every data stream of one run."""
+
+    __slots__ = ("cursors", "lcg", "write_acc")
+
+    def __init__(self) -> None:
+        self.cursors: Dict[int, int] = {}
+        self.lcg: Dict[int, int] = {}
+        self.write_acc: Dict[int, int] = {}
+
+    def cursor(self, stream_id: int) -> int:
+        return self.cursors.get(stream_id, 0)
+
+    def lcg_state(self, stream_id: int) -> int:
+        return self.lcg.get(stream_id, (stream_id * 2654435761 + 1) & _LCG_MASK)
+
+
+def _write_flags(
+    state: AddressStreamState, spec: AccessSpec, n: int
+) -> List[bool]:
+    """Deterministic write pattern for the next ``n`` references."""
+    wnum = int(round((1.0 - spec.read_fraction) * _WDENOM))
+    acc = state.write_acc.get(spec.stream_id, 0)
+    flags = []
+    for _ in range(n):
+        acc += wnum
+        if acc >= _WDENOM:
+            acc -= _WDENOM
+            flags.append(True)
+        else:
+            flags.append(False)
+    state.write_acc[spec.stream_id] = acc
+    return flags
+
+
+def generate_refs(
+    spec: AccessSpec, state: AddressStreamState
+) -> List[Tuple[int, bool]]:
+    """References for ONE execution of a block's access spec."""
+    n = spec.refs_per_exec
+    if n == 0:
+        return []
+    flags = _write_flags(state, spec, n)
+    refs: List[Tuple[int, bool]] = []
+    kind = spec.kind
+    if kind is AccessKind.STREAM or kind is AccessKind.STACK:
+        cursor = state.cursors.get(spec.stream_id, 0)
+        base = spec.base
+        footprint = spec.footprint
+        stride = spec.stride
+        for i in range(n):
+            addr = base + (cursor % footprint)
+            refs.append((addr >> 6, flags[i]))
+            cursor += stride
+        state.cursors[spec.stream_id] = cursor
+    elif kind is AccessKind.BLOCKED:
+        cursor = state.cursors.get(spec.stream_id, 0)
+        window = min(_WINDOW, spec.footprint)
+        span = window * _WINDOW_SWEEPS
+        for i in range(n):
+            window_index = cursor // span
+            offset = (cursor % span) % window
+            addr = spec.base + (window_index * window + offset) % spec.footprint
+            refs.append((addr >> 6, flags[i]))
+            cursor += spec.stride
+        state.cursors[spec.stream_id] = cursor
+    else:  # RANDOM, POINTER_CHASE
+        lcg = state.lcg.get(
+            spec.stream_id, (spec.stream_id * 2654435761 + 1) & _LCG_MASK
+        )
+        base = spec.base
+        footprint = spec.footprint
+        for i in range(n):
+            lcg = (lcg * _LCG_A + _LCG_C) & _LCG_MASK
+            addr = base + (lcg >> 16) % footprint
+            refs.append((addr >> 6, flags[i]))
+        state.lcg[spec.stream_id] = lcg
+    return refs
+
+
+def _lcg_jump(state: int, steps: int) -> int:
+    """Advance an LCG by ``steps`` in O(log steps) (affine composition)."""
+    mult, add = 1, 0
+    cur_mult, cur_add = _LCG_A, _LCG_C
+    while steps > 0:
+        if steps & 1:
+            mult = (mult * cur_mult) & _LCG_MASK
+            add = (add * cur_mult + cur_add) & _LCG_MASK
+        cur_add = (cur_add * cur_mult + cur_add) & _LCG_MASK
+        cur_mult = (cur_mult * cur_mult) & _LCG_MASK
+        steps >>= 1
+    return (state * mult + add) & _LCG_MASK
+
+
+def advance_stream(
+    spec: AccessSpec, state: AddressStreamState, execs: int
+) -> None:
+    """Advance a stream's state as if ``execs`` executions happened.
+
+    Keeps cold fast-forward deterministic: after advancing, the next
+    generated references are identical to those after ``execs`` real
+    :func:`generate_refs` calls.
+    """
+    n = spec.refs_per_exec * execs
+    if n == 0:
+        return
+    wnum = int(round((1.0 - spec.read_fraction) * _WDENOM))
+    acc = state.write_acc.get(spec.stream_id, 0)
+    state.write_acc[spec.stream_id] = (acc + wnum * n) % _WDENOM
+    kind = spec.kind
+    if kind in (AccessKind.STREAM, AccessKind.STACK, AccessKind.BLOCKED):
+        cursor = state.cursors.get(spec.stream_id, 0)
+        state.cursors[spec.stream_id] = cursor + spec.stride * n
+    else:
+        lcg = state.lcg.get(
+            spec.stream_id, (spec.stream_id * 2654435761 + 1) & _LCG_MASK
+        )
+        state.lcg[spec.stream_id] = _lcg_jump(lcg, n)

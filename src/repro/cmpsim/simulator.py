@@ -1,0 +1,535 @@
+"""The CMP$im-style simulator: full runs, interval trackers, regions.
+
+:class:`CMPSim` drives a binary through the execution engine while
+simulating the Table 1 memory hierarchy and accounting cycles with the
+in-order CPI model. Two kinds of run are supported:
+
+* :meth:`CMPSim.run_full` — simulate the entire execution, optionally
+  attributing instructions/cycles to interval structures via trackers:
+  :class:`FLITracker` (fixed-length cuts at exact instruction counts)
+  and :class:`VLITracker` (cuts at mapped marker coordinates). One full
+  run therefore yields the whole-program "true" statistics *and* the
+  per-interval statistics both SimPoint variants need.
+* :meth:`CMPSim.run_regions` — PinPoints-style sampled simulation:
+  fast-forward between chosen regions (with the caches either kept warm
+  functionally or left untouched, for the warmup ablation) and collect
+  detailed statistics only inside the regions.
+
+Marker anchor blocks are always overhead blocks (procedure entries,
+loop entries, loop branches) and overhead blocks never touch memory, so
+their per-execution cycles within a chunk are uniform — which makes the
+trackers' bulk-chunk boundary arithmetic exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+from repro.cmpsim.cpu import CPIModel
+from repro.cmpsim.hierarchy import MemoryHierarchy
+from repro.cmpsim.memory import AddressStreamState, advance_stream, generate_refs
+from repro.compilation.binary import Binary, LLoop
+from repro.core.markers import ExecutionCoordinate, MarkerTable
+from repro.errors import SimulationError
+from repro.execution.engine import ExecutionEngine
+from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.programs.inputs import ProgramInput, REF_INPUT
+
+
+@dataclass
+class IntervalStats:
+    """Detailed statistics attributed to one interval or region.
+
+    ``dram_accesses`` counts demand accesses serviced by DRAM, so any
+    "architecture metric of interest" (the paper's step 6 lists "CPI,
+    miss rate, etc.") can be estimated from the same sampled run.
+    """
+
+    instructions: int = 0
+    cycles: float = 0.0
+    dram_accesses: float = 0.0
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            raise SimulationError("empty interval has no CPI")
+        return self.cycles / self.instructions
+
+    @property
+    def dram_mpki(self) -> float:
+        """DRAM accesses per thousand instructions."""
+        if self.instructions == 0:
+            raise SimulationError("empty interval has no MPKI")
+        return 1000.0 * self.dram_accesses / self.instructions
+
+
+class FLITracker:
+    """Attributes cycles to fixed-length intervals (exact cuts).
+
+    A chunk whose instructions straddle a boundary is split with its
+    cycles prorated by instruction share — the same convention real
+    interval profilers use when a basic block straddles an interval
+    boundary.
+    """
+
+    def __init__(self, interval_size: int) -> None:
+        if interval_size <= 0:
+            raise SimulationError("interval_size must be positive")
+        self._size = interval_size
+        self._cur = IntervalStats()
+        self.intervals: List[IntervalStats] = []
+
+    def on_chunk(
+        self,
+        block_id: int,
+        execs: int,
+        instructions: int,
+        cycles: float,
+        dram: float = 0.0,
+    ) -> None:
+        remaining_instr = instructions
+        remaining_cycles = cycles
+        remaining_dram = dram
+        while remaining_instr > 0:
+            space = self._size - self._cur.instructions
+            if remaining_instr < space:
+                self._cur.instructions += remaining_instr
+                self._cur.cycles += remaining_cycles
+                self._cur.dram_accesses += remaining_dram
+                return
+            fraction = space / remaining_instr
+            share = remaining_cycles * fraction
+            dram_share = remaining_dram * fraction
+            self._cur.instructions += space
+            self._cur.cycles += share
+            self._cur.dram_accesses += dram_share
+            remaining_instr -= space
+            remaining_cycles -= share
+            remaining_dram -= dram_share
+            self.intervals.append(self._cur)
+            self._cur = IntervalStats()
+
+    def finish(self) -> None:
+        if self._cur.instructions > 0:
+            self.intervals.append(self._cur)
+            self._cur = IntervalStats()
+
+
+class VLITracker:
+    """Attributes cycles to mapped variable-length intervals.
+
+    ``boundaries`` are the interior interval boundaries (execution
+    coordinates) from the primary binary's VLI profile; the tracker
+    closes an interval exactly when the expected coordinate fires in
+    *this* binary's execution.
+    """
+
+    def __init__(
+        self,
+        table: MarkerTable,
+        boundaries: Sequence[ExecutionCoordinate],
+    ) -> None:
+        self._block_to_marker = table.block_to_marker()
+        self._boundaries: Tuple[ExecutionCoordinate, ...] = tuple(boundaries)
+        self._next = 0
+        self._marker_counts: Dict[int, int] = {}
+        self._cur = IntervalStats()
+        self.intervals: List[IntervalStats] = []
+        self.binary_name = table.binary_name
+
+    def _close(self) -> None:
+        self.intervals.append(self._cur)
+        self._cur = IntervalStats()
+        self._next += 1
+
+    def on_chunk(
+        self,
+        block_id: int,
+        execs: int,
+        instructions: int,
+        cycles: float,
+        dram: float = 0.0,
+    ) -> None:
+        marker_id = self._block_to_marker.get(block_id)
+        if marker_id is None:
+            self._cur.instructions += instructions
+            self._cur.cycles += cycles
+            self._cur.dram_accesses += dram
+            return
+        # Marker anchors are overhead blocks: uniform per execution and
+        # free of memory traffic (dram is always 0 here).
+        per_instr = instructions // execs
+        per_cycles = cycles / execs
+        count = self._marker_counts.get(marker_id, 0)
+        remaining = execs
+        while remaining > 0:
+            take = remaining
+            if self._next < len(self._boundaries):
+                expected_marker, expected_count = self._boundaries[self._next]
+                if (
+                    expected_marker == marker_id
+                    and count < expected_count <= count + remaining
+                ):
+                    take = expected_count - count
+            self._cur.instructions += per_instr * take
+            self._cur.cycles += per_cycles * take
+            count += take
+            remaining -= take
+            if self._next < len(self._boundaries):
+                expected_marker, expected_count = self._boundaries[self._next]
+                if expected_marker == marker_id and expected_count == count:
+                    self._close()
+        self._marker_counts[marker_id] = count
+
+    def finish(self) -> None:
+        if self._next != len(self._boundaries):
+            raise SimulationError(
+                f"{self.binary_name}: boundary "
+                f"{self._boundaries[self._next]} never fired during "
+                f"detailed simulation"
+            )
+        self.intervals.append(self._cur)
+        self._cur = IntervalStats()
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Whole-run statistics of one detailed simulation."""
+
+    instructions: int
+    cycles: float
+    memory_refs: int
+    level_accesses: Tuple[int, ...]
+    level_misses: Tuple[int, ...]
+    dram_reads: int
+    dram_writebacks: int
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            raise SimulationError("empty run has no CPI")
+        return self.cycles / self.instructions
+
+
+@dataclass(frozen=True)
+class FullRunResult:
+    """A full detailed run plus whatever the trackers accumulated."""
+
+    stats: SimulationStats
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One simulation region in execution coordinates.
+
+    ``start`` ``None`` means program start; ``end`` ``None`` means
+    program exit. Regions must be disjoint and given in execution
+    order (mapped simulation points from disjoint intervals are).
+    """
+
+    label: int
+    start: Optional[ExecutionCoordinate]
+    end: Optional[ExecutionCoordinate]
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """Per-region detailed statistics from a sampled simulation."""
+
+    regions: Mapping[int, IntervalStats]
+    fast_forward_instructions: int
+
+    def region(self, label: int) -> IntervalStats:
+        try:
+            return self.regions[label]
+        except KeyError:
+            raise SimulationError(f"no region labelled {label}") from None
+
+
+def regions_from_mapped_points(points) -> List[RegionSpec]:
+    """Execution-ordered region specs for mapped simulation points.
+
+    ``points`` are :class:`~repro.core.mapping.MappedSimulationPoint`
+    objects (ordered by cluster id); region simulation requires
+    execution order, which is the primary binary's interval order.
+    Region labels are the cluster ids.
+    """
+    ordered = sorted(points, key=lambda point: point.interval_index)
+    return [
+        RegionSpec(label=point.cluster, start=point.start, end=point.end)
+        for point in ordered
+    ]
+
+
+@dataclass(frozen=True)
+class _BlockInfo:
+    instructions: int
+    base_cycles: float
+    specs: Tuple
+
+
+class _DetailedConsumer(ExecutionConsumer):
+    """Full detailed simulation with tracker attribution."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        hierarchy: MemoryHierarchy,
+        cpi_model: CPIModel,
+        trackers: Sequence,
+    ) -> None:
+        self._binary = binary
+        self._hierarchy = hierarchy
+        self._penalties = cpi_model.penalties
+        self._trackers = tuple(trackers)
+        self._streams = AddressStreamState()
+        self.instructions = 0
+        self.cycles = 0.0
+        self.memory_refs = 0
+        n_blocks = max(binary.blocks) + 1 if binary.blocks else 0
+        self._info: List[Optional[_BlockInfo]] = [None] * n_blocks
+        for block_id, block in binary.blocks.items():
+            self._info[block_id] = _BlockInfo(
+                instructions=block.instructions,
+                base_cycles=block.instructions * block.base_cpi,
+                specs=block.accesses,
+            )
+
+    def _exec_with_refs(self, block_id: int, info: _BlockInfo) -> None:
+        penalty = 0
+        access = self._hierarchy.access
+        penalties = self._penalties
+        refs = 0
+        dram = 0
+        for spec in info.specs:
+            for line, write in generate_refs(spec, self._streams):
+                level = access(line, write)
+                penalty += penalties[level]
+                if level == 3:
+                    dram += 1
+                refs += 1
+        cycles = info.base_cycles + penalty
+        self.memory_refs += refs
+        self.instructions += info.instructions
+        self.cycles += cycles
+        for tracker in self._trackers:
+            tracker.on_chunk(block_id, 1, info.instructions, cycles, dram)
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        info = self._info[block_id]
+        if info.specs:
+            for _ in range(execs):
+                self._exec_with_refs(block_id, info)
+            return
+        instructions = info.instructions * execs
+        cycles = info.base_cycles * execs
+        self.instructions += instructions
+        self.cycles += cycles
+        for tracker in self._trackers:
+            tracker.on_chunk(block_id, execs, instructions, cycles)
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        profile = iteration_profile(self._binary, loop)
+        body = [
+            (block_id, self._info[block_id])
+            for block_id in profile.body_blocks
+        ]
+        branch_id = profile.branch_block
+        branch = self._info[branch_id]
+        trackers = self._trackers
+        exec_with_refs = self._exec_with_refs
+        for _ in range(iterations):
+            for block_id, info in body:
+                if info.specs:
+                    exec_with_refs(block_id, info)
+                else:
+                    self.instructions += info.instructions
+                    self.cycles += info.base_cycles
+                    for tracker in trackers:
+                        tracker.on_chunk(
+                            block_id, 1, info.instructions, info.base_cycles
+                        )
+            self.instructions += branch.instructions
+            self.cycles += branch.base_cycles
+            for tracker in trackers:
+                tracker.on_chunk(
+                    branch_id, 1, branch.instructions, branch.base_cycles
+                )
+
+    def finish(self) -> None:
+        for tracker in self._trackers:
+            tracker.finish()
+
+
+class _RegionConsumer(ExecutionConsumer):
+    """Sampled simulation: detail inside regions, fast-forward outside.
+
+    In ``warm`` mode, fast-forwarding still performs every cache access
+    (functional warming), so region statistics match a full run's. In
+    cold mode, the caches are untouched outside regions (address
+    cursors still advance deterministically) and every region starts
+    with whatever the caches held when the previous region ended.
+    """
+
+    def __init__(
+        self,
+        binary: Binary,
+        hierarchy: MemoryHierarchy,
+        cpi_model: CPIModel,
+        table: MarkerTable,
+        regions: Sequence[RegionSpec],
+        warm: bool,
+    ) -> None:
+        self._binary = binary
+        self._hierarchy = hierarchy
+        self._penalties = cpi_model.penalties
+        self._streams = AddressStreamState()
+        self._warm = warm
+        self._block_to_marker = table.block_to_marker()
+        self._marker_counts: Dict[int, int] = {}
+        self.results: Dict[int, IntervalStats] = {}
+        self.fast_forward_instructions = 0
+
+        self._events: List[Tuple[ExecutionCoordinate, bool, int]] = []
+        self._active: Optional[int] = None
+        for index, region in enumerate(regions):
+            if region.label in self.results:
+                raise SimulationError(
+                    f"duplicate region label {region.label}"
+                )
+            self.results[region.label] = IntervalStats()
+            if region.start is None:
+                if index != 0:
+                    raise SimulationError(
+                        "only the first region may start at program start"
+                    )
+                self._active = region.label
+            else:
+                self._events.append((region.start, True, region.label))
+            if region.end is not None:
+                self._events.append((region.end, False, region.label))
+            elif index != len(regions) - 1:
+                raise SimulationError(
+                    "only the last region may run to program exit"
+                )
+        self._next_event = 0
+
+    def _handle_marker(self, marker_id: int, count: int) -> None:
+        while self._next_event < len(self._events):
+            (marker, expected), starting, label = self._events[self._next_event]
+            if marker != marker_id or expected != count:
+                return
+            self._active = label if starting else None
+            self._next_event += 1
+
+    def _exec_block(self, block_id: int) -> None:
+        block = self._binary.blocks[block_id]
+        active = self._active
+        detailed = active is not None
+        if block.accesses:
+            if detailed or self._warm:
+                penalty = 0
+                refs = 0
+                access = self._hierarchy.access
+                penalties = self._penalties
+                for spec in block.accesses:
+                    for line, write in generate_refs(spec, self._streams):
+                        penalty += penalties[access(line, write)]
+                        refs += 1
+            else:
+                for spec in block.accesses:
+                    advance_stream(spec, self._streams, 1)
+                penalty = 0
+        else:
+            penalty = 0
+        if detailed:
+            stats = self.results[active]
+            stats.instructions += block.instructions
+            stats.cycles += block.instructions * block.base_cpi + penalty
+        else:
+            self.fast_forward_instructions += block.instructions
+        marker_id = self._block_to_marker.get(block_id)
+        if marker_id is not None:
+            count = self._marker_counts.get(marker_id, 0) + 1
+            self._marker_counts[marker_id] = count
+            self._handle_marker(marker_id, count)
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        for _ in range(execs):
+            self._exec_block(block_id)
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        profile = iteration_profile(self._binary, loop)
+        for _ in range(iterations):
+            for block_id in profile.body_blocks:
+                self._exec_block(block_id)
+            self._exec_block(profile.branch_block)
+
+    def finish(self) -> None:
+        if self._next_event != len(self._events):
+            coord = self._events[self._next_event][0]
+            raise SimulationError(
+                f"{self._binary.name}: region boundary {coord} never fired"
+            )
+
+
+class CMPSim:
+    """The simulator facade for one binary."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        config: MemoryConfig = TABLE1_CONFIG,
+        program_input: ProgramInput = REF_INPUT,
+    ) -> None:
+        self._binary = binary
+        self._config = config
+        self._input = program_input
+        self._cpi_model = CPIModel.from_config(config)
+
+    @property
+    def binary(self) -> Binary:
+        return self._binary
+
+    def run_full(self, trackers: Sequence = ()) -> FullRunResult:
+        """Simulate the whole execution; trackers see every chunk."""
+        hierarchy = MemoryHierarchy(self._config)
+        consumer = _DetailedConsumer(
+            self._binary, hierarchy, self._cpi_model, trackers
+        )
+        ExecutionEngine(self._binary, self._input).run(consumer)
+        stats = SimulationStats(
+            instructions=consumer.instructions,
+            cycles=consumer.cycles,
+            memory_refs=consumer.memory_refs,
+            level_accesses=tuple(
+                cache.stats.accesses for cache in hierarchy.caches
+            ),
+            level_misses=tuple(
+                cache.stats.misses for cache in hierarchy.caches
+            ),
+            dram_reads=hierarchy.dram_reads,
+            dram_writebacks=hierarchy.dram_writebacks,
+        )
+        return FullRunResult(stats=stats)
+
+    def run_regions(
+        self,
+        regions: Sequence[RegionSpec],
+        table: MarkerTable,
+        warm: bool = True,
+    ) -> RegionResult:
+        """Sampled simulation of the given regions (PinPoints-style)."""
+        if not regions:
+            raise SimulationError("run_regions needs at least one region")
+        hierarchy = MemoryHierarchy(self._config)
+        consumer = _RegionConsumer(
+            self._binary, hierarchy, self._cpi_model, table, regions, warm
+        )
+        ExecutionEngine(self._binary, self._input).run(consumer)
+        return RegionResult(
+            regions=consumer.results,
+            fast_forward_instructions=consumer.fast_forward_instructions,
+        )

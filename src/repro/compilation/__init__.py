@@ -1,0 +1,54 @@
+"""Compiler substrate: lowering the program IR to target binaries.
+
+The paper compiles every SPEC program four ways (32/64-bit x Optimized/
+Unoptimized, Intel compilers, ``-g``). This package provides the
+equivalent: :func:`compile_program` lowers a
+:class:`~repro.programs.ir.Program` to a
+:class:`~repro.compilation.binary.Binary` for a
+:class:`~repro.compilation.targets.Target`, applying real optimizer
+passes at O2 (inlining with symbol removal and debug-line clobbering,
+loop unrolling, loop splitting, code motion) and per-target instruction
+scaling, pointer-width footprint scaling, and stack-traffic injection at
+O0. These transformations are exactly what creates - and sometimes
+destroys - the mappable points the paper's technique depends on.
+"""
+
+from repro.compilation.binary import (
+    AccessSpec,
+    Binary,
+    BlockKind,
+    LBlock,
+    LCall,
+    LLoop,
+    LoopMeta,
+    LoweredBlock,
+    ProcedureCode,
+)
+from repro.compilation.compiler import compile_program, compile_standard_binaries
+from repro.compilation.optimizer import OptimizationReport, optimize_ir
+from repro.compilation.targets import (
+    ISA,
+    STANDARD_TARGETS,
+    OptLevel,
+    Target,
+)
+
+__all__ = [
+    "AccessSpec",
+    "Binary",
+    "BlockKind",
+    "LBlock",
+    "LCall",
+    "LLoop",
+    "LoopMeta",
+    "LoweredBlock",
+    "ProcedureCode",
+    "compile_program",
+    "compile_standard_binaries",
+    "OptimizationReport",
+    "optimize_ir",
+    "ISA",
+    "STANDARD_TARGETS",
+    "OptLevel",
+    "Target",
+]

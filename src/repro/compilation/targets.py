@@ -1,0 +1,85 @@
+"""Compilation targets: ISA and optimization level.
+
+The paper's four binaries per program are 32-bit/64-bit x
+unoptimized/optimized (Intel compiler 9.0, ``-g``). A :class:`Target`
+pairs an :class:`ISA` with an :class:`OptLevel`; :data:`STANDARD_TARGETS`
+lists the paper's four configurations with the paper's own labels
+(``32u``, ``32o``, ``64u``, ``64o``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ISA(enum.Enum):
+    """Instruction set architecture of a binary."""
+
+    X86_32 = "x86_32"
+    X86_64 = "x86_64"
+
+    @property
+    def pointer_bytes(self) -> int:
+        """Pointer width in bytes; drives data-footprint scaling."""
+        return 4 if self is ISA.X86_32 else 8
+
+    @property
+    def short_label(self) -> str:
+        return "32" if self is ISA.X86_32 else "64"
+
+
+class OptLevel(enum.Enum):
+    """Compiler optimization level."""
+
+    O0 = "O0"
+    O2 = "O2"
+
+    @property
+    def short_label(self) -> str:
+        """The paper's u/o suffix: u = unoptimized, o = optimized."""
+        return "u" if self is OptLevel.O0 else "o"
+
+
+@dataclass(frozen=True)
+class Target:
+    """One compilation configuration (ISA + optimization level)."""
+
+    isa: ISA
+    opt: OptLevel
+
+    @property
+    def label(self) -> str:
+        """The paper's label, e.g. ``32u`` or ``64o``."""
+        return f"{self.isa.short_label}{self.opt.short_label}"
+
+    @property
+    def optimized(self) -> bool:
+        return self.opt is OptLevel.O2
+
+    def __str__(self) -> str:
+        return self.label
+
+
+TARGET_32U = Target(ISA.X86_32, OptLevel.O0)
+TARGET_32O = Target(ISA.X86_32, OptLevel.O2)
+TARGET_64U = Target(ISA.X86_64, OptLevel.O0)
+TARGET_64O = Target(ISA.X86_64, OptLevel.O2)
+
+#: The paper's four binaries per program, in its customary order.
+STANDARD_TARGETS: Tuple[Target, ...] = (
+    TARGET_32U,
+    TARGET_32O,
+    TARGET_64U,
+    TARGET_64O,
+)
+
+
+def target_by_label(label: str) -> Target:
+    """Look up a target by the paper's label (``32u``/``32o``/``64u``/``64o``)."""
+    for target in STANDARD_TARGETS:
+        if target.label == label:
+            return target
+    labels = ", ".join(t.label for t in STANDARD_TARGETS)
+    raise ValueError(f"unknown target label {label!r}; known: {labels}")

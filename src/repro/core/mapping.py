@@ -1,0 +1,85 @@
+"""Mapping chosen simulation points to every binary (paper Section 3.2.5).
+
+Because VLI boundaries are execution coordinates over mappable markers,
+mapping is definitional: the same ``(marker, count)`` pair names the
+start and end of the simulation point in every binary. This module
+packages the chosen intervals as :class:`MappedSimulationPoint` regions
+("nothing needs to be done in this step", as the paper puts it) and
+provides the boundary list used to locate all intervals in any binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.markers import ExecutionCoordinate
+from repro.errors import MappingError
+from repro.profiling.intervals import Interval
+from repro.simpoint.simpoint import SimPointResult
+
+
+@dataclass(frozen=True)
+class MappedSimulationPoint:
+    """One simulation point, expressed in cross-binary coordinates.
+
+    ``start`` is ``None`` for a region beginning at program start;
+    ``end`` is ``None`` for a region running to program exit.
+    ``primary_weight`` is the phase weight measured on the primary
+    binary; per-binary weights are re-measured by
+    :mod:`repro.core.weights`.
+    """
+
+    cluster: int
+    interval_index: int
+    start: Optional[ExecutionCoordinate]
+    end: Optional[ExecutionCoordinate]
+    primary_weight: float
+
+
+def interval_boundaries(
+    intervals: Sequence[Interval],
+) -> Tuple[ExecutionCoordinate, ...]:
+    """The ordered interior boundaries of a VLI interval list.
+
+    These are the coordinates needed to re-locate every interval in any
+    other binary: interval *i* spans boundary *i-1* to boundary *i*.
+    """
+    boundaries: List[ExecutionCoordinate] = []
+    for interval in intervals[:-1]:
+        if interval.end_coord is None:
+            raise MappingError(
+                f"interval {interval.index} has no end coordinate; "
+                f"were these intervals built by the VLI builder?"
+            )
+        boundaries.append(interval.end_coord)
+    if intervals and intervals[-1].end_coord is not None:
+        raise MappingError(
+            "the final interval must run to program exit (end_coord None)"
+        )
+    return tuple(boundaries)
+
+
+def map_simulation_points(
+    intervals: Sequence[Interval],
+    simpoint_result: SimPointResult,
+) -> Tuple[MappedSimulationPoint, ...]:
+    """Express SimPoint's chosen intervals as mappable regions."""
+    mapped: List[MappedSimulationPoint] = []
+    for point in simpoint_result.points:
+        if not 0 <= point.interval_index < len(intervals):
+            raise MappingError(
+                f"simulation point references interval "
+                f"{point.interval_index}, but only {len(intervals)} exist"
+            )
+        interval = intervals[point.interval_index]
+        mapped.append(
+            MappedSimulationPoint(
+                cluster=point.cluster,
+                interval_index=point.interval_index,
+                start=interval.start_coord,
+                end=interval.end_coord,
+                primary_weight=point.weight,
+            )
+        )
+    return tuple(mapped)

@@ -1,0 +1,117 @@
+"""Mappable points, markers, and execution coordinates.
+
+A :class:`MappablePoint` is a code construct — a procedure entry, a
+loop entry, or a loop back-edge branch — that the matcher has verified
+exists in *every* binary of the set with an identical whole-run
+execution count. Because the counts match, "the k-th firing of marker
+m" names the same semantic moment of execution in every binary: an
+:data:`ExecutionCoordinate` ``(marker id, execution count)`` is the
+paper's cross-binary position representation (Section 3.2.2).
+
+A :class:`MarkerTable` binds the abstract marker ids to one binary's
+concrete anchor blocks, letting execution consumers detect marker
+firings by watching block executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import MatchingError
+
+#: ``(marker id, cumulative execution count)``; counts are 1-based and
+#: refer to the state *after* the firing.
+ExecutionCoordinate = Tuple[int, int]
+
+
+class MarkerKind(enum.Enum):
+    """What construct a mappable point anchors to."""
+
+    PROCEDURE = "procedure"
+    LOOP_ENTRY = "loop_entry"
+    LOOP_BRANCH = "loop_branch"
+
+
+@dataclass(frozen=True)
+class MappablePoint:
+    """A construct identified in every binary with equal counts.
+
+    ``key`` is the cross-binary identity the matcher used: for
+    procedures ``('proc', name)``; for line-matched loops
+    ``('line', file, line, kind)``; for loops recovered by the
+    count-signature heuristic ``('sig', entries, iterations, kind)``.
+    """
+
+    marker_id: int
+    kind: MarkerKind
+    key: Tuple
+    total_count: int
+
+    def __post_init__(self) -> None:
+        if self.total_count <= 0:
+            raise MatchingError(
+                f"mappable point {self.key} has non-positive count "
+                f"{self.total_count}"
+            )
+
+
+@dataclass(frozen=True)
+class MarkerTable:
+    """Marker anchors for one binary: marker id <-> anchor block id."""
+
+    binary_name: str
+    anchor_blocks: Mapping[int, int]  # marker_id -> block id
+
+    def block_to_marker(self) -> Dict[int, int]:
+        """Inverse map: anchor block id -> marker id."""
+        inverse: Dict[int, int] = {}
+        for marker_id, block_id in self.anchor_blocks.items():
+            if block_id in inverse:
+                raise MatchingError(
+                    f"{self.binary_name}: block {block_id} anchors two "
+                    f"markers ({inverse[block_id]} and {marker_id})"
+                )
+            inverse[block_id] = marker_id
+        return inverse
+
+
+@dataclass(frozen=True)
+class MarkerSet:
+    """The matched mappable points plus per-binary anchor tables."""
+
+    points: Tuple[MappablePoint, ...]
+    tables: Mapping[str, MarkerTable]  # keyed by Binary.name
+
+    def __post_init__(self) -> None:
+        ids = {point.marker_id for point in self.points}
+        for table in self.tables.values():
+            missing = ids - set(table.anchor_blocks)
+            if missing:
+                raise MatchingError(
+                    f"{table.binary_name}: markers {sorted(missing)} have "
+                    f"no anchors"
+                )
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def table_for(self, binary_name: str) -> MarkerTable:
+        try:
+            return self.tables[binary_name]
+        except KeyError:
+            known = ", ".join(sorted(self.tables))
+            raise MatchingError(
+                f"no marker table for {binary_name!r}; known: {known}"
+            ) from None
+
+    def point(self, marker_id: int) -> MappablePoint:
+        for candidate in self.points:
+            if candidate.marker_id == marker_id:
+                return candidate
+        raise MatchingError(f"unknown marker id {marker_id}")
+
+    def points_of_kind(self, kind: MarkerKind) -> Tuple[MappablePoint, ...]:
+        return tuple(p for p in self.points if p.kind is kind)

@@ -1,0 +1,409 @@
+"""Finding mappable points across all binaries (paper Section 3.2.2).
+
+Three matching stages, mirroring the paper:
+
+1. **Procedures by symbol name** — a procedure entry is mappable when
+   the symbol exists in every binary and its whole-run entry count is
+   identical everywhere. (Inlined-away procedures fail the existence
+   test, exactly as with real symbol tables.)
+2. **Loops by debug line** — a loop is identified by its source line.
+   Its *entry* is mappable when every binary has that line and the
+   entry counts match; its *back-edge branch* is additionally mappable
+   when the iteration counts match (unrolled loops keep a mappable
+   entry but lose the branch). Lines carrying several loops (the
+   optimizer's loop splitting re-uses the source line) are matched by
+   per-loop count signatures when unambiguous, otherwise dropped.
+3. **Count-signature recovery for inlined loops** (paper Section 3.3) —
+   inlining clobbers a loop's debug line, so stage 2 misses it. A
+   leftover loop is recovered when its ``(entry count, iteration
+   count)`` signature identifies exactly one leftover loop in *every*
+   binary. Equal-count siblings (the paper's applu case: five inlined
+   PDE solvers with identical loop structure) stay ambiguous and are
+   dropped — their execution regions simply contain no markers.
+
+The output is a :class:`~repro.core.markers.MarkerSet` whose points all
+carry identical whole-run counts in every binary, plus a
+:class:`MatchReport` describing what matched and what was dropped.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.compilation.binary import Binary, LLoop
+from repro.core.markers import (
+    MappablePoint,
+    MarkerKind,
+    MarkerSet,
+    MarkerTable,
+)
+from repro.errors import MatchingError
+from repro.profiling.callbranch import CallBranchProfile, LoopProfile
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Diagnostics from one matching run."""
+
+    procedures_matched: int
+    procedures_dropped: int
+    loop_entries_matched: int
+    loop_branches_matched: int
+    loops_recovered_by_signature: int
+    loops_dropped_ambiguous: int
+    dropped_details: Tuple[str, ...] = ()
+
+
+@dataclass
+class _BinaryView:
+    """Pre-indexed view of one binary + its profile."""
+
+    binary: Binary
+    profile: CallBranchProfile
+    loops_by_id: Dict[int, LLoop] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for proc_name in self.binary.procedures:
+            for loop in self.binary.iter_loops_of(proc_name):
+                self.loops_by_id[loop.loop_id] = loop
+
+    def executed_loops(self) -> Tuple[LoopProfile, ...]:
+        return self.profile.executed_loops()
+
+
+def _match_procedures(
+    views: Sequence[_BinaryView],
+) -> Tuple[List[Tuple[Tuple, int, Dict[str, int]]], int]:
+    """Returns (matched proc descriptors, dropped count).
+
+    Each descriptor is ``(key, total count, {binary name: anchor})``.
+    """
+    name_sets = [
+        set(view.profile.executed_procedures()) for view in views
+    ]
+    common = set.intersection(*name_sets)
+    all_names = set.union(*name_sets)
+    matched = []
+    dropped = len(all_names) - len(common)
+    for name in sorted(common):
+        counts = {
+            view.binary.name: view.profile.procedure_entries[name]
+            for view in views
+        }
+        distinct = set(counts.values())
+        if len(distinct) != 1:
+            dropped += 1
+            continue
+        anchors = {
+            view.binary.name: view.binary.procedures[name].entry_block
+            for view in views
+        }
+        matched.append((("proc", name), distinct.pop(), anchors))
+    return matched, dropped
+
+
+_Signature = Tuple[int, int]  # (entries, iterations)
+
+
+def _loop_anchor(
+    view: _BinaryView, loop_id: int, kind: MarkerKind
+) -> int:
+    loop = view.loops_by_id[loop_id]
+    return loop.entry_block if kind is MarkerKind.LOOP_ENTRY else loop.branch_block
+
+
+@dataclass
+class _LoopMatch:
+    """One matched loop construct across all binaries."""
+
+    key: Tuple
+    kind: MarkerKind
+    total_count: int
+    anchors: Dict[str, int]
+
+
+def _match_line_group(
+    views: Sequence[_BinaryView],
+    line_key: Tuple[str, int],
+    groups: Sequence[Tuple[LoopProfile, ...]],
+    details: List[str],
+) -> Tuple[List[_LoopMatch], Set[Tuple[str, int]], int]:
+    """Match the loops all binaries place at one source line.
+
+    Returns (matches, consumed (binary name, loop id) pairs, dropped).
+    """
+    matches: List[_LoopMatch] = []
+    consumed: Set[Tuple[str, int]] = set()
+    dropped = 0
+
+    if all(len(group) == 1 for group in groups):
+        profiles = [group[0] for group in groups]
+        entries = {p.entries for p in profiles}
+        iterations = {p.iterations for p in profiles}
+        if len(entries) == 1:
+            matches.append(
+                _LoopMatch(
+                    key=("line", line_key[0], line_key[1], "entry"),
+                    kind=MarkerKind.LOOP_ENTRY,
+                    total_count=entries.pop(),
+                    anchors={
+                        view.binary.name: _loop_anchor(
+                            view, p.loop_id, MarkerKind.LOOP_ENTRY
+                        )
+                        for view, p in zip(views, profiles)
+                    },
+                )
+            )
+            if len(iterations) == 1:
+                matches.append(
+                    _LoopMatch(
+                        key=("line", line_key[0], line_key[1], "branch"),
+                        kind=MarkerKind.LOOP_BRANCH,
+                        total_count=iterations.pop(),
+                        anchors={
+                            view.binary.name: _loop_anchor(
+                                view, p.loop_id, MarkerKind.LOOP_BRANCH
+                            )
+                            for view, p in zip(views, profiles)
+                        },
+                    )
+                )
+            for view, p in zip(views, profiles):
+                consumed.add((view.binary.name, p.loop_id))
+        else:
+            dropped += 1
+            details.append(
+                f"line {line_key[0]}:{line_key[1]}: entry counts differ"
+            )
+        return matches, consumed, dropped
+
+    # Several loops share the line in some binary (loop splitting).
+    # Try per-loop count signatures; any duplicate signature within a
+    # binary is irresolvably ambiguous.
+    sig_maps: List[Dict[_Signature, LoopProfile]] = []
+    ambiguous = False
+    for group in groups:
+        sig_map: Dict[_Signature, LoopProfile] = {}
+        for profile in group:
+            signature = (profile.entries, profile.iterations)
+            if signature in sig_map:
+                ambiguous = True
+                break
+            sig_map[signature] = profile
+        if ambiguous:
+            break
+        sig_maps.append(sig_map)
+    if ambiguous or len({frozenset(m) for m in sig_maps}) != 1:
+        details.append(
+            f"line {line_key[0]}:{line_key[1]}: ambiguous split loops"
+        )
+        return [], set(), 1
+
+    for signature in sorted(sig_maps[0]):
+        entries, iterations = signature
+        entry_anchors = {}
+        branch_anchors = {}
+        for view, sig_map in zip(views, sig_maps):
+            profile = sig_map[signature]
+            consumed.add((view.binary.name, profile.loop_id))
+            entry_anchors[view.binary.name] = _loop_anchor(
+                view, profile.loop_id, MarkerKind.LOOP_ENTRY
+            )
+            branch_anchors[view.binary.name] = _loop_anchor(
+                view, profile.loop_id, MarkerKind.LOOP_BRANCH
+            )
+        base_key = ("line", line_key[0], line_key[1], entries, iterations)
+        matches.append(
+            _LoopMatch(
+                key=base_key + ("entry",),
+                kind=MarkerKind.LOOP_ENTRY,
+                total_count=entries,
+                anchors=entry_anchors,
+            )
+        )
+        matches.append(
+            _LoopMatch(
+                key=base_key + ("branch",),
+                kind=MarkerKind.LOOP_BRANCH,
+                total_count=iterations,
+                anchors=branch_anchors,
+            )
+        )
+    return matches, consumed, 0
+
+
+def _match_loops_by_line(
+    views: Sequence[_BinaryView], details: List[str]
+) -> Tuple[List[_LoopMatch], Set[Tuple[str, int]], int]:
+    by_line: List[Dict[Tuple[str, int], List[LoopProfile]]] = []
+    for view in views:
+        groups: Dict[Tuple[str, int], List[LoopProfile]] = defaultdict(list)
+        for profile in view.executed_loops():
+            if profile.location is not None:
+                groups[(profile.location.file, profile.location.line)].append(
+                    profile
+                )
+        by_line.append(dict(groups))
+
+    common_lines = set.intersection(*(set(m) for m in by_line))
+    matches: List[_LoopMatch] = []
+    consumed: Set[Tuple[str, int]] = set()
+    dropped = 0
+    for line_key in sorted(common_lines):
+        groups = [tuple(m[line_key]) for m in by_line]
+        line_matches, line_consumed, line_dropped = _match_line_group(
+            views, line_key, groups, details
+        )
+        matches.extend(line_matches)
+        consumed |= line_consumed
+        dropped += line_dropped
+    return matches, consumed, dropped
+
+
+def _recover_by_signature(
+    views: Sequence[_BinaryView],
+    consumed: Set[Tuple[str, int]],
+    details: List[str],
+) -> Tuple[List[_LoopMatch], int, int]:
+    """Stage 3: match leftover loops by unique count signatures."""
+    leftovers: List[Dict[_Signature, List[LoopProfile]]] = []
+    for view in views:
+        sig_map: Dict[_Signature, List[LoopProfile]] = defaultdict(list)
+        for profile in view.executed_loops():
+            if (view.binary.name, profile.loop_id) in consumed:
+                continue
+            sig_map[(profile.entries, profile.iterations)].append(profile)
+        leftovers.append(dict(sig_map))
+
+    candidate_sigs = set.intersection(*(set(m) for m in leftovers))
+    matches: List[_LoopMatch] = []
+    recovered = 0
+    dropped = 0
+    for signature in sorted(candidate_sigs):
+        groups = [m[signature] for m in leftovers]
+        if any(len(group) != 1 for group in groups):
+            dropped += 1
+            details.append(
+                f"signature entries={signature[0]} "
+                f"iterations={signature[1]}: ambiguous inlined loops"
+            )
+            continue
+        entries, iterations = signature
+        entry_anchors = {}
+        branch_anchors = {}
+        for view, group in zip(views, groups):
+            profile = group[0]
+            entry_anchors[view.binary.name] = _loop_anchor(
+                view, profile.loop_id, MarkerKind.LOOP_ENTRY
+            )
+            branch_anchors[view.binary.name] = _loop_anchor(
+                view, profile.loop_id, MarkerKind.LOOP_BRANCH
+            )
+        recovered += 1
+        base_key = ("sig", entries, iterations)
+        matches.append(
+            _LoopMatch(
+                key=base_key + ("entry",),
+                kind=MarkerKind.LOOP_ENTRY,
+                total_count=entries,
+                anchors=entry_anchors,
+            )
+        )
+        matches.append(
+            _LoopMatch(
+                key=base_key + ("branch",),
+                kind=MarkerKind.LOOP_BRANCH,
+                total_count=iterations,
+                anchors=branch_anchors,
+            )
+        )
+    # Leftovers in any binary that matched nothing are unmappable.
+    unmatched_sigs = set.union(*(set(m) for m in leftovers)) - candidate_sigs
+    dropped += len(unmatched_sigs)
+    return matches, recovered, dropped
+
+
+def find_mappable_points(
+    profiled_binaries: Sequence[Tuple[Binary, CallBranchProfile]],
+    enable_signature_recovery: bool = True,
+) -> Tuple[MarkerSet, MatchReport]:
+    """Find the mappable points shared by all binaries.
+
+    ``profiled_binaries`` pairs each binary with its call-and-branch
+    profile (all collected with the same input).
+    ``enable_signature_recovery`` toggles the paper's Section 3.3
+    inlining heuristic (the ablation benchmark turns it off).
+    """
+    if len(profiled_binaries) < 2:
+        raise MatchingError(
+            "cross-binary matching needs at least two binaries"
+        )
+    names = [binary.name for binary, _ in profiled_binaries]
+    if len(set(names)) != len(names):
+        raise MatchingError(f"duplicate binary names: {names}")
+    views = [
+        _BinaryView(binary=binary, profile=profile)
+        for binary, profile in profiled_binaries
+    ]
+
+    details: List[str] = []
+    proc_matches, procs_dropped = _match_procedures(views)
+    line_matches, consumed, line_dropped = _match_loops_by_line(views, details)
+    if enable_signature_recovery:
+        sig_matches, recovered, sig_dropped = _recover_by_signature(
+            views, consumed, details
+        )
+    else:
+        sig_matches, recovered, sig_dropped = [], 0, 0
+
+    points: List[MappablePoint] = []
+    anchor_tables: Dict[str, Dict[int, int]] = {name: {} for name in names}
+    marker_id = 0
+    for key, total, anchors in proc_matches:
+        points.append(
+            MappablePoint(
+                marker_id=marker_id,
+                kind=MarkerKind.PROCEDURE,
+                key=key,
+                total_count=total,
+            )
+        )
+        for binary_name, block_id in anchors.items():
+            anchor_tables[binary_name][marker_id] = block_id
+        marker_id += 1
+    for match in line_matches + sig_matches:
+        points.append(
+            MappablePoint(
+                marker_id=marker_id,
+                kind=match.kind,
+                key=match.key,
+                total_count=match.total_count,
+            )
+        )
+        for binary_name, block_id in match.anchors.items():
+            anchor_tables[binary_name][marker_id] = block_id
+        marker_id += 1
+
+    tables = {
+        name: MarkerTable(binary_name=name, anchor_blocks=anchor_tables[name])
+        for name in names
+    }
+    marker_set = MarkerSet(points=tuple(points), tables=tables)
+    entry_count = sum(
+        1 for p in points if p.kind is MarkerKind.LOOP_ENTRY
+    )
+    branch_count = sum(
+        1 for p in points if p.kind is MarkerKind.LOOP_BRANCH
+    )
+    report = MatchReport(
+        procedures_matched=len(proc_matches),
+        procedures_dropped=procs_dropped,
+        loop_entries_matched=entry_count,
+        loop_branches_matched=branch_count,
+        loops_recovered_by_signature=recovered,
+        loops_dropped_ambiguous=line_dropped + sig_dropped,
+        dropped_details=tuple(details),
+    )
+    return marker_set, report

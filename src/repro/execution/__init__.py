@@ -1,0 +1,39 @@
+"""Deterministic execution engine and Pin-like instrumentation.
+
+The paper profiles binaries with Pin. Here,
+:class:`~repro.execution.engine.ExecutionEngine` walks a compiled
+:class:`~repro.compilation.binary.Binary` under a program input and
+drives :class:`~repro.execution.events.ExecutionConsumer` objects with
+an exact, ordered stream of basic-block executions. Innermost
+straight-line loops are delivered as bulk *iteration spans*
+(:meth:`~repro.execution.events.ExecutionConsumer.on_iterations`) so
+profilers can process millions of instructions in bulk while consumers
+that need precise boundaries can split spans at iteration granularity.
+
+:mod:`repro.execution.pin` adds a friendlier Pin-style tool API on top
+(procedure-entry / loop-entry / loop-iteration callbacks).
+"""
+
+from repro.execution.engine import ExecutionEngine, RunTotals, run_binary
+from repro.execution.events import (
+    ExecutionConsumer,
+    InstructionCounter,
+    IterationProfile,
+    MultiConsumer,
+    iteration_profile,
+)
+from repro.execution.pin import PinTool, PinToolAdapter, run_with_tools
+
+__all__ = [
+    "ExecutionEngine",
+    "RunTotals",
+    "run_binary",
+    "ExecutionConsumer",
+    "InstructionCounter",
+    "IterationProfile",
+    "MultiConsumer",
+    "iteration_profile",
+    "PinTool",
+    "PinToolAdapter",
+    "run_with_tools",
+]

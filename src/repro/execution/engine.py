@@ -1,0 +1,162 @@
+"""The deterministic execution engine.
+
+:class:`ExecutionEngine` walks a binary's lowered statement tree under a
+:class:`~repro.programs.inputs.ProgramInput`, resolving loop trip counts
+and streaming primitives to an
+:class:`~repro.execution.events.ExecutionConsumer`. Execution order is
+exact; innermost straight-line loops are delivered as bulk iteration
+spans for speed.
+
+This is the reproduction's stand-in for running the real binary under
+Pin: counts (instructions, block executions, loop iterations, procedure
+entries) are exact and identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.compilation.binary import (
+    Binary,
+    LBlock,
+    LCall,
+    LLoop,
+    LStatement,
+)
+from repro.errors import ExecutionError
+from repro.execution.events import (
+    ExecutionConsumer,
+    InstructionCounter,
+    MultiConsumer,
+)
+from repro.programs.inputs import ProgramInput, REF_INPUT
+
+
+@dataclass(frozen=True)
+class RunTotals:
+    """Whole-run totals reported by :func:`run_binary`."""
+
+    instructions: int
+    block_executions: int
+    iteration_spans: int
+
+
+def _is_innermost_straight_line(body: Tuple[LStatement, ...]) -> bool:
+    return all(isinstance(stmt, LBlock) for stmt in body)
+
+
+#: Call-depth guard: the compiler never emits recursion (the IR
+#: validator rejects cycles), but hand-built binaries could; fail loudly
+#: instead of overflowing the Python stack.
+MAX_CALL_DEPTH = 256
+
+
+class ExecutionEngine:
+    """Runs one binary under one input, streaming to a consumer."""
+
+    def __init__(
+        self, binary: Binary, program_input: ProgramInput = REF_INPUT
+    ) -> None:
+        self._binary = binary
+        self._input = program_input
+        self._depth = 0
+        # Resolve trip counts and innermost-ness once per loop.
+        self._trips: Dict[int, int] = {}
+        self._innermost: Dict[int, bool] = {}
+        for proc in binary.procedures.values():
+            self._prepare(proc.body)
+
+    def _prepare(self, body: Tuple[LStatement, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, LLoop):
+                self._trips[stmt.loop_id] = self._input.resolve_trips(
+                    stmt.trips, stmt.input_scaled
+                )
+                self._innermost[stmt.loop_id] = _is_innermost_straight_line(
+                    stmt.body
+                )
+                self._prepare(stmt.body)
+
+    @property
+    def binary(self) -> Binary:
+        return self._binary
+
+    def resolved_trips(self, loop_id: int) -> int:
+        """The trip count a loop runs per entry under this input."""
+        try:
+            return self._trips[loop_id]
+        except KeyError:
+            raise ExecutionError(
+                f"{self._binary.name}: unknown loop id {loop_id}"
+            ) from None
+
+    def run(self, consumer: ExecutionConsumer) -> None:
+        """Execute the whole program, streaming to ``consumer``."""
+        self._run_procedure(self._binary.entry, consumer)
+        consumer.finish()
+
+    def _run_procedure(self, name: str, consumer: ExecutionConsumer) -> None:
+        proc = self._binary.procedures.get(name)
+        if proc is None:
+            raise ExecutionError(
+                f"{self._binary.name}: call to unknown procedure {name!r}"
+            )
+        self._depth += 1
+        if self._depth > MAX_CALL_DEPTH:
+            raise ExecutionError(
+                f"{self._binary.name}: call depth exceeded "
+                f"{MAX_CALL_DEPTH} at {name!r} (recursive binary?)"
+            )
+        consumer.on_procedure_entry(name, proc.entry_block)
+        consumer.on_block(proc.entry_block)
+        self._run_body(proc.body, consumer)
+        self._depth -= 1
+
+    def _run_body(
+        self, body: Tuple[LStatement, ...], consumer: ExecutionConsumer
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, LBlock):
+                consumer.on_block(stmt.block_id)
+            elif isinstance(stmt, LCall):
+                consumer.on_block(stmt.call_block)
+                self._run_procedure(stmt.callee, consumer)
+            elif isinstance(stmt, LLoop):
+                consumer.on_block(stmt.entry_block)
+                trips = self._trips[stmt.loop_id]
+                if self._innermost[stmt.loop_id]:
+                    consumer.on_iterations(stmt, trips)
+                else:
+                    for _ in range(trips):
+                        self._run_body(stmt.body, consumer)
+                        consumer.on_block(stmt.branch_block)
+            else:  # pragma: no cover
+                raise ExecutionError(
+                    f"cannot execute statement type {type(stmt).__name__}"
+                )
+
+
+def run_binary(
+    binary: Binary,
+    program_input: ProgramInput = REF_INPUT,
+    consumers: Iterable[ExecutionConsumer] = (),
+) -> RunTotals:
+    """Run a binary to completion and return whole-run totals.
+
+    Any extra ``consumers`` observe the same stream as the built-in
+    instruction counter.
+    """
+    counter = InstructionCounter(binary)
+    extra = tuple(consumers)
+    consumer: ExecutionConsumer
+    if extra:
+        consumer = MultiConsumer((counter,) + extra)
+    else:
+        consumer = counter
+    ExecutionEngine(binary, program_input).run(consumer)
+    return RunTotals(
+        instructions=counter.instructions,
+        block_executions=counter.block_executions,
+        iteration_spans=counter.iteration_spans,
+    )

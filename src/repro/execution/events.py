@@ -1,0 +1,143 @@
+"""Execution-stream consumer interface and helpers.
+
+The engine streams two primitives, in exact program order:
+
+* ``on_block(block_id, execs)`` — ``execs`` consecutive executions of a
+  basic block (``execs > 1`` never occurs for blocks with interleaved
+  ordering constraints; the engine only batches where order is
+  preserved);
+* ``on_iterations(loop, iterations)`` — a bulk span of an innermost
+  straight-line loop: semantically ``iterations`` repetitions of (body
+  blocks in order, then the loop-branch block).
+
+Consumers that only need counts process spans in O(1); consumers that
+need boundary placement split spans at iteration granularity using
+:func:`iteration_profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.compilation.binary import Binary, LBlock, LLoop
+
+
+class ExecutionConsumer:
+    """Base class for execution-stream consumers; methods are no-ops."""
+
+    def on_procedure_entry(self, name: str, entry_block: int) -> None:
+        """Called when a procedure is entered, before its entry block."""
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        """``execs`` consecutive executions of ``block_id``."""
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        """Bulk iteration span of an innermost straight-line loop."""
+
+    def finish(self) -> None:
+        """Called once when execution completes."""
+
+
+class MultiConsumer(ExecutionConsumer):
+    """Broadcasts the stream to several consumers, in order."""
+
+    def __init__(self, consumers: Iterable[ExecutionConsumer]) -> None:
+        self._consumers: Tuple[ExecutionConsumer, ...] = tuple(consumers)
+
+    def on_procedure_entry(self, name: str, entry_block: int) -> None:
+        for consumer in self._consumers:
+            consumer.on_procedure_entry(name, entry_block)
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        for consumer in self._consumers:
+            consumer.on_block(block_id, execs)
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        for consumer in self._consumers:
+            consumer.on_iterations(loop, iterations)
+
+    def finish(self) -> None:
+        for consumer in self._consumers:
+            consumer.finish()
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Per-iteration shape of an innermost straight-line loop."""
+
+    loop_id: int
+    body_blocks: Tuple[int, ...]
+    body_instructions: int
+    branch_block: int
+    branch_instructions: int
+
+    @property
+    def instructions_per_iteration(self) -> int:
+        return self.body_instructions + self.branch_instructions
+
+    def block_counts(self, iterations: int) -> List[Tuple[int, int]]:
+        """``(block_id, execs)`` pairs for ``iterations`` iterations."""
+        counts = [(block_id, iterations) for block_id in self.body_blocks]
+        counts.append((self.branch_block, iterations))
+        return counts
+
+
+class _ProfileCache:
+    """Per-binary cache of :class:`IterationProfile` objects."""
+
+    def __init__(self, binary: Binary) -> None:
+        self._binary = binary
+        self._cache: Dict[int, IterationProfile] = {}
+
+    def get(self, loop: LLoop) -> IterationProfile:
+        profile = self._cache.get(loop.loop_id)
+        if profile is None:
+            body_blocks = tuple(
+                stmt.block_id for stmt in loop.body if isinstance(stmt, LBlock)
+            )
+            body_instr = sum(
+                self._binary.block(b).instructions for b in body_blocks
+            )
+            branch_instr = self._binary.block(loop.branch_block).instructions
+            profile = IterationProfile(
+                loop_id=loop.loop_id,
+                body_blocks=body_blocks,
+                body_instructions=body_instr,
+                branch_block=loop.branch_block,
+                branch_instructions=branch_instr,
+            )
+            self._cache[loop.loop_id] = profile
+        return profile
+
+
+_profile_caches: Dict[int, _ProfileCache] = {}
+
+
+def iteration_profile(binary: Binary, loop: LLoop) -> IterationProfile:
+    """The per-iteration profile of an innermost loop, cached per binary."""
+    cache = _profile_caches.get(id(binary))
+    if cache is None or cache._binary is not binary:
+        cache = _ProfileCache(binary)
+        _profile_caches[id(binary)] = cache
+    return cache.get(loop)
+
+
+class InstructionCounter(ExecutionConsumer):
+    """Counts committed instructions and block executions."""
+
+    def __init__(self, binary: Binary) -> None:
+        self._binary = binary
+        self.instructions = 0
+        self.block_executions = 0
+        self.iteration_spans = 0
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        self.instructions += self._binary.block(block_id).instructions * execs
+        self.block_executions += execs
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        profile = iteration_profile(self._binary, loop)
+        self.instructions += profile.instructions_per_iteration * iterations
+        self.block_executions += (len(profile.body_blocks) + 1) * iterations
+        self.iteration_spans += 1

@@ -1,0 +1,105 @@
+"""Pin-style instrumentation tools.
+
+Real Pin lets a tool register callbacks on program constructs. This
+module provides the same ergonomics over our execution stream: subclass
+:class:`PinTool` and override the callbacks you care about, then drive
+a binary with :func:`run_with_tools`. The adapter resolves raw block
+executions into the structural callbacks (procedure entries, loop
+entries, loop iterations) that the paper's call-and-branch profile
+(Section 3.2.1) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.compilation.binary import Binary, LLoop, LoweredBlock
+from repro.execution.engine import ExecutionEngine, RunTotals, run_binary
+from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.programs.inputs import ProgramInput, REF_INPUT
+
+
+class PinTool:
+    """Base instrumentation tool; override the callbacks you need."""
+
+    def on_program_start(self, binary: Binary) -> None:
+        """Called once before execution begins."""
+
+    def on_block_exec(self, block: LoweredBlock, execs: int) -> None:
+        """A basic block executed ``execs`` times consecutively."""
+
+    def on_procedure_entry(self, name: str) -> None:
+        """A procedure was entered."""
+
+    def on_loop_entry(self, loop_id: int) -> None:
+        """A loop was entered (once per entry, regardless of trips)."""
+
+    def on_loop_iterations(self, loop_id: int, iterations: int) -> None:
+        """A loop's back-edge branch executed ``iterations`` times."""
+
+    def on_program_end(self) -> None:
+        """Called once after execution completes."""
+
+
+class PinToolAdapter(ExecutionConsumer):
+    """Adapts the raw execution stream to :class:`PinTool` callbacks."""
+
+    def __init__(self, binary: Binary, tools: Iterable[PinTool]) -> None:
+        self._binary = binary
+        self._tools: Tuple[PinTool, ...] = tuple(tools)
+        # Precompute structural roles of blocks so dispatch is O(1).
+        self._loop_entry_blocks: Dict[int, int] = {}
+        self._loop_branch_blocks: Dict[int, int] = {}
+        for proc_name in binary.procedures:
+            for loop in binary.iter_loops_of(proc_name):
+                self._loop_entry_blocks[loop.entry_block] = loop.loop_id
+                self._loop_branch_blocks[loop.branch_block] = loop.loop_id
+
+    def start(self) -> None:
+        for tool in self._tools:
+            tool.on_program_start(self._binary)
+
+    def on_procedure_entry(self, name: str, entry_block: int) -> None:
+        for tool in self._tools:
+            tool.on_procedure_entry(name)
+
+    def on_block(self, block_id: int, execs: int = 1) -> None:
+        block = self._binary.blocks[block_id]
+        loop_id = self._loop_entry_blocks.get(block_id)
+        if loop_id is not None:
+            for tool in self._tools:
+                tool.on_loop_entry(loop_id)
+        else:
+            loop_id = self._loop_branch_blocks.get(block_id)
+            if loop_id is not None:
+                for tool in self._tools:
+                    tool.on_loop_iterations(loop_id, execs)
+        for tool in self._tools:
+            tool.on_block_exec(block, execs)
+
+    def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        profile = iteration_profile(self._binary, loop)
+        for tool in self._tools:
+            tool.on_loop_iterations(loop.loop_id, iterations)
+        for block_id in profile.body_blocks:
+            block = self._binary.blocks[block_id]
+            for tool in self._tools:
+                tool.on_block_exec(block, iterations)
+        branch = self._binary.blocks[profile.branch_block]
+        for tool in self._tools:
+            tool.on_block_exec(branch, iterations)
+
+    def finish(self) -> None:
+        for tool in self._tools:
+            tool.on_program_end()
+
+
+def run_with_tools(
+    binary: Binary,
+    tools: Iterable[PinTool],
+    program_input: ProgramInput = REF_INPUT,
+) -> RunTotals:
+    """Run a binary under the given instrumentation tools."""
+    adapter = PinToolAdapter(binary, tools)
+    adapter.start()
+    return run_binary(binary, program_input, consumers=(adapter,))

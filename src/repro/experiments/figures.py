@@ -1,0 +1,180 @@
+"""Figure regeneration (the paper's Figures 1-5).
+
+Every function takes the per-benchmark runs (from
+:func:`repro.experiments.runner.run_suite`) and returns a
+:class:`FigureData`: named series over the benchmark axis, plus the
+suite average — the same bars the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.analysis.speedup import SpeedupComparison, speedup_comparison
+from repro.errors import SimulationError
+from repro.experiments.runner import BenchmarkRun
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One figure: named series over the benchmark axis."""
+
+    figure: str
+    title: str
+    unit: str
+    benchmarks: Tuple[str, ...]
+    series: Mapping[str, Tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.benchmarks):
+                raise SimulationError(
+                    f"{self.figure}: series {name!r} has {len(values)} "
+                    f"values for {len(self.benchmarks)} benchmarks"
+                )
+
+    def average(self, series_name: str) -> float:
+        values = self.series[series_name]
+        return sum(values) / len(values)
+
+    def value(self, series_name: str, benchmark: str) -> float:
+        index = self.benchmarks.index(benchmark)
+        return self.series[series_name][index]
+
+
+def _ordered(runs: Mapping[str, BenchmarkRun]) -> Sequence[BenchmarkRun]:
+    return [runs[name] for name in runs]
+
+
+def figure1_number_of_simpoints(
+    runs: Mapping[str, BenchmarkRun],
+) -> FigureData:
+    """Figure 1: number of simulation points, per-binary FLI vs mappable VLI.
+
+    FLI bars average the four per-binary clusterings; VLI has a single
+    clustering shared by all binaries.
+    """
+    ordered = _ordered(runs)
+    return FigureData(
+        figure="figure1",
+        title="Number of SimPoints (FLI vs VLI, avg across 4 binaries)",
+        unit="simulation points",
+        benchmarks=tuple(run.name for run in ordered),
+        series={
+            "FLI": tuple(run.average_fli_points() for run in ordered),
+            "VLI": tuple(float(run.vli_points()) for run in ordered),
+        },
+    )
+
+
+def figure2_interval_sizes(runs: Mapping[str, BenchmarkRun]) -> FigureData:
+    """Figure 2: average VLI interval size (FLI is fixed at the target).
+
+    Mapped intervals shrink in binaries that execute fewer instructions
+    than the primary, and grow where mappable markers are sparse
+    (applu's optimized solver region is the paper's outlier).
+    """
+    ordered = _ordered(runs)
+    return FigureData(
+        figure="figure2",
+        title="Average interval size for mappable SimPoint (VLI)",
+        unit="instructions",
+        benchmarks=tuple(run.name for run in ordered),
+        series={
+            "VLI": tuple(
+                run.average_vli_interval_size() for run in ordered
+            ),
+            "FLI (fixed)": tuple(
+                float(run.config.interval_size) for run in ordered
+            ),
+        },
+    )
+
+
+def figure3_cpi_error(runs: Mapping[str, BenchmarkRun]) -> FigureData:
+    """Figure 3: relative CPI error vs full simulation, per method."""
+    ordered = _ordered(runs)
+    return FigureData(
+        figure="figure3",
+        title="CPI error (avg across 4 binaries)",
+        unit="relative error",
+        benchmarks=tuple(run.name for run in ordered),
+        series={
+            "FLI": tuple(run.average_cpi_error("fli") for run in ordered),
+            "VLI": tuple(run.average_cpi_error("vli") for run in ordered),
+        },
+    )
+
+
+def pair_speedup_error(
+    run: BenchmarkRun, method: str, baseline: str, improved: str
+) -> SpeedupComparison:
+    """Speedup comparison for one binary pair under one method."""
+    outcome_a = run.outcome(baseline)
+    outcome_b = run.outcome(improved)
+    if method == "fli":
+        return speedup_comparison(
+            outcome_a.fli_estimate, outcome_b.fli_estimate
+        )
+    if method == "vli":
+        return speedup_comparison(
+            outcome_a.vli_estimate, outcome_b.vli_estimate
+        )
+    raise SimulationError(f"unknown method {method!r}")
+
+
+def _speedup_figure(
+    runs: Mapping[str, BenchmarkRun],
+    figure: str,
+    title: str,
+    pairs: Sequence[Tuple[str, str]],
+) -> FigureData:
+    ordered = _ordered(runs)
+    series: Dict[str, Tuple[float, ...]] = {}
+    for baseline, improved in pairs:
+        for method in ("fli", "vli"):
+            key = f"{method}_{baseline}{improved}"
+            series[key] = tuple(
+                pair_speedup_error(run, method, baseline, improved).error
+                for run in ordered
+            )
+    return FigureData(
+        figure=figure,
+        title=title,
+        unit="relative speedup error",
+        benchmarks=tuple(run.name for run in ordered),
+        series=series,
+    )
+
+
+def figure4_speedup_error_same_platform(
+    runs: Mapping[str, BenchmarkRun],
+) -> FigureData:
+    """Figure 4: speedup error across optimization levels, same platform.
+
+    Pairs: 32-bit unoptimized -> 32-bit optimized, and 64-bit
+    unoptimized -> 64-bit optimized.
+    """
+    return _speedup_figure(
+        runs,
+        "figure4",
+        "Speedup error, same platform (32u->32o, 64u->64o)",
+        pairs=(("32u", "32o"), ("64u", "64o")),
+    )
+
+
+def figure5_speedup_error_cross_platform(
+    runs: Mapping[str, BenchmarkRun],
+) -> FigureData:
+    """Figure 5: speedup error across platforms, same optimization level.
+
+    Pairs: 32-bit unoptimized -> 64-bit unoptimized, and 32-bit
+    optimized -> 64-bit optimized.
+    """
+    return _speedup_figure(
+        runs,
+        "figure5",
+        "Speedup error, cross platform (32u->64u, 32o->64o)",
+        pairs=(("32u", "64u"), ("32o", "64o")),
+    )

@@ -1,0 +1,269 @@
+"""Per-benchmark experiment orchestration.
+
+For one benchmark, :func:`run_benchmark`:
+
+1. builds the program and compiles the paper's four binaries
+   (32u/32o/64u/64o);
+2. runs the cross-binary pipeline (profiles, matching, primary-binary
+   VLIs, SimPoint, mapping, per-binary weights);
+3. runs per-binary FLI SimPoint on each binary;
+4. runs **one detailed CMP$im simulation per binary** with both
+   interval trackers attached, yielding the whole-run "true" statistics
+   plus per-interval CPIs for both interval structures (equivalent to
+   warm-fast-forward region simulation of every interval);
+5. derives both methods' whole-program estimates per binary.
+
+Results are cached in-process keyed by (benchmark, config), since every
+figure and table consumes the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.estimate import MethodEstimate, estimate_from_points
+from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+from repro.cmpsim.simulator import (
+    CMPSim,
+    FLITracker,
+    IntervalStats,
+    SimulationStats,
+    VLITracker,
+)
+from repro.compilation.binary import Binary
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS, Target
+from repro.core.pipeline import (
+    CrossBinaryConfig,
+    CrossBinaryResult,
+    run_cross_binary_simpoint,
+)
+from repro.errors import SimulationError
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.intervals import Interval
+from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.programs.suite import build_benchmark
+from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the whole reproduction (defaults match DESIGN.md)."""
+
+    interval_size: int = 100_000
+    simpoint: SimPointConfig = field(default_factory=SimPointConfig)
+    memory: MemoryConfig = TABLE1_CONFIG
+    program_input: ProgramInput = REF_INPUT
+    targets: Tuple[Target, ...] = STANDARD_TARGETS
+    primary_index: int = 0
+    enable_signature_recovery: bool = True
+
+    def cache_key(self) -> Tuple:
+        return (
+            self.interval_size,
+            self.simpoint,
+            self.memory,
+            self.program_input,
+            self.targets,
+            self.primary_index,
+            self.enable_signature_recovery,
+        )
+
+
+@dataclass(frozen=True)
+class BinaryOutcome:
+    """Everything measured for one binary of one benchmark."""
+
+    target: Target
+    binary_name: str
+    stats: SimulationStats
+    fli_intervals: Tuple[IntervalStats, ...]
+    vli_intervals: Tuple[IntervalStats, ...]
+    fli_simpoint: SimPointResult
+    fli_estimate: MethodEstimate
+    vli_estimate: MethodEstimate
+    vli_weights: Mapping[int, float]
+
+    @property
+    def true_cpi(self) -> float:
+        return self.stats.cpi
+
+    @property
+    def average_vli_interval_size(self) -> float:
+        if not self.vli_intervals:
+            raise SimulationError(f"{self.binary_name}: no VLI intervals")
+        return self.stats.instructions / len(self.vli_intervals)
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """One benchmark's complete experiment output."""
+
+    name: str
+    config: ExperimentConfig
+    cross: CrossBinaryResult
+    outcomes: Mapping[str, BinaryOutcome]  # keyed by target label
+
+    def outcome(self, label: str) -> BinaryOutcome:
+        try:
+            return self.outcomes[label]
+        except KeyError:
+            known = ", ".join(sorted(self.outcomes))
+            raise SimulationError(
+                f"{self.name}: no outcome for target {label!r}; "
+                f"known: {known}"
+            ) from None
+
+    def average_fli_points(self) -> float:
+        return sum(
+            outcome.fli_simpoint.n_points for outcome in self.outcomes.values()
+        ) / len(self.outcomes)
+
+    def vli_points(self) -> int:
+        """VLI point count (one clustering, shared by all binaries)."""
+        return self.cross.simpoint.n_points
+
+    def average_vli_interval_size(self) -> float:
+        return sum(
+            outcome.average_vli_interval_size
+            for outcome in self.outcomes.values()
+        ) / len(self.outcomes)
+
+    def average_cpi_error(self, method: str) -> float:
+        if method not in ("fli", "vli"):
+            raise SimulationError(f"unknown method {method!r}")
+        errors = []
+        for outcome in self.outcomes.values():
+            estimate = (
+                outcome.fli_estimate if method == "fli" else outcome.vli_estimate
+            )
+            errors.append(estimate.cpi_error)
+        return sum(errors) / len(errors)
+
+
+_CACHE: Dict[Tuple, BenchmarkRun] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached benchmark runs (tests use this)."""
+    _CACHE.clear()
+
+
+def _fli_estimate(
+    binary: Binary,
+    intervals: Sequence[Interval],
+    simpoint: SimPointResult,
+    tracker: FLITracker,
+    stats: SimulationStats,
+) -> MethodEstimate:
+    if len(tracker.intervals) != len(intervals):
+        raise SimulationError(
+            f"{binary.name}: FLI profile found {len(intervals)} intervals "
+            f"but detailed simulation tracked {len(tracker.intervals)}"
+        )
+    point_weights = [
+        (point.interval_index, point.weight) for point in simpoint.points
+    ]
+    true = IntervalStats(instructions=stats.instructions, cycles=stats.cycles)
+    return estimate_from_points(
+        binary.name, "fli", point_weights, tracker.intervals, true
+    )
+
+
+def _vli_estimate(
+    binary: Binary,
+    cross: CrossBinaryResult,
+    tracker: VLITracker,
+    stats: SimulationStats,
+) -> MethodEstimate:
+    expected = len(cross.intervals)
+    if len(tracker.intervals) != expected:
+        raise SimulationError(
+            f"{binary.name}: expected {expected} mapped intervals, "
+            f"tracked {len(tracker.intervals)}"
+        )
+    weights = cross.weights_for(binary.name)
+    point_weights = [
+        (point.interval_index, weights.get(point.cluster, 0.0))
+        for point in cross.mapped_points
+    ]
+    true = IntervalStats(instructions=stats.instructions, cycles=stats.cycles)
+    return estimate_from_points(
+        binary.name, "vli", point_weights, tracker.intervals, true
+    )
+
+
+def run_benchmark(
+    name: str, config: Optional[ExperimentConfig] = None
+) -> BenchmarkRun:
+    """Run (or fetch from cache) the full experiment for one benchmark."""
+    config = config or ExperimentConfig()
+    key = (name, config.cache_key())
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    program = build_benchmark(name)
+    binaries = compile_standard_binaries(program, config.targets)
+    ordered = [binaries[target] for target in config.targets]
+
+    cross = run_cross_binary_simpoint(
+        ordered,
+        CrossBinaryConfig(
+            interval_size=config.interval_size,
+            simpoint=config.simpoint,
+            program_input=config.program_input,
+            primary_index=config.primary_index,
+            enable_signature_recovery=config.enable_signature_recovery,
+        ),
+    )
+
+    outcomes: Dict[str, BinaryOutcome] = {}
+    for target in config.targets:
+        binary = binaries[target]
+        fli_profile = collect_fli_bbvs(
+            binary, config.interval_size, config.program_input
+        )
+        fli_simpoint = run_simpoint(fli_profile, config.simpoint)
+
+        fli_tracker = FLITracker(config.interval_size)
+        vli_tracker = VLITracker(
+            cross.marker_set.table_for(binary.name), cross.boundaries
+        )
+        sim = CMPSim(binary, config.memory, config.program_input)
+        stats = sim.run_full(trackers=(fli_tracker, vli_tracker)).stats
+
+        outcomes[target.label] = BinaryOutcome(
+            target=target,
+            binary_name=binary.name,
+            stats=stats,
+            fli_intervals=tuple(fli_tracker.intervals),
+            vli_intervals=tuple(vli_tracker.intervals),
+            fli_simpoint=fli_simpoint,
+            fli_estimate=_fli_estimate(
+                binary, fli_profile, fli_simpoint, fli_tracker, stats
+            ),
+            vli_estimate=_vli_estimate(binary, cross, vli_tracker, stats),
+            vli_weights=cross.weights_for(binary.name),
+        )
+
+    run = BenchmarkRun(
+        name=name, config=config, cross=cross, outcomes=outcomes
+    )
+    _CACHE[key] = run
+    return run
+
+
+def run_suite(
+    names: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    progress: bool = False,
+) -> Dict[str, BenchmarkRun]:
+    """Run the experiment for several benchmarks."""
+    runs: Dict[str, BenchmarkRun] = {}
+    for name in names:
+        if progress:
+            print(f"[repro] running {name} ...", flush=True)
+        runs[name] = run_benchmark(name, config)
+    return runs

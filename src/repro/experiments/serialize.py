@@ -1,0 +1,113 @@
+"""JSON serialization of experiment results.
+
+Turns harness outputs into plain dictionaries (and JSON files) so
+results can be archived, diffed across runs, or consumed by external
+plotting tools. Only summaries are serialized — per-interval raw data
+stays in memory (it is cheap to regenerate deterministically).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.experiments.design_space import DesignSpaceResult
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import BenchmarkRun
+
+PathLike = Union[str, Path]
+
+
+def figure_to_dict(figure: FigureData) -> Dict[str, Any]:
+    """A figure's series as a plain dictionary."""
+    return {
+        "figure": figure.figure,
+        "title": figure.title,
+        "unit": figure.unit,
+        "benchmarks": list(figure.benchmarks),
+        "series": {
+            name: list(values) for name, values in figure.series.items()
+        },
+        "averages": {
+            name: figure.average(name) for name in figure.series
+        },
+    }
+
+
+def benchmark_run_to_dict(run: BenchmarkRun) -> Dict[str, Any]:
+    """One benchmark run's summary as a plain dictionary."""
+    match = run.cross.match_report
+    outcomes = {}
+    for label, outcome in run.outcomes.items():
+        outcomes[label] = {
+            "binary": outcome.binary_name,
+            "instructions": outcome.stats.instructions,
+            "cycles": outcome.stats.cycles,
+            "true_cpi": outcome.true_cpi,
+            "fli": {
+                "n_points": outcome.fli_estimate.n_points,
+                "estimated_cpi": outcome.fli_estimate.estimated_cpi,
+                "cpi_error": outcome.fli_estimate.cpi_error,
+            },
+            "vli": {
+                "n_points": outcome.vli_estimate.n_points,
+                "estimated_cpi": outcome.vli_estimate.estimated_cpi,
+                "cpi_error": outcome.vli_estimate.cpi_error,
+                "weights": {
+                    str(cluster): weight
+                    for cluster, weight in sorted(
+                        outcome.vli_weights.items()
+                    )
+                },
+            },
+        }
+    return {
+        "benchmark": run.name,
+        "interval_size": run.config.interval_size,
+        "primary": run.cross.primary_name,
+        "mappable_points": run.cross.marker_set.n_points,
+        "matching": {
+            "procedures_matched": match.procedures_matched,
+            "loop_entries_matched": match.loop_entries_matched,
+            "loop_branches_matched": match.loop_branches_matched,
+            "recovered_by_signature": match.loops_recovered_by_signature,
+            "dropped_ambiguous": match.loops_dropped_ambiguous,
+        },
+        "n_intervals": len(run.cross.intervals),
+        "k": run.cross.simpoint.k,
+        "outcomes": outcomes,
+    }
+
+
+def design_space_to_dict(result: DesignSpaceResult) -> Dict[str, Any]:
+    """A design-space exploration as a plain dictionary."""
+    return {
+        "program": result.program,
+        "points": [
+            {
+                "binary": point.binary_label,
+                "architecture": point.architecture,
+                "true_cycles": point.true_cycles,
+                "fli_cycles": point.fli_cycles,
+                "vli_cycles": point.vli_cycles,
+            }
+            for point in result.points
+        ],
+        "true_best": list(result.best_pair()),
+        "fli_best": list(result.best_pair("fli")),
+        "vli_best": list(result.best_pair("vli")),
+    }
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> Path:
+    """Write a serialized result to disk; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a serialized result back."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,182 @@
+"""Parameter-sweep utilities.
+
+The ablation studies (interval size, cluster budget, early-point
+tolerance) are useful beyond the benchmark harness — anyone adopting
+the library will want to sweep these knobs on their own workloads.
+This module provides them as first-class functions over the experiment
+runner's cached results.
+
+Design note: sweeps that only change *clustering* parameters (maxK,
+early tolerance) re-cluster the primary profile and re-derive
+estimates from the cached detailed-simulation statistics, so they cost
+milliseconds; sweeps that change the *interval structure* (interval
+size) must re-run the full experiment per setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.estimate import estimate_from_points
+from repro.cmpsim.simulator import IntervalStats
+from repro.core.weights import phase_weights
+from repro.errors import SimulationError
+from repro.experiments.figures import pair_speedup_error
+from repro.experiments.runner import (
+    BenchmarkRun,
+    ExperimentConfig,
+    run_benchmark,
+)
+from repro.simpoint.early import run_early_simpoint
+from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
+
+
+@dataclass(frozen=True)
+class IntervalSizeSweepPoint:
+    """One interval-size setting's outcomes."""
+
+    interval_size: int
+    n_intervals: int
+    k: int
+    fli_cpi_error: float
+    vli_cpi_error: float
+    fli_speedup_error: float
+    vli_speedup_error: float
+
+
+def sweep_interval_sizes(
+    benchmark: str,
+    sizes: Sequence[int],
+    base_config: Optional[ExperimentConfig] = None,
+    speedup_pair: Tuple[str, str] = ("32u", "32o"),
+) -> Dict[int, IntervalSizeSweepPoint]:
+    """Run the full experiment at several interval sizes."""
+    if not sizes:
+        raise SimulationError("no interval sizes given")
+    base_config = base_config or ExperimentConfig()
+    results: Dict[int, IntervalSizeSweepPoint] = {}
+    baseline, improved = speedup_pair
+    for size in sizes:
+        run = run_benchmark(
+            benchmark, replace(base_config, interval_size=size)
+        )
+        fli = pair_speedup_error(run, "fli", baseline, improved)
+        vli = pair_speedup_error(run, "vli", baseline, improved)
+        results[size] = IntervalSizeSweepPoint(
+            interval_size=size,
+            n_intervals=len(run.cross.intervals),
+            k=run.cross.simpoint.k,
+            fli_cpi_error=run.average_cpi_error("fli"),
+            vli_cpi_error=run.average_cpi_error("vli"),
+            fli_speedup_error=fli.error,
+            vli_speedup_error=vli.error,
+        )
+    return results
+
+
+def _reestimate_vli(
+    run: BenchmarkRun, simpoint_result: SimPointResult
+) -> float:
+    """Average VLI CPI error under an alternative clustering, from the
+    run's cached detailed statistics."""
+    errors = []
+    for outcome in run.outcomes.values():
+        counts = [stats.instructions for stats in outcome.vli_intervals]
+        weights = phase_weights(counts, simpoint_result.labels)
+        estimate = estimate_from_points(
+            outcome.binary_name, "vli",
+            [(point.interval_index, weights.get(point.cluster, 0.0))
+             for point in simpoint_result.points],
+            outcome.vli_intervals,
+            IntervalStats(
+                instructions=outcome.stats.instructions,
+                cycles=outcome.stats.cycles,
+            ),
+        )
+        errors.append(estimate.cpi_error)
+    return sum(errors) / len(errors)
+
+
+def _representation_error(
+    run: BenchmarkRun, simpoint_result: SimPointResult
+) -> float:
+    """Instruction-weighted |interval CPI - representative CPI|."""
+    representatives = {
+        point.cluster: point.interval_index
+        for point in simpoint_result.points
+    }
+    total_error = 0.0
+    total_instructions = 0
+    for outcome in run.outcomes.values():
+        intervals = outcome.vli_intervals
+        for label, interval in zip(simpoint_result.labels, intervals):
+            representative_cpi = intervals[representatives[label]].cpi
+            total_error += (
+                abs(interval.cpi - representative_cpi)
+                * interval.instructions
+            )
+            total_instructions += interval.instructions
+    return total_error / total_instructions
+
+
+@dataclass(frozen=True)
+class MaxKSweepPoint:
+    """One cluster-budget setting's outcomes."""
+
+    max_k: int
+    k: int
+    cpi_error: float
+    representation_error: float
+
+
+def sweep_max_k(
+    run: BenchmarkRun, budgets: Sequence[int]
+) -> Dict[int, MaxKSweepPoint]:
+    """Re-cluster a cached run's VLI profile under several budgets."""
+    if not budgets:
+        raise SimulationError("no budgets given")
+    results: Dict[int, MaxKSweepPoint] = {}
+    for budget in budgets:
+        simpoint_result = run_simpoint(
+            list(run.cross.intervals),
+            SimPointConfig(max_k=budget),
+        )
+        results[budget] = MaxKSweepPoint(
+            max_k=budget,
+            k=simpoint_result.k,
+            cpi_error=_reestimate_vli(run, simpoint_result),
+            representation_error=_representation_error(
+                run, simpoint_result
+            ),
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class EarlySweepPoint:
+    """One early-tolerance setting's outcomes."""
+
+    tolerance: float
+    last_point_index: int
+    cpi_error: float
+
+
+def sweep_early_tolerance(
+    run: BenchmarkRun, tolerances: Sequence[float]
+) -> Dict[float, EarlySweepPoint]:
+    """Early-point tolerance sweep over a cached run's VLI profile."""
+    if not tolerances:
+        raise SimulationError("no tolerances given")
+    intervals = list(run.cross.intervals)
+    results: Dict[float, EarlySweepPoint] = {}
+    for tolerance in tolerances:
+        early = run_early_simpoint(
+            intervals, SimPointConfig(), tolerance=tolerance
+        )
+        results[tolerance] = EarlySweepPoint(
+            tolerance=tolerance,
+            last_point_index=early.last_point_index,
+            cpi_error=_reestimate_vli(run, early.result),
+        )
+    return results

@@ -1,0 +1,161 @@
+"""Table regeneration (the paper's Tables 1-3).
+
+Table 1 is the memory-system configuration; Tables 2 and 3 compare the
+largest phases' weights and biases across two binary versions of gcc
+(32u vs 64u) and apsi (32o vs 64o) for both methods — the paper's
+evidence that per-binary FLI biases swing between binaries while
+mappable VLI biases stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.analysis.phases import PhaseRow, phase_table
+from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+from repro.experiments.runner import (
+    BenchmarkRun,
+    ExperimentConfig,
+    run_benchmark,
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the memory-system configuration table."""
+
+    level: str
+    capacity: str
+    associativity: str
+    line_size: str
+    hit_latency: str
+    policy: str
+
+
+def table1_configuration(
+    config: MemoryConfig = TABLE1_CONFIG,
+) -> Tuple[Table1Row, ...]:
+    """The paper's Table 1, from the live simulator configuration."""
+    rows = []
+    for level in config.levels:
+        rows.append(
+            Table1Row(
+                level=level.name,
+                capacity=f"{level.capacity // 1024}KB",
+                associativity=f"{level.associativity}-way",
+                line_size=f"{level.line_size} bytes",
+                hit_latency=f"{level.hit_latency} cycles",
+                policy="WriteBack" if level.writeback else "WriteThrough",
+            )
+        )
+    rows.append(
+        Table1Row(
+            level="DRAM",
+            capacity="-",
+            associativity="-",
+            line_size="-",
+            hit_latency=f"{config.dram_latency} cycles",
+            policy="-",
+        )
+    )
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """A Tables-2/3-style phase comparison across two binaries."""
+
+    benchmark: str
+    binary_a: str
+    binary_b: str
+    vli_rows: Mapping[str, Tuple[PhaseRow, ...]]  # keyed by target label
+    fli_rows: Mapping[str, Tuple[PhaseRow, ...]]
+
+    def max_fli_bias_swing(self) -> float:
+        """Largest |bias(A) - bias(B)| over FLI phase ranks."""
+        return _max_swing(self.fli_rows[self.binary_a],
+                          self.fli_rows[self.binary_b])
+
+    def max_vli_bias_swing(self) -> float:
+        """Largest |bias(A) - bias(B)| over matched VLI phases."""
+        rows_a = {row.cluster: row for row in self.vli_rows[self.binary_a]}
+        rows_b = {row.cluster: row for row in self.vli_rows[self.binary_b]}
+        swings = [
+            abs(rows_a[cluster].cpi_error - rows_b[cluster].cpi_error)
+            for cluster in rows_a
+            if cluster in rows_b
+        ]
+        return max(swings) if swings else 0.0
+
+
+def _max_swing(
+    rows_a: Tuple[PhaseRow, ...], rows_b: Tuple[PhaseRow, ...]
+) -> float:
+    swings = [
+        abs(row_a.cpi_error - row_b.cpi_error)
+        for row_a, row_b in zip(rows_a, rows_b)
+    ]
+    return max(swings) if swings else 0.0
+
+
+def phase_comparison(
+    benchmark: str,
+    label_a: str,
+    label_b: str,
+    config: Optional[ExperimentConfig] = None,
+    top: int = 3,
+    run: Optional[BenchmarkRun] = None,
+) -> PhaseComparison:
+    """Build a phase-bias comparison for two binaries of one benchmark."""
+    if run is None:
+        run = run_benchmark(benchmark, config)
+    vli_rows: Dict[str, Tuple[PhaseRow, ...]] = {}
+    fli_rows: Dict[str, Tuple[PhaseRow, ...]] = {}
+    vli_points = {
+        point.cluster: point.interval_index
+        for point in run.cross.mapped_points
+    }
+    for label in (label_a, label_b):
+        outcome = run.outcome(label)
+        vli_rows[label] = phase_table(
+            labels=run.cross.simpoint.labels,
+            interval_stats=outcome.vli_intervals,
+            point_intervals=vli_points,
+            weights=outcome.vli_weights,
+            top=top,
+        )
+        fli_points = {
+            point.cluster: point.interval_index
+            for point in outcome.fli_simpoint.points
+        }
+        fli_rows[label] = phase_table(
+            labels=outcome.fli_simpoint.labels,
+            interval_stats=outcome.fli_intervals,
+            point_intervals=fli_points,
+            weights=None,
+            top=top,
+        )
+    return PhaseComparison(
+        benchmark=benchmark,
+        binary_a=label_a,
+        binary_b=label_b,
+        vli_rows=vli_rows,
+        fli_rows=fli_rows,
+    )
+
+
+def table2_gcc_phases(
+    config: Optional[ExperimentConfig] = None,
+    run: Optional[BenchmarkRun] = None,
+) -> PhaseComparison:
+    """Table 2: gcc, 32-bit unoptimized vs 64-bit unoptimized."""
+    return phase_comparison("gcc", "32u", "64u", config, run=run)
+
+
+def table3_apsi_phases(
+    config: Optional[ExperimentConfig] = None,
+    run: Optional[BenchmarkRun] = None,
+) -> PhaseComparison:
+    """Table 3: apsi, 32-bit optimized vs 64-bit optimized."""
+    return phase_comparison("apsi", "32o", "64o", config, run=run)

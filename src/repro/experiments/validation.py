@@ -1,0 +1,175 @@
+"""Claim-by-claim validation of the reproduction.
+
+Each of the paper's qualitative claims is encoded as a checkable
+predicate over the measured results; :func:`validate_reproduction`
+evaluates them all and reports a verdict per claim — the programmatic
+version of EXPERIMENTS.md, runnable as ``python -m repro validate``.
+
+Claims that need specific benchmarks (applu for Figure 2's outlier,
+gcc/apsi for the tables) are skipped, not failed, when those benchmarks
+are absent from the run set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Tuple
+
+from repro.experiments.figures import (
+    figure1_number_of_simpoints,
+    figure2_interval_sizes,
+    figure3_cpi_error,
+    figure4_speedup_error_same_platform,
+    figure5_speedup_error_cross_platform,
+)
+from repro.experiments.runner import BenchmarkRun
+from repro.experiments.tables import table2_gcc_phases, table3_apsi_phases
+
+
+class Verdict(enum.Enum):
+    PASS = "PASS"
+    FAIL = "FAIL"
+    SKIP = "SKIP"
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One paper claim's verdict."""
+
+    claim: str
+    description: str
+    verdict: Verdict
+    details: str
+
+
+def _check_figure1(runs: Mapping[str, BenchmarkRun]) -> ClaimResult:
+    data = figure1_number_of_simpoints(runs)
+    fli, vli = data.average("FLI"), data.average("VLI")
+    ok = abs(fli - vli) <= 2.0 and fli <= 10 and vli <= 10
+    return ClaimResult(
+        claim="figure1",
+        description="FLI and VLI select a similar number of SimPoints",
+        verdict=Verdict.PASS if ok else Verdict.FAIL,
+        details=f"avg FLI {fli:.2f}, avg VLI {vli:.2f}",
+    )
+
+
+def _check_figure2(runs: Mapping[str, BenchmarkRun]) -> ClaimResult:
+    if "applu" not in runs:
+        return ClaimResult(
+            "figure2", "applu is the VLI interval-size outlier",
+            Verdict.SKIP, "applu not in run set",
+        )
+    data = figure2_interval_sizes(runs)
+    sizes = dict(zip(data.benchmarks, data.series["VLI"]))
+    applu = sizes.pop("applu")
+    others = max(sizes.values()) if sizes else 0.0
+    ok = not sizes or applu >= 1.5 * others
+    return ClaimResult(
+        claim="figure2",
+        description="applu is the VLI interval-size outlier "
+                    "(unmappable inlined solver)",
+        verdict=Verdict.PASS if ok else Verdict.FAIL,
+        details=f"applu {applu:,.0f} vs largest other {others:,.0f}",
+    )
+
+
+def _check_figure3(runs: Mapping[str, BenchmarkRun]) -> ClaimResult:
+    data = figure3_cpi_error(runs)
+    fli, vli = data.average("FLI"), data.average("VLI")
+    ok = fli <= 0.10 and vli <= 0.10
+    return ClaimResult(
+        claim="figure3",
+        description="both methods estimate per-binary CPI accurately",
+        verdict=Verdict.PASS if ok else Verdict.FAIL,
+        details=f"avg CPI error: FLI {fli:.1%}, VLI {vli:.1%}",
+    )
+
+
+def _check_speedups(
+    runs: Mapping[str, BenchmarkRun], figure: str
+) -> ClaimResult:
+    if figure == "figure4":
+        data = figure4_speedup_error_same_platform(runs)
+        pairs = ("32u32o", "64u64o")
+        description = (
+            "VLI speedup error < FLI, same platform (32u->32o, 64u->64o)"
+        )
+    else:
+        data = figure5_speedup_error_cross_platform(runs)
+        pairs = ("32u64u", "32o64o")
+        description = (
+            "VLI speedup error < FLI, cross platform (32u->64u, 32o->64o)"
+        )
+    details = []
+    ok = True
+    for pair in pairs:
+        fli = data.average(f"fli_{pair}")
+        vli = data.average(f"vli_{pair}")
+        ok = ok and vli < fli
+        details.append(f"{pair}: FLI {fli:.1%} vs VLI {vli:.1%}")
+    return ClaimResult(
+        claim=figure,
+        description=description,
+        verdict=Verdict.PASS if ok else Verdict.FAIL,
+        details="; ".join(details),
+    )
+
+
+def _check_table(
+    runs: Mapping[str, BenchmarkRun], claim: str
+) -> ClaimResult:
+    benchmark = "gcc" if claim == "table2" else "apsi"
+    if benchmark not in runs:
+        return ClaimResult(
+            claim, f"{benchmark} phase biases: FLI swings, VLI consistent",
+            Verdict.SKIP, f"{benchmark} not in run set",
+        )
+    if claim == "table2":
+        comparison = table2_gcc_phases(run=runs["gcc"])
+    else:
+        comparison = table3_apsi_phases(run=runs["apsi"])
+    fli_swing = comparison.max_fli_bias_swing()
+    vli_swing = comparison.max_vli_bias_swing()
+    ok = vli_swing < fli_swing
+    return ClaimResult(
+        claim=claim,
+        description=f"{benchmark} phase biases: FLI swings across "
+                    f"binaries, VLI stays consistent",
+        verdict=Verdict.PASS if ok else Verdict.FAIL,
+        details=f"max bias swing: FLI {fli_swing:.1%}, VLI {vli_swing:.1%}",
+    )
+
+
+def validate_reproduction(
+    runs: Mapping[str, BenchmarkRun],
+) -> Tuple[ClaimResult, ...]:
+    """Evaluate every encoded paper claim over the given runs."""
+    return (
+        _check_figure1(runs),
+        _check_figure2(runs),
+        _check_figure3(runs),
+        _check_speedups(runs, "figure4"),
+        _check_speedups(runs, "figure5"),
+        _check_table(runs, "table2"),
+        _check_table(runs, "table3"),
+    )
+
+
+def render_validation(results: Tuple[ClaimResult, ...]) -> str:
+    """Human-readable validation report."""
+    lines = ["reproduction validation", "=" * 23]
+    for result in results:
+        lines.append(
+            f"[{result.verdict.value}] {result.claim}: "
+            f"{result.description}"
+        )
+        lines.append(f"       {result.details}")
+    failed = sum(1 for r in results if r.verdict is Verdict.FAIL)
+    passed = sum(1 for r in results if r.verdict is Verdict.PASS)
+    skipped = sum(1 for r in results if r.verdict is Verdict.SKIP)
+    lines.append(
+        f"\n{passed} passed, {failed} failed, {skipped} skipped"
+    )
+    return "\n".join(lines)

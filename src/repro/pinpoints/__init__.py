@@ -1,0 +1,42 @@
+"""PinPoints-style tool chain and file formats.
+
+The paper drives CMP$im with "PinPoints files": the output of running
+a BBV profiler and SimPoint 3.0 over a binary. This package provides
+the same artifacts:
+
+* :mod:`repro.pinpoints.files` — read/write the classic ``.simpoints``
+  and ``.weights`` text formats, plus a region file carrying
+  cross-binary ``(marker, count)`` coordinates;
+* :mod:`repro.pinpoints.toolchain` — one-call generation of the files
+  for a binary (per-binary FLI flavour) or for a binary set
+  (cross-binary VLI flavour).
+"""
+
+from repro.pinpoints.files import (
+    read_regions,
+    read_simpoints,
+    read_weights,
+    write_regions,
+    write_simpoints,
+    write_weights,
+)
+from repro.pinpoints.markers_io import read_marker_set, write_marker_set
+from repro.pinpoints.toolchain import (
+    PinPointsPackage,
+    generate_cross_binary_pinpoints,
+    generate_pinpoints,
+)
+
+__all__ = [
+    "read_regions",
+    "read_simpoints",
+    "read_weights",
+    "write_regions",
+    "write_simpoints",
+    "write_weights",
+    "read_marker_set",
+    "write_marker_set",
+    "PinPointsPackage",
+    "generate_cross_binary_pinpoints",
+    "generate_pinpoints",
+]

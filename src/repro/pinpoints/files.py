@@ -1,0 +1,157 @@
+"""PinPoints/SimPoint file formats.
+
+``.simpoints`` and ``.weights`` follow the classic SimPoint 3.0 layout:
+one line per simulation point, ``<value> <cluster id>``, where the
+value is the interval index (simpoints) or the phase weight (weights).
+
+The regions format is this library's cross-binary extension: each line
+carries a simulation point's cluster, interval index, and start/end
+execution coordinates (``-`` for program start/exit), so the same file
+drives region simulation of *any* binary in the matched set:
+
+    # repro cross-binary regions v1
+    region <cluster> <interval> <start_marker> <start_count> \
+<end_marker> <end_count> <weight>
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.mapping import MappedSimulationPoint
+from repro.core.markers import ExecutionCoordinate
+from repro.errors import FileFormatError
+from repro.simpoint.simpoint import SimPointResult, SimulationPoint
+
+_REGIONS_HEADER = "# repro cross-binary regions v1"
+
+PathLike = Union[str, Path]
+
+
+def write_simpoints(path: PathLike, result: SimPointResult) -> None:
+    """Write a ``.simpoints`` file (interval index + cluster per line)."""
+    lines = [
+        f"{point.interval_index} {point.cluster}" for point in result.points
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_simpoints(path: PathLike) -> List[Tuple[int, int]]:
+    """Read a ``.simpoints`` file as ``(interval index, cluster)`` pairs."""
+    pairs = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise FileFormatError(
+                f"{path}:{lineno}: expected 'interval cluster', got {line!r}"
+            )
+        try:
+            pairs.append((int(parts[0]), int(parts[1])))
+        except ValueError as exc:
+            raise FileFormatError(f"{path}:{lineno}: {exc}") from None
+    return pairs
+
+
+def write_weights(path: PathLike, result: SimPointResult) -> None:
+    """Write a ``.weights`` file (weight + cluster per line)."""
+    lines = [
+        f"{point.weight:.10f} {point.cluster}" for point in result.points
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_weights(path: PathLike) -> List[Tuple[float, int]]:
+    """Read a ``.weights`` file as ``(weight, cluster)`` pairs."""
+    pairs = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise FileFormatError(
+                f"{path}:{lineno}: expected 'weight cluster', got {line!r}"
+            )
+        try:
+            weight = float(parts[0])
+            cluster = int(parts[1])
+        except ValueError as exc:
+            raise FileFormatError(f"{path}:{lineno}: {exc}") from None
+        if not 0.0 <= weight <= 1.0:
+            raise FileFormatError(
+                f"{path}:{lineno}: weight {weight} outside [0, 1]"
+            )
+        pairs.append((weight, cluster))
+    return pairs
+
+
+def _coord_str(coord: Optional[ExecutionCoordinate]) -> str:
+    if coord is None:
+        return "- -"
+    return f"{coord[0]} {coord[1]}"
+
+
+def _parse_coord(
+    marker: str, count: str, context: str
+) -> Optional[ExecutionCoordinate]:
+    if marker == "-" and count == "-":
+        return None
+    try:
+        return (int(marker), int(count))
+    except ValueError:
+        raise FileFormatError(
+            f"{context}: bad coordinate {marker!r} {count!r}"
+        ) from None
+
+
+def write_regions(
+    path: PathLike,
+    points: Sequence[MappedSimulationPoint],
+) -> None:
+    """Write cross-binary simulation regions with primary weights."""
+    lines = [_REGIONS_HEADER]
+    for point in points:
+        lines.append(
+            f"region {point.cluster} {point.interval_index} "
+            f"{_coord_str(point.start)} {_coord_str(point.end)} "
+            f"{point.primary_weight!r}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_regions(path: PathLike) -> List[MappedSimulationPoint]:
+    """Read a regions file back into mapped simulation points."""
+    points = []
+    text = Path(path).read_text().splitlines()
+    if not text or text[0].strip() != _REGIONS_HEADER:
+        raise FileFormatError(f"{path}: missing regions header")
+    for lineno, line in enumerate(text[1:], 2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 8 or parts[0] != "region":
+            raise FileFormatError(
+                f"{path}:{lineno}: expected 8-field region line, got {line!r}"
+            )
+        context = f"{path}:{lineno}"
+        try:
+            cluster = int(parts[1])
+            interval_index = int(parts[2])
+            weight = float(parts[7])
+        except ValueError as exc:
+            raise FileFormatError(f"{context}: {exc}") from None
+        points.append(
+            MappedSimulationPoint(
+                cluster=cluster,
+                interval_index=interval_index,
+                start=_parse_coord(parts[3], parts[4], context),
+                end=_parse_coord(parts[5], parts[6], context),
+                primary_weight=weight,
+            )
+        )
+    return points

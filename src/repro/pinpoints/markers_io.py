@@ -1,0 +1,116 @@
+"""Marker-set serialization.
+
+Matching mappable points requires profiling every binary; in a real
+workflow that is done once and the marker set is archived alongside the
+binaries so later simulation campaigns (new architectures, new region
+choices) can reuse it. This module provides that artifact:
+
+    # repro marker set v1
+    binaries <name> <name> ...
+    point <marker id> <kind> <total count> <key as JSON>
+    anchor <binary index> <marker id> <block id>
+
+Keys are JSON-encoded (they are heterogeneous tuples); binary names
+are indexed by the header line so anchors stay compact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.markers import (
+    MappablePoint,
+    MarkerKind,
+    MarkerSet,
+    MarkerTable,
+)
+from repro.errors import FileFormatError
+
+_HEADER = "# repro marker set v1"
+
+PathLike = Union[str, Path]
+
+
+def write_marker_set(path: PathLike, marker_set: MarkerSet) -> None:
+    """Write a marker set (points + per-binary anchors) to disk."""
+    names = sorted(marker_set.tables)
+    lines = [_HEADER, "binaries " + " ".join(names)]
+    for point in marker_set.points:
+        key_json = json.dumps(list(point.key), separators=(",", ":"))
+        lines.append(
+            f"point {point.marker_id} {point.kind.value} "
+            f"{point.total_count} {key_json}"
+        )
+    for index, name in enumerate(names):
+        table = marker_set.tables[name]
+        for marker_id, block_id in sorted(table.anchor_blocks.items()):
+            lines.append(f"anchor {index} {marker_id} {block_id}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_marker_set(path: PathLike) -> MarkerSet:
+    """Read a marker set back; validates structure on the way."""
+    lines = Path(path).read_text().splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise FileFormatError(f"{path}: missing marker-set header")
+    names: List[str] = []
+    points: List[MappablePoint] = []
+    anchors: Dict[str, Dict[int, int]] = {}
+    for lineno, line in enumerate(lines[1:], 2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        context = f"{path}:{lineno}"
+        if parts[0] == "binaries":
+            if names:
+                raise FileFormatError(f"{context}: duplicate binaries line")
+            names = parts[1].split() if len(parts) > 1 else []
+            anchors = {name: {} for name in names}
+        elif parts[0] == "point":
+            fields = line.split(None, 4)
+            if len(fields) != 5:
+                raise FileFormatError(f"{context}: malformed point line")
+            try:
+                marker_id = int(fields[1])
+                kind = MarkerKind(fields[2])
+                total_count = int(fields[3])
+                key = tuple(json.loads(fields[4]))
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise FileFormatError(f"{context}: {exc}") from None
+            points.append(
+                MappablePoint(
+                    marker_id=marker_id,
+                    kind=kind,
+                    key=key,
+                    total_count=total_count,
+                )
+            )
+        elif parts[0] == "anchor":
+            fields = line.split()
+            if len(fields) != 4:
+                raise FileFormatError(f"{context}: malformed anchor line")
+            try:
+                binary_index = int(fields[1])
+                marker_id = int(fields[2])
+                block_id = int(fields[3])
+            except ValueError as exc:
+                raise FileFormatError(f"{context}: {exc}") from None
+            if not 0 <= binary_index < len(names):
+                raise FileFormatError(
+                    f"{context}: binary index {binary_index} out of range"
+                )
+            anchors[names[binary_index]][marker_id] = block_id
+        else:
+            raise FileFormatError(
+                f"{context}: unknown record {parts[0]!r}"
+            )
+    if not names:
+        raise FileFormatError(f"{path}: no binaries line")
+    tables = {
+        name: MarkerTable(binary_name=name, anchor_blocks=mapping)
+        for name, mapping in anchors.items()
+    }
+    return MarkerSet(points=tuple(points), tables=tables)

@@ -1,0 +1,94 @@
+"""One-call PinPoints generation.
+
+:func:`generate_pinpoints` reproduces the paper's per-binary tool
+chain: profile a binary into fixed-length-interval BBVs, run SimPoint
+3.0, and (optionally) write the ``.simpoints``/``.weights`` files.
+
+:func:`generate_cross_binary_pinpoints` is the cross-binary flavour: it
+runs the full mappable pipeline over a binary set and writes a regions
+file whose coordinates drive region simulation of *any* of the
+binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.compilation.binary import Binary
+from repro.core.pipeline import (
+    CrossBinaryConfig,
+    CrossBinaryResult,
+    run_cross_binary_simpoint,
+)
+from repro.pinpoints.files import write_regions, write_simpoints, write_weights
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.intervals import Interval
+from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class PinPointsPackage:
+    """Everything the per-binary tool chain produced."""
+
+    binary_name: str
+    intervals: Tuple[Interval, ...]
+    simpoint: SimPointResult
+    simpoints_path: Optional[Path] = None
+    weights_path: Optional[Path] = None
+
+
+def generate_pinpoints(
+    binary: Binary,
+    interval_size: int = 100_000,
+    config: Optional[SimPointConfig] = None,
+    program_input: ProgramInput = REF_INPUT,
+    output_dir: Optional[PathLike] = None,
+) -> PinPointsPackage:
+    """Profile one binary and pick its simulation points (FLI flavour).
+
+    When ``output_dir`` is given, ``<name>.simpoints`` and
+    ``<name>.weights`` are written there.
+    """
+    intervals = collect_fli_bbvs(binary, interval_size, program_input)
+    result = run_simpoint(intervals, config or SimPointConfig())
+    simpoints_path: Optional[Path] = None
+    weights_path: Optional[Path] = None
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = binary.name.replace("/", "_")
+        simpoints_path = directory / f"{stem}.simpoints"
+        weights_path = directory / f"{stem}.weights"
+        write_simpoints(simpoints_path, result)
+        write_weights(weights_path, result)
+    return PinPointsPackage(
+        binary_name=binary.name,
+        intervals=tuple(intervals),
+        simpoint=result,
+        simpoints_path=simpoints_path,
+        weights_path=weights_path,
+    )
+
+
+def generate_cross_binary_pinpoints(
+    binaries: Sequence[Binary],
+    config: Optional[CrossBinaryConfig] = None,
+    output_dir: Optional[PathLike] = None,
+) -> Tuple[CrossBinaryResult, Optional[Path]]:
+    """Run the cross-binary pipeline; optionally write the regions file."""
+    result = run_cross_binary_simpoint(
+        list(binaries), config or CrossBinaryConfig()
+    )
+    regions_path: Optional[Path] = None
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        program = binaries[0].program_name
+        regions_path = directory / f"{program}.regions"
+        write_regions(regions_path, result.mapped_points)
+    return result, regions_path

@@ -1,0 +1,47 @@
+"""Interval records.
+
+An :class:`Interval` is one contiguous slice of a program's execution,
+represented (per the paper's Section 2.2) by a basic block vector: for
+each static basic block, the number of times it was entered during the
+interval multiplied by the block's instruction count. Fixed-length
+intervals carry only their index and size; variable-length intervals
+additionally carry their start/end execution coordinates (set by
+:mod:`repro.core.vli`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProfilingError
+
+
+@dataclass
+class Interval:
+    """One execution interval and its basic block vector.
+
+    ``bbv`` maps block id to *instructions attributed* (entry count x
+    block size, the paper's weighting). ``start_coord``/``end_coord``
+    are ``(marker id, execution count)`` pairs for VLI intervals; they
+    are ``None`` for fixed-length intervals, whose boundaries are plain
+    dynamic instruction counts. ``end_coord`` is ``None`` for the final
+    interval of a VLI run (it ends at program exit).
+    """
+
+    index: int
+    instructions: int
+    bbv: Dict[int, float] = field(default_factory=dict)
+    start_coord: Optional[Tuple[int, int]] = None
+    end_coord: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ProfilingError(
+                f"interval {self.index}: instructions must be positive, "
+                f"got {self.instructions}"
+            )
+
+    def bbv_total(self) -> float:
+        """Total attributed instructions (should track ``instructions``)."""
+        return sum(self.bbv.values())

@@ -1,0 +1,42 @@
+"""Synthetic SPEC2000-like program substrate.
+
+The paper evaluates Cross Binary SimPoint on SPEC CPU2000 binaries, which
+are not available offline. This package provides the substitution documented
+in DESIGN.md: a source-level intermediate representation
+(:mod:`repro.programs.ir`) and a suite of 21 structured, seeded programs
+(:mod:`repro.programs.suite`) named after the paper's benchmarks. Each
+program has procedures, nested loops, and compute kernels with explicit
+memory behaviours (:mod:`repro.programs.behaviors`), giving the compiler,
+profilers, and simulator exactly the structure the paper's techniques
+operate on.
+"""
+
+from repro.programs.behaviors import AccessKind, MemoryBehavior
+from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.programs.ir import (
+    Call,
+    Compute,
+    Loop,
+    Procedure,
+    Program,
+    SourceLocation,
+    Statement,
+)
+from repro.programs.suite import benchmark_names, build_benchmark, build_suite
+
+__all__ = [
+    "AccessKind",
+    "MemoryBehavior",
+    "ProgramInput",
+    "REF_INPUT",
+    "Call",
+    "Compute",
+    "Loop",
+    "Procedure",
+    "Program",
+    "SourceLocation",
+    "Statement",
+    "benchmark_names",
+    "build_benchmark",
+    "build_suite",
+]

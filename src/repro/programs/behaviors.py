@@ -1,0 +1,162 @@
+"""Memory behaviour archetypes for compute kernels.
+
+Each :class:`~repro.programs.ir.Compute` statement carries a
+:class:`MemoryBehavior` describing the address stream it generates per
+execution. The CMP$im-style simulator turns these into concrete cache
+accesses (:mod:`repro.cmpsim.memory`), and the compiler scales footprints
+with the target's pointer width (:mod:`repro.compilation.lowering`).
+
+The archetypes mirror the behaviour classes that dominate SPEC CPU2000:
+
+* ``STREAM`` — unit/fixed-stride sweeps over arrays (swim, applu, ...)
+* ``BLOCKED`` — tiled reuse within a block that fits a cache level
+  (sixtrack, mesa inner kernels)
+* ``RANDOM`` — uniformly distributed references over a footprint
+  (gcc hash tables, vortex object store)
+* ``POINTER_CHASE`` — dependent pointer walks (mcf, twolf netlists);
+  footprint scales strongly with pointer width
+* ``STACK`` — small, hot, reused region (always near-100% L1 hits);
+  unoptimized code adds a lot of this traffic
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+
+class AccessKind(enum.Enum):
+    """The shape of a kernel's address stream."""
+
+    STREAM = "stream"
+    BLOCKED = "blocked"
+    RANDOM = "random"
+    POINTER_CHASE = "pointer_chase"
+    STACK = "stack"
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Per-execution memory behaviour of a compute kernel.
+
+    Parameters
+    ----------
+    kind:
+        Address stream shape; see :class:`AccessKind`.
+    footprint:
+        Bytes of the data region the kernel touches, at the 32-bit
+        baseline. The compiler scales the pointer-dependent fraction
+        when targeting a 64-bit ISA.
+    refs_per_exec:
+        Number of memory references issued each time the kernel's basic
+        block executes.
+    stride:
+        Byte stride between consecutive references for ``STREAM`` and
+        ``BLOCKED`` kinds. Ignored for the other kinds.
+    pointer_fraction:
+        Fraction of ``footprint`` made of pointers, which doubles in size
+        on a 64-bit target (the paper's IA32 vs Intel64 scenario).
+    read_fraction:
+        Fraction of references that are reads; the remainder are writes
+        (relevant for write-back dirty evictions).
+    """
+
+    kind: AccessKind
+    footprint: int
+    refs_per_exec: int
+    stride: int = 64
+    pointer_fraction: float = 0.0
+    read_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.footprint <= 0:
+            raise ProgramError(f"footprint must be positive, got {self.footprint}")
+        if self.refs_per_exec < 0:
+            raise ProgramError(
+                f"refs_per_exec must be non-negative, got {self.refs_per_exec}"
+            )
+        if self.stride <= 0:
+            raise ProgramError(f"stride must be positive, got {self.stride}")
+        if not 0.0 <= self.pointer_fraction <= 1.0:
+            raise ProgramError(
+                f"pointer_fraction must be in [0, 1], got {self.pointer_fraction}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ProgramError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+
+    def scaled_footprint(self, pointer_bytes: int) -> int:
+        """Footprint in bytes when compiled for ``pointer_bytes``-wide pointers.
+
+        The 32-bit baseline uses 4-byte pointers; the pointer-dependent
+        fraction of the footprint grows proportionally with pointer width.
+        """
+        if pointer_bytes <= 0:
+            raise ProgramError(f"pointer_bytes must be positive, got {pointer_bytes}")
+        growth = self.pointer_fraction * (pointer_bytes / 4.0 - 1.0)
+        return max(1, int(round(self.footprint * (1.0 + growth))))
+
+
+def streaming(footprint: int, refs_per_exec: int = 4, stride: int = 64) -> MemoryBehavior:
+    """A fixed-stride array sweep (classic FP loop nest behaviour)."""
+    return MemoryBehavior(
+        kind=AccessKind.STREAM,
+        footprint=footprint,
+        refs_per_exec=refs_per_exec,
+        stride=stride,
+        pointer_fraction=0.0,
+        read_fraction=0.75,
+    )
+
+
+def blocked(
+    footprint: int, refs_per_exec: int = 4, stride: int = 16
+) -> MemoryBehavior:
+    """Tiled reuse: references stay within a block-sized window."""
+    return MemoryBehavior(
+        kind=AccessKind.BLOCKED,
+        footprint=footprint,
+        refs_per_exec=refs_per_exec,
+        stride=stride,
+        pointer_fraction=0.0,
+        read_fraction=0.8,
+    )
+
+
+def random_access(
+    footprint: int, refs_per_exec: int = 3, pointer_fraction: float = 0.3
+) -> MemoryBehavior:
+    """Uniformly distributed references (hash tables, symbol tables)."""
+    return MemoryBehavior(
+        kind=AccessKind.RANDOM,
+        footprint=footprint,
+        refs_per_exec=refs_per_exec,
+        pointer_fraction=pointer_fraction,
+        read_fraction=0.85,
+    )
+
+
+def pointer_chasing(footprint: int, refs_per_exec: int = 3) -> MemoryBehavior:
+    """Dependent pointer walks; footprint is dominated by pointers."""
+    return MemoryBehavior(
+        kind=AccessKind.POINTER_CHASE,
+        footprint=footprint,
+        refs_per_exec=refs_per_exec,
+        pointer_fraction=0.9,
+        read_fraction=0.95,
+    )
+
+
+def stack_local(refs_per_exec: int = 2) -> MemoryBehavior:
+    """Hot stack traffic: a tiny region that lives in the L1."""
+    return MemoryBehavior(
+        kind=AccessKind.STACK,
+        footprint=4096,
+        refs_per_exec=refs_per_exec,
+        stride=8,
+        pointer_fraction=0.0,
+        read_fraction=0.6,
+    )

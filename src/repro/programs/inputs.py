@@ -1,0 +1,46 @@
+"""Program inputs.
+
+The paper runs every benchmark with its SPEC *reference* input. Our
+synthetic programs take a :class:`ProgramInput` whose ``scale`` multiplies
+the trip counts of input-scaled loops, so the same program can be run at
+"test"-sized or "ref"-sized lengths. All resolution is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class ProgramInput:
+    """A named input that scales the input-dependent loop trip counts."""
+
+    name: str
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ProgramError(f"input scale must be positive, got {self.scale}")
+
+    def resolve_trips(self, base_trips: int, input_scaled: bool) -> int:
+        """Resolve a loop's trip count under this input.
+
+        Input-scaled loops multiply their base trip count by the input
+        scale; other loops are input-independent. Trip counts are always
+        at least 1 (a loop that is entered iterates at least once in our
+        IR; zero-trip loops are modelled by not entering the loop).
+        """
+        if base_trips < 1:
+            raise ProgramError(f"base trip count must be >= 1, got {base_trips}")
+        if not input_scaled:
+            return base_trips
+        return max(1, int(round(base_trips * self.scale)))
+
+
+#: The paper's reference input at our default scale.
+REF_INPUT = ProgramInput(name="ref", scale=1.0)
+
+#: A small input for fast tests.
+TEST_INPUT = ProgramInput(name="test", scale=0.25)

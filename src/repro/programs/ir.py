@@ -1,0 +1,354 @@
+"""Source-level intermediate representation of a benchmark program.
+
+A :class:`Program` is a set of :class:`Procedure` definitions with a
+designated entry procedure. Procedure bodies are trees of statements:
+
+* :class:`Compute` — a straight-line kernel: a fixed number of
+  instructions per execution plus a memory behaviour;
+* :class:`Loop` — a counted loop with a statement body; trip counts may
+  scale with the program input;
+* :class:`Call` — a call to another procedure.
+
+The IR is the "source code" of the study: the compiler lowers it to one
+:class:`~repro.compilation.binary.Binary` per target, and every source
+construct carries a :class:`SourceLocation` so that debug-line matching
+(the paper's Section 3.2.2) has real line numbers to work with.
+
+Programs are immutable. :func:`finalize_program` assigns source locations
+(a deterministic line numbering over a virtual source file), resolves
+kernel data-stream identities, and validates the call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.programs.behaviors import MemoryBehavior
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in the program's (virtual) source file."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for IR statements. Use the concrete subclasses.
+
+    ``origin_procedure`` is set by the optimizer on statements that were
+    inlined from another procedure. It is ground truth for tests; the
+    cross-binary matcher never sees it (inlining clobbers the debug
+    locations instead, as with real compilers).
+    """
+
+    name: str
+    location: Optional[SourceLocation] = field(default=None, kw_only=True)
+    origin_procedure: Optional[str] = field(default=None, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Compute(Statement):
+    """A straight-line compute kernel.
+
+    ``instructions`` is the kernel's source-level work per execution; the
+    compiler scales it per target (unoptimized code executes more
+    instructions for the same source work). ``stream`` optionally names
+    the data region the kernel touches so multiple kernels can share
+    data; unnamed kernels get a private region. ``stream_id`` is resolved
+    by :func:`finalize_program`.
+    """
+
+    instructions: int = 100
+    behavior: Optional[MemoryBehavior] = None
+    stream: Optional[str] = None
+    stream_id: Optional[int] = field(default=None, kw_only=True)
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ProgramError(
+                f"compute {self.name!r}: instructions must be positive, "
+                f"got {self.instructions}"
+            )
+
+
+@dataclass(frozen=True)
+class Loop(Statement):
+    """A counted loop over a statement body.
+
+    ``trips`` is the base trip count, resolved against the program input
+    by :meth:`repro.programs.inputs.ProgramInput.resolve_trips` when
+    ``input_scaled`` is true. ``unrollable``/``splittable`` gate which
+    optimizer transformations may touch this loop, letting the suite
+    construct the paper's mappable and unmappable cases deliberately.
+    """
+
+    trips: int = 1
+    body: Tuple[Statement, ...] = ()
+    input_scaled: bool = False
+    unrollable: bool = True
+    splittable: bool = True
+    unroll_factor: int = field(default=1, kw_only=True)
+    split_index: int = field(default=0, kw_only=True)
+
+    def __post_init__(self) -> None:
+        if self.trips < 1:
+            raise ProgramError(
+                f"loop {self.name!r}: trips must be >= 1, got {self.trips}"
+            )
+        if not self.body:
+            raise ProgramError(f"loop {self.name!r}: body must not be empty")
+
+
+@dataclass(frozen=True)
+class Call(Statement):
+    """A call to another procedure by name."""
+
+    callee: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.callee:
+            raise ProgramError(f"call {self.name!r}: callee must be named")
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named procedure with a statement body."""
+
+    name: str
+    body: Tuple[Statement, ...]
+    inlinable: bool = True
+    location: Optional[SourceLocation] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("procedure must be named")
+        if not self.body:
+            raise ProgramError(f"procedure {self.name!r}: body must not be empty")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole program: procedures plus an entry point."""
+
+    name: str
+    procedures: Mapping[str, Procedure]
+    entry: str = "main"
+    source_file: Optional[str] = None
+    finalized: bool = False
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.procedures:
+            raise ProgramError(
+                f"program {self.name!r}: entry {self.entry!r} is not defined"
+            )
+        for key, proc in self.procedures.items():
+            if key != proc.name:
+                raise ProgramError(
+                    f"program {self.name!r}: procedure key {key!r} does not "
+                    f"match procedure name {proc.name!r}"
+                )
+
+    @property
+    def entry_procedure(self) -> Procedure:
+        return self.procedures[self.entry]
+
+
+def iter_statements(body: Tuple[Statement, ...]) -> Iterator[Statement]:
+    """Depth-first, pre-order walk of a statement tree."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from iter_statements(stmt.body)
+
+
+def iter_program_statements(program: Program) -> Iterator[Tuple[str, Statement]]:
+    """Walk every statement of every procedure as ``(proc name, stmt)``."""
+    for proc in program.procedures.values():
+        for stmt in iter_statements(proc.body):
+            yield proc.name, stmt
+
+
+def call_graph(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """Direct-callee adjacency of the program's procedures."""
+    graph: Dict[str, Tuple[str, ...]] = {}
+    for name, proc in program.procedures.items():
+        callees = []
+        for stmt in iter_statements(proc.body):
+            if isinstance(stmt, Call):
+                callees.append(stmt.callee)
+        graph[name] = tuple(callees)
+    return graph
+
+
+def reachable_procedures(program: Program) -> Tuple[str, ...]:
+    """Procedures reachable from the entry, in deterministic DFS order."""
+    graph = call_graph(program)
+    seen = []
+    seen_set = set()
+    stack = [program.entry]
+    while stack:
+        name = stack.pop()
+        if name in seen_set:
+            continue
+        seen.append(name)
+        seen_set.add(name)
+        # Push in reverse so DFS visits callees in call order.
+        for callee in reversed(graph.get(name, ())):
+            if callee not in seen_set:
+                stack.append(callee)
+    return tuple(seen)
+
+
+def _check_calls_resolve(program: Program) -> None:
+    for proc_name, stmt in iter_program_statements(program):
+        if isinstance(stmt, Call) and stmt.callee not in program.procedures:
+            raise ProgramError(
+                f"program {program.name!r}: procedure {proc_name!r} calls "
+                f"undefined procedure {stmt.callee!r}"
+            )
+
+
+def _check_acyclic(program: Program) -> None:
+    graph = call_graph(program)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def visit(name: str, path: Tuple[str, ...]) -> None:
+        color[name] = GRAY
+        for callee in graph[name]:
+            if color[callee] == GRAY:
+                cycle = " -> ".join(path + (name, callee))
+                raise ProgramError(
+                    f"program {program.name!r}: recursive call cycle {cycle}"
+                )
+            if color[callee] == WHITE:
+                visit(callee, path + (name,))
+        color[name] = BLACK
+
+    visit(program.entry, ())
+
+
+class _Finalizer:
+    """Assigns locations and stream ids over a single virtual source file."""
+
+    def __init__(self, source_file: str) -> None:
+        self._file = source_file
+        self._line = 0
+        self._stream_ids: Dict[str, int] = {}
+        self._next_stream = 0
+
+    def _next_line(self) -> SourceLocation:
+        self._line += 1
+        return SourceLocation(file=self._file, line=self._line)
+
+    def _stream_id_for(self, compute: Compute) -> int:
+        if compute.stream is not None:
+            if compute.stream not in self._stream_ids:
+                self._stream_ids[compute.stream] = self._next_stream
+                self._next_stream += 1
+            return self._stream_ids[compute.stream]
+        stream_id = self._next_stream
+        self._next_stream += 1
+        return stream_id
+
+    def finalize_body(self, body: Tuple[Statement, ...]) -> Tuple[Statement, ...]:
+        out = []
+        for stmt in body:
+            location = self._next_line()
+            if isinstance(stmt, Compute):
+                out.append(
+                    replace(
+                        stmt,
+                        location=location,
+                        stream_id=self._stream_id_for(stmt),
+                    )
+                )
+            elif isinstance(stmt, Loop):
+                inner = self.finalize_body(stmt.body)
+                # The closing brace occupies a line of its own, like real
+                # source; this keeps loop header lines unique.
+                self._line += 1
+                out.append(replace(stmt, location=location, body=inner))
+            elif isinstance(stmt, Call):
+                out.append(replace(stmt, location=location))
+            else:  # pragma: no cover - Statement is abstract by convention
+                raise ProgramError(f"unknown statement type {type(stmt).__name__}")
+        return tuple(out)
+
+    def finalize_procedure(self, proc: Procedure) -> Procedure:
+        location = self._next_line()
+        body = self.finalize_body(proc.body)
+        self._line += 1  # closing brace
+        return replace(proc, location=location, body=body)
+
+
+def finalize_program(program: Program) -> Program:
+    """Validate a program and assign locations and stream identities.
+
+    Returns a new :class:`Program` in which every statement carries a
+    distinct :class:`SourceLocation` over a single virtual source file,
+    and every :class:`Compute` has a resolved ``stream_id``. Validation
+    rejects undefined callees and recursion.
+    """
+    if program.finalized:
+        return program
+    _check_calls_resolve(program)
+    _check_acyclic(program)
+    source_file = program.source_file or f"{program.name}.c"
+    finalizer = _Finalizer(source_file)
+    procedures: Dict[str, Procedure] = {}
+    for name, proc in program.procedures.items():
+        procedures[name] = finalizer.finalize_procedure(proc)
+    return replace(
+        program,
+        procedures=procedures,
+        source_file=source_file,
+        finalized=True,
+    )
+
+
+@dataclass(frozen=True)
+class StaticStatistics:
+    """Static counts over a program's IR."""
+
+    procedures: int
+    loops: int
+    computes: int
+    calls: int
+    max_loop_depth: int
+
+
+def static_statistics(program: Program) -> StaticStatistics:
+    """Compute static IR statistics (used by tests and reporting)."""
+    loops = computes = calls = 0
+    max_depth = 0
+
+    def visit(body: Tuple[Statement, ...], depth: int) -> None:
+        nonlocal loops, computes, calls, max_depth
+        for stmt in body:
+            if isinstance(stmt, Loop):
+                loops += 1
+                max_depth = max(max_depth, depth + 1)
+                visit(stmt.body, depth + 1)
+            elif isinstance(stmt, Compute):
+                computes += 1
+            elif isinstance(stmt, Call):
+                calls += 1
+
+    for proc in program.procedures.values():
+        visit(proc.body, 0)
+    return StaticStatistics(
+        procedures=len(program.procedures),
+        loops=loops,
+        computes=computes,
+        calls=calls,
+        max_loop_depth=max_depth,
+    )

@@ -1,0 +1,68 @@
+"""Bayesian Information Criterion scoring of clusterings (paper step 4).
+
+SimPoint scores each candidate clustering with the BIC formulation of
+Pelleg & Moore's X-means (the paper's reference [12]): the clustering's
+log-likelihood under a spherical-Gaussian mixture, penalized by the
+parameter count times ``log N``. We generalize to weighted points —
+each interval contributes proportionally to its executed instructions —
+which reduces to the classic formula when all weights are equal
+(fixed-length intervals).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.simpoint.kmeans import KMeansResult
+
+#: Floor on the estimated variance to keep degenerate (perfectly tight)
+#: clusterings from producing infinite likelihoods.
+_VARIANCE_FLOOR = 1e-12
+
+
+def bic_score(
+    points: np.ndarray,
+    result: KMeansResult,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """BIC of a k-means clustering; higher is better.
+
+    ``points`` must be the same matrix the clustering was computed on.
+    """
+    n, d = points.shape
+    if result.labels.shape != (n,):
+        raise ClusteringError("labels do not match the point matrix")
+    if weights is None:
+        weights = np.ones(n, dtype=np.float64)
+    total_weight = float(weights.sum())
+    if total_weight <= 0:
+        raise ClusteringError("weights must have positive sum")
+    k = result.k
+    # Weighted maximum-likelihood estimate of the shared spherical
+    # variance. The (N - k) denominator is Pelleg & Moore's unbiased
+    # correction.
+    denom = max(total_weight - k, 1e-9) * d
+    variance = max(result.inertia / denom, _VARIANCE_FLOOR)
+
+    log_likelihood = 0.0
+    for cluster in range(k):
+        members = result.labels == cluster
+        cluster_weight = float(weights[members].sum())
+        if cluster_weight <= 0:
+            continue
+        # n_i log(n_i / N): cluster prior term.
+        log_likelihood += cluster_weight * math.log(
+            cluster_weight / total_weight
+        )
+    # Gaussian term: -N d/2 log(2 pi sigma^2) - (N - k) d / 2.
+    log_likelihood -= 0.5 * total_weight * d * math.log(2.0 * math.pi * variance)
+    log_likelihood -= 0.5 * (total_weight - k) * d
+
+    # Parameter count: k-1 cluster priors, k*d centroid coordinates,
+    # one shared variance.
+    n_params = (k - 1) + k * d + 1
+    return log_likelihood - 0.5 * n_params * math.log(total_weight)

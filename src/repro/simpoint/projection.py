@@ -1,0 +1,45 @@
+"""Random linear projection (paper step 2).
+
+SimPoint reduces BBV dimensionality (often tens of thousands of basic
+blocks) to a small number of dimensions — 15 by default — using a random
+linear projection, which approximately preserves the cluster structure
+(Johnson-Lindenstrauss) while making k-means fast. Projection entries
+are drawn uniformly from [-1, 1] with a fixed seed, so the projection
+is deterministic for a given input dimensionality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+#: SimPoint 3.0's default projected dimensionality.
+DEFAULT_DIMENSIONS = 15
+
+
+def projection_matrix(
+    input_dims: int, output_dims: int = DEFAULT_DIMENSIONS, seed: int = 2007
+) -> np.ndarray:
+    """A deterministic (input_dims x output_dims) projection matrix."""
+    if input_dims <= 0 or output_dims <= 0:
+        raise ClusteringError(
+            f"projection dims must be positive, got {input_dims}x{output_dims}"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(input_dims, output_dims))
+
+
+def project(
+    matrix: np.ndarray, output_dims: int = DEFAULT_DIMENSIONS, seed: int = 2007
+) -> np.ndarray:
+    """Project row vectors down to ``output_dims`` dimensions.
+
+    If the data already has no more than ``output_dims`` dimensions it
+    is returned unchanged (projection would only add noise).
+    """
+    if matrix.ndim != 2:
+        raise ClusteringError("project expects a 2-D matrix")
+    if matrix.shape[1] <= output_dims:
+        return matrix
+    return matrix @ projection_matrix(matrix.shape[1], output_dims, seed)

@@ -1,0 +1,200 @@
+"""Choosing k and picking simulation points (paper steps 4-5).
+
+``choose_clustering`` runs weighted k-means for every k up to the
+budget, scores each clustering with the BIC, and — following SimPoint
+3.0 — picks the *smallest* k whose (min-max normalized) BIC score
+reaches a threshold (default 0.9) of the best score seen.
+
+``pick_simulation_points`` then selects, per cluster, the member
+interval closest to the centroid as the phase's simulation point, with
+a weight equal to the phase's share of executed instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.simpoint.bic import bic_score
+from repro.simpoint.kmeans import KMeansResult, weighted_kmeans
+
+
+@dataclass(frozen=True)
+class ClusteringChoice:
+    """The chosen clustering plus the full BIC trace."""
+
+    result: KMeansResult
+    k: int
+    bic_scores: Tuple[float, ...]  # indexed by k-1
+    chosen_index: int
+
+
+def choose_clustering(
+    points: np.ndarray,
+    weights: np.ndarray,
+    max_k: int,
+    bic_threshold: float = 0.9,
+    n_init: int = 5,
+    max_iter: int = 100,
+    seed: int = 0,
+) -> ClusteringChoice:
+    """Cluster for k = 1..max_k and pick by the SimPoint BIC rule."""
+    if not 0.0 < bic_threshold <= 1.0:
+        raise ClusteringError(
+            f"bic_threshold must be in (0, 1], got {bic_threshold}"
+        )
+    n = points.shape[0]
+    k_max = min(max_k, n)
+    if k_max < 1:
+        raise ClusteringError("need at least one interval to cluster")
+    results: List[KMeansResult] = []
+    scores: List[float] = []
+    for k in range(1, k_max + 1):
+        result = weighted_kmeans(
+            points, k, weights, n_init=n_init, max_iter=max_iter,
+            seed=seed + k,
+        )
+        results.append(result)
+        scores.append(bic_score(points, result, weights))
+    best = max(scores)
+    worst = min(scores)
+    spread = best - worst
+    if spread <= 0:
+        chosen = 0  # all equal: smallest k wins
+    else:
+        chosen = next(
+            i
+            for i, score in enumerate(scores)
+            if (score - worst) / spread >= bic_threshold
+        )
+    return ClusteringChoice(
+        result=results[chosen],
+        k=chosen + 1,
+        bic_scores=tuple(scores),
+        chosen_index=chosen,
+    )
+
+
+def choose_clustering_binary_search(
+    points: np.ndarray,
+    weights: np.ndarray,
+    max_k: int,
+    bic_threshold: float = 0.9,
+    n_init: int = 5,
+    max_iter: int = 100,
+    seed: int = 0,
+) -> ClusteringChoice:
+    """SimPoint 3.0's binary search over k.
+
+    Instead of clustering at every k, evaluate k=1 and k=maxK, then
+    bisect for the smallest k whose min-max-normalized BIC reaches the
+    threshold — O(log maxK) clusterings. The BIC curve is assumed
+    roughly monotone in k (SimPoint 3.0's assumption); when it is not,
+    the result may be slightly larger than the exhaustive answer, but
+    it always satisfies the threshold under the scores actually seen.
+    """
+    if not 0.0 < bic_threshold <= 1.0:
+        raise ClusteringError(
+            f"bic_threshold must be in (0, 1], got {bic_threshold}"
+        )
+    n = points.shape[0]
+    k_max = min(max_k, n)
+    if k_max < 1:
+        raise ClusteringError("need at least one interval to cluster")
+
+    evaluated: Dict[int, Tuple[KMeansResult, float]] = {}
+
+    def evaluate(k: int) -> float:
+        if k not in evaluated:
+            result = weighted_kmeans(
+                points, k, weights, n_init=n_init, max_iter=max_iter,
+                seed=seed + k,
+            )
+            evaluated[k] = (result, bic_score(points, result, weights))
+        return evaluated[k][1]
+
+    def qualifies(k: int) -> bool:
+        score = evaluate(k)
+        scores = [entry[1] for entry in evaluated.values()]
+        worst, best = min(scores), max(scores)
+        spread = best - worst
+        if spread <= 0:
+            return True
+        return (score - worst) / spread >= bic_threshold
+
+    evaluate(1)
+    evaluate(k_max)
+    low, high = 1, k_max
+    if qualifies(1):
+        high = 1
+    while low < high:
+        mid = (low + high) // 2
+        if qualifies(mid):
+            high = mid
+        else:
+            low = mid + 1
+    chosen_k = low
+    evaluate(chosen_k)
+    # Report the evaluated scores in k order (sparse trace).
+    trace = tuple(
+        evaluated[k][1] for k in sorted(evaluated)
+    )
+    return ClusteringChoice(
+        result=evaluated[chosen_k][0],
+        k=chosen_k,
+        bic_scores=trace,
+        chosen_index=sorted(evaluated).index(chosen_k),
+    )
+
+
+@dataclass(frozen=True)
+class RepresentativePick:
+    """One cluster's simulation point."""
+
+    cluster: int
+    interval_index: int
+    weight: float
+
+
+def pick_simulation_points(
+    points: np.ndarray,
+    weights: np.ndarray,
+    result: KMeansResult,
+) -> Tuple[RepresentativePick, ...]:
+    """Pick each cluster's representative: the member nearest its centroid.
+
+    Weights are the fraction of total executed instructions in the
+    cluster (the paper's simulation-point weights). Clusters that ended
+    up empty (possible only in degenerate inputs) are skipped.
+    """
+    total_weight = float(weights.sum())
+    picks: List[RepresentativePick] = []
+    for cluster in range(result.k):
+        members = np.flatnonzero(result.labels == cluster)
+        if members.size == 0:
+            continue
+        diffs = points[members] - result.centroids[cluster]
+        distances = np.einsum("nd,nd->n", diffs, diffs)
+        # Ties happen when a phase's intervals have (near-)identical
+        # BBVs — common for strongly periodic programs. Canonical
+        # SimPoint leaves tie-breaking unspecified; always taking the
+        # *first* tied interval systematically selects the coldest-cache
+        # occurrence of the phase, so among tied candidates we prefer
+        # the temporally central one.
+        min_distance = float(distances.min())
+        tied = members[
+            np.isclose(distances, min_distance, rtol=1e-9, atol=1e-15)
+        ]
+        representative = int(tied[len(tied) // 2])
+        cluster_weight = float(weights[members].sum()) / total_weight
+        picks.append(
+            RepresentativePick(
+                cluster=cluster,
+                interval_index=representative,
+                weight=cluster_weight,
+            )
+        )
+    return tuple(picks)

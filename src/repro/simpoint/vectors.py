@@ -1,0 +1,68 @@
+"""Frequency-vector assembly and normalization.
+
+Turns a list of sparse interval BBVs into a dense, row-normalized
+matrix plus per-interval weights. Normalization follows the paper's
+step 1: each frequency vector is scaled so its elements sum to 1, which
+makes intervals comparable regardless of how many instructions they
+executed — essential once variable-length intervals are in play. The
+interval's executed-instruction count is kept separately as its
+clustering weight (SimPoint 3.0's VLI support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.profiling.intervals import Interval
+
+
+@dataclass(frozen=True)
+class VectorSet:
+    """Dense, normalized interval vectors ready for clustering.
+
+    ``matrix`` is (intervals x dimensions), rows summing to 1;
+    ``weights`` is each interval's executed instruction count;
+    ``dimension_keys`` maps matrix columns back to basic block ids.
+    """
+
+    matrix: np.ndarray
+    weights: np.ndarray
+    dimension_keys: Tuple[int, ...]
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_dimensions(self) -> int:
+        return int(self.matrix.shape[1])
+
+
+def build_vector_set(intervals: Sequence[Interval]) -> VectorSet:
+    """Assemble and normalize interval BBVs into a :class:`VectorSet`."""
+    if not intervals:
+        raise ClusteringError("cannot build a vector set from zero intervals")
+    keys: Dict[int, int] = {}
+    for interval in intervals:
+        for block_id in interval.bbv:
+            if block_id not in keys:
+                keys[block_id] = len(keys)
+    if not keys:
+        raise ClusteringError("no basic blocks recorded in any interval")
+    matrix = np.zeros((len(intervals), len(keys)), dtype=np.float64)
+    weights = np.zeros(len(intervals), dtype=np.float64)
+    for row, interval in enumerate(intervals):
+        for block_id, count in interval.bbv.items():
+            matrix[row, keys[block_id]] = count
+        weights[row] = interval.instructions
+    row_sums = matrix.sum(axis=1)
+    if np.any(row_sums <= 0):
+        bad = int(np.argmin(row_sums))
+        raise ClusteringError(f"interval {bad} has an empty/zero BBV")
+    matrix /= row_sums[:, None]
+    ordered_keys = tuple(sorted(keys, key=keys.get))
+    return VectorSet(matrix=matrix, weights=weights, dimension_keys=ordered_keys)

@@ -1,0 +1,180 @@
+"""Tests for repro.analysis: estimate, speedup, phases."""
+
+import pytest
+
+from repro.analysis.estimate import (
+    MethodEstimate,
+    estimate_from_points,
+    relative_error,
+    signed_relative_error,
+)
+from repro.analysis.phases import phase_table
+from repro.analysis.speedup import speedup_comparison
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+
+
+def _stats(instructions, cpi):
+    return IntervalStats(instructions=instructions,
+                         cycles=instructions * cpi)
+
+
+class TestErrors:
+    def test_relative_error_symmetric_magnitude(self):
+        assert relative_error(2.0, 1.0) == pytest.approx(0.5)
+        assert relative_error(2.0, 3.0) == pytest.approx(0.5)
+
+    def test_signed_error_direction(self):
+        assert signed_relative_error(4.0, 3.0) == pytest.approx(0.25)
+        assert signed_relative_error(4.0, 5.0) == pytest.approx(-0.25)
+
+    def test_zero_true_value_rejected(self):
+        with pytest.raises(SimulationError):
+            relative_error(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            signed_relative_error(0.0, 1.0)
+
+
+class TestEstimateFromPoints:
+    def test_weighted_average(self):
+        intervals = [_stats(100, 2.0), _stats(100, 4.0), _stats(100, 6.0)]
+        estimate = estimate_from_points(
+            "b", "fli",
+            point_weights=[(0, 0.5), (2, 0.5)],
+            interval_stats=intervals,
+            true_stats=_stats(300, 4.0),
+        )
+        assert estimate.estimated_cpi == pytest.approx(4.0)
+        assert estimate.cpi_error == pytest.approx(0.0)
+
+    def test_biased_estimate(self):
+        intervals = [_stats(100, 2.0), _stats(100, 6.0)]
+        estimate = estimate_from_points(
+            "b", "vli",
+            point_weights=[(0, 1.0)],
+            interval_stats=intervals,
+            true_stats=_stats(200, 4.0),
+        )
+        assert estimate.estimated_cpi == pytest.approx(2.0)
+        assert estimate.cpi_error == pytest.approx(0.5)
+
+    def test_estimated_cycles(self):
+        intervals = [_stats(100, 2.0)]
+        estimate = estimate_from_points(
+            "b", "fli", [(0, 1.0)], intervals, _stats(1000, 2.5)
+        )
+        assert estimate.estimated_cycles == pytest.approx(2000.0)
+
+    def test_weights_renormalized(self):
+        intervals = [_stats(100, 2.0), _stats(100, 4.0)]
+        estimate = estimate_from_points(
+            "b", "fli", [(0, 2.0), (1, 2.0)], intervals, _stats(200, 3.0)
+        )
+        assert estimate.estimated_cpi == pytest.approx(3.0)
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(SimulationError):
+            estimate_from_points("b", "fli", [], [], _stats(1, 1.0))
+
+    def test_rejects_out_of_range_interval(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            estimate_from_points(
+                "b", "fli", [(5, 1.0)], [_stats(10, 1.0)], _stats(10, 1.0)
+            )
+
+
+class TestSpeedup:
+    def _estimate(self, name, method, true_cpi, est_cpi, instructions=1000):
+        return MethodEstimate(
+            binary_name=name,
+            method=method,
+            n_points=1,
+            true_cpi=true_cpi,
+            estimated_cpi=est_cpi,
+            total_instructions=instructions,
+            true_cycles=true_cpi * instructions,
+        )
+
+    def test_perfect_estimates_zero_error(self):
+        baseline = self._estimate("a", "fli", 4.0, 4.0)
+        improved = self._estimate("b", "fli", 2.0, 2.0)
+        comparison = speedup_comparison(baseline, improved)
+        assert comparison.true_speedup == pytest.approx(2.0)
+        assert comparison.error == pytest.approx(0.0)
+
+    def test_consistent_bias_cancels(self):
+        """The paper's key insight: equal relative biases in both
+        binaries cancel out of the speedup ratio."""
+        baseline = self._estimate("a", "vli", 4.0, 4.0 * 0.9)
+        improved = self._estimate("b", "vli", 2.0, 2.0 * 0.9)
+        comparison = speedup_comparison(baseline, improved)
+        assert comparison.error == pytest.approx(0.0)
+
+    def test_inconsistent_bias_shows_up(self):
+        baseline = self._estimate("a", "fli", 4.0, 4.0 * 1.2)
+        improved = self._estimate("b", "fli", 2.0, 2.0 * 0.8)
+        comparison = speedup_comparison(baseline, improved)
+        assert comparison.error == pytest.approx(0.5)
+
+    def test_different_instruction_counts(self):
+        baseline = self._estimate("a", "fli", 2.0, 2.0, instructions=3000)
+        improved = self._estimate("b", "fli", 3.0, 3.0, instructions=1000)
+        comparison = speedup_comparison(baseline, improved)
+        assert comparison.true_speedup == pytest.approx(2.0)
+
+    def test_rejects_method_mismatch(self):
+        baseline = self._estimate("a", "fli", 2.0, 2.0)
+        improved = self._estimate("b", "vli", 2.0, 2.0)
+        with pytest.raises(SimulationError):
+            speedup_comparison(baseline, improved)
+
+
+class TestPhaseTable:
+    def test_basic_table(self):
+        labels = [0, 0, 1, 1, 1]
+        intervals = [
+            _stats(100, 2.0), _stats(100, 4.0),
+            _stats(100, 5.0), _stats(100, 5.0), _stats(100, 5.0),
+        ]
+        rows = phase_table(
+            labels, intervals, point_intervals={0: 0, 1: 2}, top=3
+        )
+        assert len(rows) == 2
+        # Phase 1 (3 intervals) outweighs phase 0 (2 intervals).
+        assert rows[0].cluster == 1
+        assert rows[0].weight == pytest.approx(0.6)
+        assert rows[0].true_cpi == pytest.approx(5.0)
+        assert rows[0].sp_cpi == pytest.approx(5.0)
+        assert rows[0].cpi_error == pytest.approx(0.0)
+        # Phase 0's representative (CPI 2.0) underestimates true 3.0.
+        assert rows[1].true_cpi == pytest.approx(3.0)
+        assert rows[1].cpi_error == pytest.approx(1 / 3)
+
+    def test_top_truncates(self):
+        labels = [0, 1, 2, 3]
+        intervals = [_stats(100, 1.0)] * 4
+        rows = phase_table(
+            labels, intervals,
+            point_intervals={0: 0, 1: 1, 2: 2, 3: 3},
+            top=2,
+        )
+        assert len(rows) == 2
+        assert [row.rank for row in rows] == [1, 2]
+
+    def test_external_weights_override(self):
+        labels = [0, 1]
+        intervals = [_stats(100, 1.0), _stats(100, 2.0)]
+        rows = phase_table(
+            labels, intervals, point_intervals={0: 0, 1: 1},
+            weights={0: 0.9, 1: 0.1},
+        )
+        assert rows[0].cluster == 0
+        assert rows[0].weight == pytest.approx(0.9)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            phase_table([0], [], {0: 0})
+
+    def test_rejects_missing_point(self):
+        with pytest.raises(SimulationError, match="no simulation point"):
+            phase_table([0], [_stats(10, 1.0)], {})

@@ -1,0 +1,180 @@
+"""Tests for repro.analysis.confidence and experiments.serialize."""
+
+import math
+
+import pytest
+
+from repro.analysis.confidence import (
+    ConfidenceReport,
+    estimate_confidence,
+    phase_statistics,
+)
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+
+
+def _stats(instructions, cpi):
+    return IntervalStats(instructions=instructions,
+                         cycles=instructions * cpi)
+
+
+class TestPhaseStatistics:
+    def test_single_homogeneous_phase(self):
+        stats = phase_statistics(
+            [0, 0, 0], [_stats(100, 2.0)] * 3
+        )
+        assert len(stats) == 1
+        assert stats[0].mean_cpi == pytest.approx(2.0)
+        assert stats[0].std_cpi == pytest.approx(0.0)
+        assert stats[0].weight == pytest.approx(1.0)
+        assert stats[0].n_intervals == 3
+
+    def test_heterogeneous_phase_has_variance(self):
+        stats = phase_statistics(
+            [0, 0], [_stats(100, 1.0), _stats(100, 3.0)]
+        )
+        assert stats[0].mean_cpi == pytest.approx(2.0)
+        assert stats[0].std_cpi == pytest.approx(1.0)
+        assert stats[0].cov == pytest.approx(0.5)
+
+    def test_weighting_by_instructions(self):
+        stats = phase_statistics(
+            [0, 0], [_stats(300, 1.0), _stats(100, 3.0)]
+        )
+        # Weighted mean: (300*1 + 100*3) / 400 = 1.5.
+        assert stats[0].mean_cpi == pytest.approx(1.5)
+
+    def test_multiple_phases_sorted(self):
+        stats = phase_statistics(
+            [1, 0, 1],
+            [_stats(100, 2.0), _stats(100, 4.0), _stats(100, 2.0)],
+        )
+        assert [phase.cluster for phase in stats] == [0, 1]
+        assert stats[0].weight == pytest.approx(1 / 3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            phase_statistics([0], [])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            phase_statistics([], [])
+
+
+class TestEstimateConfidence:
+    def test_tight_phases_give_tight_estimate(self):
+        report = estimate_confidence(
+            [0, 0, 1, 1],
+            [_stats(100, 2.0)] * 2 + [_stats(100, 4.0)] * 2,
+        )
+        assert report.estimate_std == pytest.approx(0.0)
+        assert report.relative_half_width_95 == pytest.approx(0.0)
+        assert report.mean_cpi == pytest.approx(3.0)
+
+    def test_variance_combines_across_phases(self):
+        report = estimate_confidence(
+            [0, 0, 1, 1],
+            [
+                _stats(100, 1.0), _stats(100, 3.0),  # phase 0: std 1
+                _stats(100, 4.0), _stats(100, 4.0),  # phase 1: std 0
+            ],
+        )
+        # Var = (0.5 * 1)^2 + (0.5 * 0)^2 = 0.25.
+        assert report.estimate_std == pytest.approx(0.5)
+
+    def test_external_weights_override(self):
+        report = estimate_confidence(
+            [0, 0, 1, 1],
+            [
+                _stats(100, 1.0), _stats(100, 3.0),
+                _stats(100, 4.0), _stats(100, 4.0),
+            ],
+            weights={0: 1.0, 1: 0.0},
+        )
+        assert report.estimate_std == pytest.approx(1.0)
+        assert report.mean_cpi == pytest.approx(2.0)
+
+    def test_loosest_phase(self):
+        report = estimate_confidence(
+            [0, 0, 1, 1],
+            [
+                _stats(100, 1.0), _stats(100, 3.0),
+                _stats(100, 4.0), _stats(100, 4.0),
+            ],
+        )
+        assert report.loosest_phase().cluster == 0
+
+    def test_on_real_run(self):
+        """Measured Figure 3 errors sit inside the reported band on a
+        real benchmark (the band is conservative by construction)."""
+        from repro.experiments.runner import run_benchmark
+
+        run = run_benchmark("art")
+        outcome = run.outcome("32u")
+        report = estimate_confidence(
+            run.cross.simpoint.labels,
+            outcome.vli_intervals,
+            weights=outcome.vli_weights,
+        )
+        assert report.mean_cpi == pytest.approx(
+            outcome.true_cpi, rel=0.01
+        )
+        assert (
+            outcome.vli_estimate.cpi_error
+            <= report.relative_half_width_95 + 0.05
+        )
+
+
+class TestSerialization:
+    def test_figure_roundtrip(self, tmp_path):
+        from repro.experiments.figures import FigureData
+        from repro.experiments.serialize import (
+            figure_to_dict,
+            load_json,
+            save_json,
+        )
+
+        figure = FigureData(
+            figure="figureX",
+            title="test",
+            unit="units",
+            benchmarks=("a", "b"),
+            series={"S": (1.0, 3.0)},
+        )
+        data = figure_to_dict(figure)
+        assert data["averages"]["S"] == pytest.approx(2.0)
+        path = save_json(data, tmp_path / "fig.json")
+        assert load_json(path) == data
+
+    def test_benchmark_run_summary(self):
+        from repro.experiments.runner import run_benchmark
+        from repro.experiments.serialize import benchmark_run_to_dict
+
+        run = run_benchmark("art")
+        data = benchmark_run_to_dict(run)
+        assert data["benchmark"] == "art"
+        assert set(data["outcomes"]) == {"32u", "32o", "64u", "64o"}
+        assert data["k"] == run.cross.simpoint.k
+        weights = data["outcomes"]["32u"]["vli"]["weights"]
+        assert sum(weights.values()) == pytest.approx(1.0)
+        import json
+
+        json.dumps(data)  # must be JSON-serializable
+
+    def test_design_space_dict(self):
+        from repro.experiments.design_space import (
+            DesignPoint,
+            DesignSpaceResult,
+        )
+        from repro.experiments.serialize import design_space_to_dict
+
+        result = DesignSpaceResult(
+            program="p",
+            points=(
+                DesignPoint("32u", "a", 10.0, 11.0, 10.5),
+                DesignPoint("32o", "a", 5.0, 5.5, 5.2),
+            ),
+        )
+        data = design_space_to_dict(result)
+        assert data["true_best"] == ["32o", "a"]
+        assert len(data["points"]) == 2

@@ -1,0 +1,102 @@
+"""Tests for multi-metric estimation (the paper's "CPI, miss rate, etc.")."""
+
+import pytest
+
+from repro.analysis.estimate import estimate_weighted_metric
+from repro.cmpsim.simulator import IntervalStats
+from repro.errors import SimulationError
+from repro.experiments.runner import run_benchmark
+
+
+class TestIntervalMetrics:
+    def test_dram_mpki(self):
+        stats = IntervalStats(
+            instructions=10_000, cycles=20_000.0, dram_accesses=50.0
+        )
+        assert stats.dram_mpki == pytest.approx(5.0)
+
+    def test_empty_interval_has_no_mpki(self):
+        with pytest.raises(SimulationError):
+            IntervalStats().dram_mpki
+
+
+class TestEstimateWeightedMetric:
+    def test_cpi_metric_matches_direct_path(self):
+        intervals = [
+            IntervalStats(100, 200.0, 1.0),
+            IntervalStats(100, 400.0, 3.0),
+        ]
+        estimate = estimate_weighted_metric(
+            [(0, 0.5), (1, 0.5)], intervals, lambda s: s.cpi
+        )
+        assert estimate == pytest.approx(3.0)
+
+    def test_mpki_metric(self):
+        intervals = [
+            IntervalStats(1000, 2000.0, 2.0),
+            IntervalStats(1000, 4000.0, 6.0),
+        ]
+        estimate = estimate_weighted_metric(
+            [(0, 0.25), (1, 0.75)], intervals, lambda s: s.dram_mpki
+        )
+        assert estimate == pytest.approx(0.25 * 2.0 + 0.75 * 6.0)
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(SimulationError):
+            estimate_weighted_metric([], [], lambda s: s.cpi)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            estimate_weighted_metric(
+                [(3, 1.0)], [IntervalStats(1, 1.0)], lambda s: s.cpi
+            )
+
+
+class TestMPKIOnRealRun:
+    """The sampled MPKI estimate tracks the full-run MPKI, with the
+    same machinery that estimates CPI — the paper's 'etc.' claim."""
+
+    @pytest.fixture(scope="class")
+    def art_run(self):
+        return run_benchmark("art")
+
+    def test_tracker_dram_totals_conserved(self, art_run):
+        for outcome in art_run.outcomes.values():
+            tracked = sum(
+                interval.dram_accesses
+                for interval in outcome.vli_intervals
+            )
+            assert tracked == pytest.approx(outcome.stats.dram_reads)
+
+    def test_vli_mpki_estimate_accurate(self, art_run):
+        for outcome in art_run.outcomes.values():
+            weights = outcome.vli_weights
+            point_weights = [
+                (point.interval_index, weights.get(point.cluster, 0.0))
+                for point in art_run.cross.mapped_points
+            ]
+            estimated = estimate_weighted_metric(
+                point_weights, outcome.vli_intervals,
+                lambda s: s.dram_mpki,
+            )
+            true_mpki = (
+                1000.0 * outcome.stats.dram_reads
+                / outcome.stats.instructions
+            )
+            assert estimated == pytest.approx(true_mpki, rel=0.25)
+
+    def test_fli_mpki_estimate_accurate(self, art_run):
+        for outcome in art_run.outcomes.values():
+            point_weights = [
+                (point.interval_index, point.weight)
+                for point in outcome.fli_simpoint.points
+            ]
+            estimated = estimate_weighted_metric(
+                point_weights, outcome.fli_intervals,
+                lambda s: s.dram_mpki,
+            )
+            true_mpki = (
+                1000.0 * outcome.stats.dram_reads
+                / outcome.stats.instructions
+            )
+            assert estimated == pytest.approx(true_mpki, rel=0.25)

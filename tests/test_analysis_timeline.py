@@ -1,0 +1,63 @@
+"""Tests for repro.analysis.timeline and the CLI phases command."""
+
+import pytest
+
+from repro.analysis.timeline import phase_strip, render_phase_timeline
+from repro.errors import SimulationError
+
+
+class TestPhaseStrip:
+    def test_simple_strip(self):
+        assert phase_strip([0, 1, 2, 0]) == "ABCA"
+
+    def test_wraps_at_width(self):
+        strip = phase_strip([0] * 10, width=4)
+        assert strip == "AAAA\nAAAA\nAA"
+
+    def test_many_phases_lump_beyond_glyphs(self):
+        assert phase_strip([30]) == "#"
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            phase_strip([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SimulationError):
+            phase_strip([0], width=0)
+
+    def test_rejects_negative_label(self):
+        with pytest.raises(SimulationError):
+            phase_strip([-1])
+
+
+class TestRenderTimeline:
+    def test_includes_legend_and_title(self):
+        text = render_phase_timeline(
+            [0, 0, 1], weights={0: 0.7, 1: 0.3}, title="demo"
+        )
+        assert text.startswith("demo (3 intervals")
+        assert "AAB" in text
+        assert "A=phase 0 (70.0%)" in text
+        assert "B=phase 1 (30.0%)" in text
+
+    def test_weights_optional(self):
+        text = render_phase_timeline([1, 0])
+        assert "A=phase 0" in text
+        assert "(%" not in text
+
+    def test_legend_sorted_by_label(self):
+        text = render_phase_timeline([2, 0, 1])
+        legend = text.splitlines()[-1]
+        assert legend.index("A=") < legend.index("B=") < legend.index("C=")
+
+
+class TestCLIPhases:
+    def test_phases_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["phases", "art"]) == 0
+        out = capsys.readouterr().out
+        assert "mappable (VLI) phases" in out
+        assert "art/32u: per-binary (FLI) phases" in out
+        assert "art/64o: per-binary (FLI) phases" in out
+        assert "legend:" in out

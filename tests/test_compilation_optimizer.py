@@ -1,0 +1,300 @@
+"""Tests for repro.compilation.optimizer."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.programs.behaviors import streaming
+from repro.programs.ir import (
+    Call,
+    Compute,
+    Loop,
+    Procedure,
+    Program,
+    finalize_program,
+    iter_statements,
+)
+from repro.compilation.optimizer import (
+    INLINE_SIZE_LIMIT,
+    OptimizationReport,
+    optimize_ir,
+)
+
+
+def _program(procs):
+    return finalize_program(
+        Program(
+            name="opt_test",
+            procedures={proc.name: proc for proc in procs},
+            entry="main",
+        )
+    )
+
+
+def _leaf(name="leaf", inlinable=True, trips=8):
+    return Procedure(
+        name=name,
+        body=(
+            Loop(
+                f"{name}_loop",
+                trips=trips,
+                body=(Compute(f"{name}_c", instructions=10,
+                              behavior=streaming(4096, 2)),),
+                unrollable=False,
+                splittable=False,
+            ),
+        ),
+        inlinable=inlinable,
+    )
+
+
+class TestInlining:
+    def test_inlines_small_leaf(self):
+        main = Procedure(
+            name="main", body=(Call("c0", callee="leaf"),)
+        )
+        program = _program([main, _leaf()])
+        optimized, report = optimize_ir(program)
+        assert "leaf" in report.inlined_procedures
+        assert "leaf" not in optimized.procedures
+
+    def test_inlined_statements_get_call_site_location(self):
+        main = Procedure(name="main", body=(Call("c0", callee="leaf"),))
+        program = _program([main, _leaf()])
+        call_line = program.procedures["main"].body[0].location.line
+        optimized, _ = optimize_ir(program)
+        for stmt in iter_statements(optimized.procedures["main"].body):
+            assert stmt.location.line == call_line
+
+    def test_inlined_statements_marked_with_origin(self):
+        main = Procedure(name="main", body=(Call("c0", callee="leaf"),))
+        optimized, _ = optimize_ir(_program([main, _leaf()]))
+        loop = optimized.procedures["main"].body[0]
+        assert isinstance(loop, Loop)
+        assert loop.origin_procedure == "leaf"
+
+    def test_non_inlinable_survives(self):
+        main = Procedure(name="main", body=(Call("c0", callee="leaf"),))
+        program = _program([main, _leaf(inlinable=False)])
+        optimized, report = optimize_ir(program)
+        assert "leaf" in optimized.procedures
+        assert report.inlined_procedures == ()
+
+    def test_large_procedure_not_inlined(self):
+        body = tuple(
+            Compute(f"c{i}", instructions=5)
+            for i in range(INLINE_SIZE_LIMIT + 1)
+        )
+        big = Procedure(name="leaf", body=body, inlinable=True)
+        main = Procedure(name="main", body=(Call("c0", callee="leaf"),))
+        optimized, _ = optimize_ir(_program([main, big]))
+        assert "leaf" in optimized.procedures
+
+    def test_non_leaf_not_inlined(self):
+        inner = _leaf("inner")
+        middle = Procedure(
+            name="middle",
+            body=(Call("cm", callee="inner"),),
+            inlinable=True,
+        )
+        main = Procedure(name="main", body=(Call("c0", callee="middle"),))
+        optimized, report = optimize_ir(_program([main, middle, inner]))
+        assert "middle" in optimized.procedures
+        # inner IS a leaf and inlinable, so it inlines into middle.
+        assert "inner" in report.inlined_procedures
+
+    def test_multi_site_inlining_duplicates_code(self):
+        main = Procedure(
+            name="main",
+            body=(
+                Call("c0", callee="leaf"),
+                Call("c1", callee="leaf"),
+            ),
+        )
+        optimized, _ = optimize_ir(_program([main, _leaf()]))
+        loops = [
+            stmt for stmt in optimized.procedures["main"].body
+            if isinstance(stmt, Loop)
+        ]
+        assert len(loops) == 2
+        assert loops[0].name != loops[1].name
+
+    def test_inline_pass_can_be_disabled(self):
+        main = Procedure(name="main", body=(Call("c0", callee="leaf"),))
+        optimized, report = optimize_ir(
+            _program([main, _leaf()]), inline=False
+        )
+        assert "leaf" in optimized.procedures
+        assert report.inlined_procedures == ()
+
+
+class TestSplitting:
+    def _splittable_main(self):
+        return Procedure(
+            name="main",
+            body=(
+                Loop(
+                    "split_me",
+                    trips=10,
+                    body=(
+                        Compute("a", instructions=5),
+                        Compute("b", instructions=5),
+                    ),
+                    unrollable=False,
+                    splittable=True,
+                ),
+            ),
+        )
+
+    def test_splits_into_two_loops_same_line(self):
+        program = _program([self._splittable_main()])
+        original_line = program.procedures["main"].body[0].location.line
+        optimized, report = optimize_ir(program)
+        loops = [
+            stmt for stmt in optimized.procedures["main"].body
+            if isinstance(stmt, Loop)
+        ]
+        assert len(loops) == 2
+        assert "split_me" in report.split_loops
+        assert all(loop.location.line == original_line for loop in loops)
+        assert {loop.split_index for loop in loops} == {1, 2}
+
+    def test_split_preserves_trip_counts(self):
+        optimized, _ = optimize_ir(_program([self._splittable_main()]))
+        loops = [
+            stmt for stmt in optimized.procedures["main"].body
+            if isinstance(stmt, Loop)
+        ]
+        assert all(loop.trips == 10 for loop in loops)
+
+    def test_split_preserves_total_work(self):
+        optimized, _ = optimize_ir(_program([self._splittable_main()]))
+        computes = [
+            stmt
+            for stmt in iter_statements(optimized.procedures["main"].body)
+            if isinstance(stmt, Compute)
+        ]
+        assert sum(c.instructions for c in computes) == 10
+
+    def test_single_kernel_loop_not_split(self):
+        main = Procedure(
+            name="main",
+            body=(
+                Loop(
+                    "solo",
+                    trips=10,
+                    body=(Compute("a", instructions=5),),
+                    splittable=True,
+                    unrollable=False,
+                ),
+            ),
+        )
+        optimized, report = optimize_ir(_program([main]))
+        assert report.split_loops == ()
+
+    def test_unsplittable_loop_preserved(self):
+        main = Procedure(
+            name="main",
+            body=(
+                Loop(
+                    "nosplit",
+                    trips=10,
+                    body=(
+                        Compute("a", instructions=5),
+                        Compute("b", instructions=5),
+                    ),
+                    splittable=False,
+                    unrollable=False,
+                ),
+            ),
+        )
+        _, report = optimize_ir(_program([main]))
+        assert report.split_loops == ()
+
+
+class TestUnrolling:
+    def _unrollable_main(self, trips=12, input_scaled=False):
+        return Procedure(
+            name="main",
+            body=(
+                Loop(
+                    "unroll_me",
+                    trips=trips,
+                    input_scaled=input_scaled,
+                    body=(Compute("a", instructions=5,
+                                  behavior=streaming(4096, 2)),),
+                    unrollable=True,
+                    splittable=False,
+                ),
+            ),
+        )
+
+    def test_unrolls_divisible_loop_by_four(self):
+        optimized, report = optimize_ir(_program([self._unrollable_main(12)]))
+        loop = optimized.procedures["main"].body[0]
+        assert ("unroll_me", 4) in report.unrolled_loops
+        assert loop.trips == 3
+        assert loop.unroll_factor == 4
+
+    def test_unroll_preserves_total_instructions(self):
+        optimized, _ = optimize_ir(_program([self._unrollable_main(12)]))
+        loop = optimized.procedures["main"].body[0]
+        total = loop.trips * sum(c.instructions for c in loop.body)
+        assert total == 12 * 5
+
+    def test_unroll_scales_memory_refs(self):
+        optimized, _ = optimize_ir(_program([self._unrollable_main(12)]))
+        loop = optimized.procedures["main"].body[0]
+        assert loop.body[0].behavior.refs_per_exec == 2 * 4
+
+    def test_falls_back_to_factor_two(self):
+        optimized, report = optimize_ir(_program([self._unrollable_main(6)]))
+        assert ("unroll_me", 2) in report.unrolled_loops
+
+    def test_indivisible_trips_not_unrolled(self):
+        optimized, report = optimize_ir(_program([self._unrollable_main(7)]))
+        assert report.unrolled_loops == ()
+
+    def test_input_scaled_loop_not_unrolled(self):
+        optimized, report = optimize_ir(
+            _program([self._unrollable_main(12, input_scaled=True)])
+        )
+        assert report.unrolled_loops == ()
+
+    def test_tiny_loop_not_unrolled_to_nothing(self):
+        # trips=4 with factor 4 would leave 1 iteration; we require >= 2.
+        optimized, report = optimize_ir(_program([self._unrollable_main(4)]))
+        assert ("unroll_me", 2) in report.unrolled_loops
+
+
+class TestCodeMotion:
+    def test_reverses_adjacent_kernels(self):
+        main = Procedure(
+            name="main",
+            body=(
+                Compute("a", instructions=1),
+                Compute("b", instructions=2),
+                Compute("c", instructions=3),
+            ),
+        )
+        optimized, report = optimize_ir(_program([main]))
+        names = [stmt.name for stmt in optimized.procedures["main"].body]
+        assert names == ["c", "b", "a"]
+        assert report.moved_kernels == 3
+
+    def test_single_kernel_not_moved(self):
+        main = Procedure(name="main", body=(Compute("a", instructions=1),))
+        _, report = optimize_ir(_program([main]))
+        assert report.moved_kernels == 0
+
+
+class TestGating:
+    def test_requires_finalized_program(self):
+        main = Procedure(name="main", body=(Compute("a", instructions=1),))
+        raw = Program(name="p", procedures={"main": main}, entry="main")
+        with pytest.raises(CompilationError, match="finalized"):
+            optimize_ir(raw)
+
+    def test_report_is_immutable(self):
+        report = OptimizationReport()
+        with pytest.raises(AttributeError):
+            report.moved_kernels = 5

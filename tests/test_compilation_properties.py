@@ -1,0 +1,162 @@
+"""Property tests for the compilation layer over random programs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.compilation.binary import BlockKind, validate_binary
+from repro.compilation.compiler import compile_program
+from repro.compilation.optimizer import optimize_ir
+from repro.compilation.targets import (
+    STANDARD_TARGETS,
+    TARGET_32O,
+    TARGET_32U,
+    TARGET_64U,
+)
+from repro.programs.ir import (
+    Compute,
+    Loop,
+    iter_program_statements,
+)
+
+from tests.strategies import programs
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _source_work(program, statement_filter=None):
+    """Static sum of compute instructions (per execution of each)."""
+    total = 0
+    for _, stmt in iter_program_statements(program):
+        if isinstance(stmt, Compute):
+            total += stmt.instructions
+    return total
+
+
+class TestOptimizerProperties:
+    @_SETTINGS
+    @given(program=programs())
+    def test_unrolling_preserves_loop_work(self, program):
+        """trips x per-iteration instructions is invariant under
+        unrolling, for every unrolled loop that was already straight-
+        line in the source. (A loop around a call can *become*
+        straight-line after inlining and then unroll; its static work
+        grew by the inlined body, so only originally-straight-line
+        loops have this invariant.)"""
+        optimized, report = optimize_ir(program)
+        unrolled_names = {name for name, _ in report.unrolled_loops}
+        if not unrolled_names:
+            return
+
+        def loop_work(prog, name_predicate, require_straight_line):
+            total = {}
+            for _, stmt in iter_program_statements(prog):
+                if isinstance(stmt, Loop) and name_predicate(stmt.name):
+                    if require_straight_line and not all(
+                        isinstance(inner, Compute) for inner in stmt.body
+                    ):
+                        continue
+                    work = sum(
+                        inner.instructions
+                        for inner in stmt.body
+                        if isinstance(inner, Compute)
+                    )
+                    total[stmt.name] = stmt.trips * work
+            return total
+
+        before = loop_work(
+            program, lambda n: n in unrolled_names,
+            require_straight_line=True,
+        )
+        after = loop_work(
+            optimized, lambda n: n in before,
+            require_straight_line=False,
+        )
+        for name, work in after.items():
+            assert work == before[name]
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_split_loops_share_lines_pairwise(self, program):
+        optimized, report = optimize_ir(program)
+        by_prefix = {}
+        for _, stmt in iter_program_statements(optimized):
+            if isinstance(stmt, Loop) and stmt.split_index:
+                by_prefix.setdefault(
+                    stmt.name.rsplit("__", 1)[0], []
+                ).append(stmt)
+        for prefix, loops in by_prefix.items():
+            assert len(loops) == 2, prefix
+            assert loops[0].location == loops[1].location
+            assert loops[0].trips == loops[1].trips
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_optimizer_is_deterministic(self, program):
+        first, report_a = optimize_ir(program)
+        second, report_b = optimize_ir(program)
+        assert report_a == report_b
+        assert first == second
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_split_and_motion_preserve_static_work(self, program):
+        """Splitting and code motion conserve the static compute
+        volume. (Inlining duplicates code across call sites and
+        unrolling fattens bodies while dividing trips, so only these
+        two passes have a static invariant.)"""
+        optimized, _ = optimize_ir(program, inline=False, unroll=False)
+        assert _source_work(optimized) == _source_work(program)
+
+
+class TestLoweringProperties:
+    @_SETTINGS
+    @given(program=programs())
+    def test_every_binary_validates(self, program):
+        for target in STANDARD_TARGETS:
+            binary, _ = compile_program(program, target)
+            validate_binary(binary)  # raises on any broken reference
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_block_kinds_partition(self, program):
+        binary, _ = compile_program(program, TARGET_32U)
+        kinds = {block.kind for block in binary.blocks.values()}
+        assert BlockKind.PROC_ENTRY in kinds
+        for block in binary.blocks.values():
+            if block.kind is not BlockKind.COMPUTE:
+                assert block.accesses == ()
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_loop_metadata_complete(self, program):
+        binary, _ = compile_program(program, TARGET_32O)
+        seen = set()
+        for proc_name in binary.procedures:
+            for loop in binary.iter_loops_of(proc_name):
+                seen.add(loop.loop_id)
+                meta = binary.loop(loop.loop_id)
+                assert meta.loop_id == loop.loop_id
+        assert seen == set(binary.loops)
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_isa_does_not_change_structure(self, program):
+        """32- and 64-bit binaries at the same opt level have identical
+        control structure (same blocks modulo instruction counts)."""
+        b32, _ = compile_program(program, TARGET_32U)
+        b64, _ = compile_program(program, TARGET_64U)
+        assert set(b32.blocks) == set(b64.blocks)
+        assert set(b32.loops) == set(b64.loops)
+        assert b32.symbols == b64.symbols
+        for block_id in b32.blocks:
+            assert (
+                b32.blocks[block_id].kind is b64.blocks[block_id].kind
+            )
+            assert (
+                b32.blocks[block_id].source_name
+                == b64.blocks[block_id].source_name
+            )

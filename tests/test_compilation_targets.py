@@ -1,0 +1,59 @@
+"""Tests for repro.compilation.targets."""
+
+import pytest
+
+from repro.compilation.targets import (
+    ISA,
+    OptLevel,
+    STANDARD_TARGETS,
+    TARGET_32O,
+    TARGET_32U,
+    TARGET_64O,
+    TARGET_64U,
+    Target,
+    target_by_label,
+)
+
+
+class TestISA:
+    def test_pointer_widths(self):
+        assert ISA.X86_32.pointer_bytes == 4
+        assert ISA.X86_64.pointer_bytes == 8
+
+    def test_short_labels(self):
+        assert ISA.X86_32.short_label == "32"
+        assert ISA.X86_64.short_label == "64"
+
+
+class TestTarget:
+    def test_paper_labels(self):
+        assert TARGET_32U.label == "32u"
+        assert TARGET_32O.label == "32o"
+        assert TARGET_64U.label == "64u"
+        assert TARGET_64O.label == "64o"
+
+    def test_optimized_flag(self):
+        assert TARGET_32O.optimized
+        assert not TARGET_32U.optimized
+
+    def test_str_is_label(self):
+        assert str(TARGET_64O) == "64o"
+
+    def test_targets_are_hashable_and_distinct(self):
+        assert len(set(STANDARD_TARGETS)) == 4
+
+    def test_standard_order_matches_paper(self):
+        labels = [target.label for target in STANDARD_TARGETS]
+        assert labels == ["32u", "32o", "64u", "64o"]
+
+    def test_target_by_label_roundtrip(self):
+        for target in STANDARD_TARGETS:
+            assert target_by_label(target.label) == target
+
+    def test_target_by_label_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            target_by_label("128u")
+
+    def test_targets_sortable_by_label(self):
+        labels = sorted(target.label for target in STANDARD_TARGETS)
+        assert labels == ["32o", "32u", "64o", "64u"]

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs and prints its conclusions.
+
+Examples are part of the public deliverable; these tests execute each
+one in-process (monkeypatching nothing, asserting on stdout) so a
+regression in any public API they use fails the suite. The two
+heaviest examples (full gcc/twolf experiment runs) are exercised via
+the shared in-process cache where possible.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports_estimate(self, capsys):
+        module = _load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "SimPoint chose k=" in out
+        assert "sampled estimate" in out
+        assert "error" in out
+
+
+class TestCustomProgram:
+    def test_runs_end_to_end(self, capsys):
+        module = _load_example("custom_program")
+        module.main()
+        out = capsys.readouterr().out
+        assert "mappable points" in out
+        assert "mywork/64o" in out
+        assert "mywork: mappable phases" in out
+
+    def test_builder_is_reusable(self):
+        module = _load_example("custom_program")
+        program = module.build_my_program()
+        assert program.finalized
+        assert set(program.procedures) == {
+            "main", "stream_pass", "chase_pass"
+        }
+
+
+@pytest.mark.slow
+class TestHeavyExamples:
+    """The experiment-backed examples (one full benchmark run each).
+
+    They share the runner's in-process cache, so the marginal cost
+    after the first is small.
+    """
+
+    def test_isa_extension_study(self, capsys):
+        module = _load_example("isa_extension_study")
+        module.main()
+        out = capsys.readouterr().out
+        assert "true speedup" in out
+        assert "Cross Binary SimPoint" in out
+
+    def test_phase_bias_anatomy(self, capsys):
+        module = _load_example("phase_bias_anatomy")
+        module.main()
+        out = capsys.readouterr().out
+        assert "max bias swing" in out
+        assert "region simulation of gcc/64u" in out

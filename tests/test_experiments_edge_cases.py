@@ -1,0 +1,87 @@
+"""Edge-case tests for experiments: figures validation, runner guards,
+reporting grids."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.figures import FigureData
+from repro.experiments.reporting import _render_grid, render_figure
+from repro.experiments.runner import run_benchmark
+
+
+class TestFigureDataValidation:
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(SimulationError, match="values for"):
+            FigureData(
+                figure="f",
+                title="t",
+                unit="u",
+                benchmarks=("a", "b"),
+                series={"S": (1.0,)},
+            )
+
+    def test_value_lookup(self):
+        data = FigureData(
+            figure="f", title="t", unit="u",
+            benchmarks=("a", "b"), series={"S": (1.0, 2.0)},
+        )
+        assert data.value("S", "b") == 2.0
+        with pytest.raises(ValueError):
+            data.value("S", "missing")
+
+    def test_average(self):
+        data = FigureData(
+            figure="f", title="t", unit="u",
+            benchmarks=("a", "b"), series={"S": (1.0, 3.0)},
+        )
+        assert data.average("S") == 2.0
+
+    def test_unknown_series(self):
+        data = FigureData(
+            figure="f", title="t", unit="u",
+            benchmarks=("a",), series={"S": (1.0,)},
+        )
+        with pytest.raises(KeyError):
+            data.average("missing")
+
+
+class TestRunnerGuards:
+    def test_average_cpi_error_unknown_method(self):
+        run = run_benchmark("art")
+        with pytest.raises(SimulationError, match="unknown method"):
+            run.average_cpi_error("magic")
+
+    def test_unknown_benchmark_propagates(self):
+        from repro.errors import ProgramError
+
+        with pytest.raises(ProgramError):
+            run_benchmark("not-a-benchmark")
+
+    def test_cache_key_stability(self):
+        from repro.experiments.runner import ExperimentConfig
+
+        assert (
+            ExperimentConfig().cache_key() == ExperimentConfig().cache_key()
+        )
+        small = ExperimentConfig(interval_size=50_000)
+        assert small.cache_key() != ExperimentConfig().cache_key()
+
+
+class TestReportingGrid:
+    def test_alignment(self):
+        grid = _render_grid(
+            ["name", "value"],
+            [["x", "1"], ["longer", "22"]],
+        )
+        lines = grid.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_render_figure_precision(self):
+        data = FigureData(
+            figure="f", title="Title", unit="u",
+            benchmarks=("a",), series={"S": (1.23456,)},
+        )
+        assert "1.2" in render_figure(data, precision=1)
+        assert "1.235" in render_figure(data, precision=3)

@@ -1,0 +1,109 @@
+"""Tests for marker-set serialization and input-mismatch detection."""
+
+import pytest
+
+from repro.core.mapping import interval_boundaries
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.core.weights import measure_interval_instructions
+from repro.errors import FileFormatError, MappingError
+from repro.pinpoints.markers_io import read_marker_set, write_marker_set
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.inputs import ProgramInput
+
+from tests.conftest import MICRO_INTERVAL
+
+
+@pytest.fixture(scope="module")
+def marker_set(micro_binary_list):
+    profiles = [
+        (binary, collect_call_branch_profile(binary))
+        for binary in micro_binary_list
+    ]
+    marker_set, _ = find_mappable_points(profiles)
+    return marker_set
+
+
+class TestMarkerSetRoundtrip:
+    def test_roundtrip_preserves_everything(self, marker_set, tmp_path):
+        path = tmp_path / "micro.markers"
+        write_marker_set(path, marker_set)
+        loaded = read_marker_set(path)
+        assert loaded.points == marker_set.points
+        assert set(loaded.tables) == set(marker_set.tables)
+        for name in marker_set.tables:
+            assert (
+                dict(loaded.tables[name].anchor_blocks)
+                == dict(marker_set.tables[name].anchor_blocks)
+            )
+
+    def test_loaded_set_drives_vli_construction(
+        self, marker_set, micro_binary_32u, tmp_path
+    ):
+        """The archived marker set is functionally equivalent."""
+        path = tmp_path / "micro.markers"
+        write_marker_set(path, marker_set)
+        loaded = read_marker_set(path)
+        original = collect_vli_bbvs(
+            micro_binary_32u, marker_set, MICRO_INTERVAL
+        )
+        reloaded = collect_vli_bbvs(
+            micro_binary_32u, loaded, MICRO_INTERVAL
+        )
+        assert [i.end_coord for i in original] == [
+            i.end_coord for i in reloaded
+        ]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.markers"
+        path.write_text("binaries a b\n")
+        with pytest.raises(FileFormatError, match="header"):
+            read_marker_set(path)
+
+    def test_missing_binaries_rejected(self, tmp_path):
+        path = tmp_path / "bad.markers"
+        path.write_text("# repro marker set v1\n")
+        with pytest.raises(FileFormatError, match="binaries"):
+            read_marker_set(path)
+
+    def test_malformed_point_rejected(self, tmp_path):
+        path = tmp_path / "bad.markers"
+        path.write_text(
+            "# repro marker set v1\nbinaries a\npoint 0 procedure\n"
+        )
+        with pytest.raises(FileFormatError, match="point"):
+            read_marker_set(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.markers"
+        path.write_text("# repro marker set v1\nbinaries a\nwat 1 2\n")
+        with pytest.raises(FileFormatError, match="unknown record"):
+            read_marker_set(path)
+
+    def test_out_of_range_binary_index_rejected(self, tmp_path):
+        path = tmp_path / "bad.markers"
+        path.write_text(
+            "# repro marker set v1\nbinaries a\nanchor 3 0 0\n"
+        )
+        with pytest.raises(FileFormatError, match="out of range"):
+            read_marker_set(path)
+
+
+class TestInputMismatch:
+    def test_coordinates_from_one_input_fail_on_another(
+        self, micro_binary_list, marker_set, micro_binary_32u
+    ):
+        """The paper's protocol requires the SAME input everywhere:
+        coordinates built under one input do not exist under another,
+        and the library reports that instead of silently mis-mapping.
+        """
+        intervals = collect_vli_bbvs(
+            micro_binary_32u, marker_set, MICRO_INTERVAL
+        )
+        boundaries = interval_boundaries(intervals)
+        smaller = ProgramInput("smaller", scale=0.4)
+        with pytest.raises(MappingError, match="never reached"):
+            measure_interval_instructions(
+                micro_binary_32u, marker_set, boundaries,
+                program_input=smaller,
+            )

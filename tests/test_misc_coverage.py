@@ -1,0 +1,100 @@
+"""Small-surface tests rounding out coverage: stats rendering,
+simulator result types, marker-set accessors, CLI markers flag."""
+
+import pytest
+
+from repro.cmpsim.simulator import CMPSim, SimulationStats
+from repro.core.markers import MarkerKind
+from repro.errors import SimulationError
+from repro.experiments.reporting import render_simulation_stats
+
+
+class TestSimulationStats:
+    def _stats(self):
+        return SimulationStats(
+            instructions=1_000,
+            cycles=2_500.0,
+            memory_refs=50,
+            level_accesses=(50, 20, 10),
+            level_misses=(20, 10, 8),
+            dram_reads=8,
+            dram_writebacks=2,
+        )
+
+    def test_cpi(self):
+        assert self._stats().cpi == pytest.approx(2.5)
+
+    def test_empty_run_has_no_cpi(self):
+        stats = SimulationStats(
+            instructions=0, cycles=0.0, memory_refs=0,
+            level_accesses=(0, 0, 0), level_misses=(0, 0, 0),
+            dram_reads=0, dram_writebacks=0,
+        )
+        with pytest.raises(SimulationError):
+            stats.cpi
+
+    def test_render_simulation_stats(self):
+        text = render_simulation_stats(self._stats())
+        assert "L1D" in text and "DRAM" in text
+        assert "40.0%" in text  # L1 miss rate 20/50
+        assert "DRAM MPKI 8.00" in text
+        assert "refs/instr 0.050" in text
+
+
+class TestFullRunResult:
+    def test_run_full_returns_stats(self, micro_binary_32o):
+        result = CMPSim(micro_binary_32o).run_full()
+        assert result.stats.instructions > 0
+        assert result.stats.level_accesses[0] == result.stats.memory_refs
+
+
+class TestMarkerSetAccessors:
+    def test_points_of_kind(self, micro_binary_list):
+        from repro.core.matching import find_mappable_points
+        from repro.profiling.callbranch import collect_call_branch_profile
+
+        profiles = [
+            (binary, collect_call_branch_profile(binary))
+            for binary in micro_binary_list
+        ]
+        marker_set, _ = find_mappable_points(profiles)
+        procs = marker_set.points_of_kind(MarkerKind.PROCEDURE)
+        entries = marker_set.points_of_kind(MarkerKind.LOOP_ENTRY)
+        branches = marker_set.points_of_kind(MarkerKind.LOOP_BRANCH)
+        assert len(procs) + len(entries) + len(branches) == (
+            marker_set.n_points
+        )
+        for point in procs:
+            assert point.kind is MarkerKind.PROCEDURE
+
+
+class TestCLIMarkersFlag:
+    def test_regions_with_markers_archive(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.pinpoints.markers_io import read_marker_set
+
+        assert main([
+            "regions", "art", "--output", str(tmp_path), "--markers",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "art.markers" in out
+        marker_set = read_marker_set(tmp_path / "art.markers")
+        assert marker_set.n_points >= 8
+        assert len(marker_set.tables) == 4
+
+
+class TestClusteringChoiceTrace:
+    def test_bic_trace_length(self):
+        import numpy as np
+
+        from repro.simpoint.select import choose_clustering
+
+        rng = np.random.default_rng(0)
+        points = rng.uniform(size=(30, 5))
+        choice = choose_clustering(
+            points, np.ones(30), max_k=6, seed=0
+        )
+        assert len(choice.bic_scores) == 6
+        assert choice.bic_scores[choice.chosen_index] == (
+            choice.bic_scores[choice.k - 1]
+        )

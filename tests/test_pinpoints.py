@@ -1,0 +1,149 @@
+"""Tests for repro.pinpoints: file formats and the tool chain."""
+
+import pytest
+
+from repro.core.mapping import MappedSimulationPoint
+from repro.core.pipeline import CrossBinaryConfig
+from repro.errors import FileFormatError
+from repro.pinpoints.files import (
+    read_regions,
+    read_simpoints,
+    read_weights,
+    write_regions,
+    write_simpoints,
+    write_weights,
+)
+from repro.pinpoints.toolchain import (
+    generate_cross_binary_pinpoints,
+    generate_pinpoints,
+)
+from repro.simpoint.simpoint import SimPointConfig
+
+from tests.conftest import MICRO_INTERVAL
+
+
+@pytest.fixture(scope="module")
+def package(micro_binary_32u, tmp_path_factory):
+    out = tmp_path_factory.mktemp("pinpoints")
+    return generate_pinpoints(
+        micro_binary_32u,
+        interval_size=MICRO_INTERVAL,
+        config=SimPointConfig(max_k=6),
+        output_dir=out,
+    )
+
+
+class TestSimpointsFiles:
+    def test_files_written(self, package):
+        assert package.simpoints_path.exists()
+        assert package.weights_path.exists()
+
+    def test_simpoints_roundtrip(self, package):
+        pairs = read_simpoints(package.simpoints_path)
+        expected = [
+            (p.interval_index, p.cluster) for p in package.simpoint.points
+        ]
+        assert pairs == expected
+
+    def test_weights_roundtrip(self, package):
+        pairs = read_weights(package.weights_path)
+        for (weight, cluster), point in zip(pairs, package.simpoint.points):
+            assert cluster == point.cluster
+            assert weight == pytest.approx(point.weight, abs=1e-9)
+
+    def test_weights_sum_to_one(self, package):
+        pairs = read_weights(package.weights_path)
+        assert sum(w for w, _ in pairs) == pytest.approx(1.0)
+
+    def test_malformed_simpoints_rejected(self, tmp_path):
+        path = tmp_path / "bad.simpoints"
+        path.write_text("1 2 3\n")
+        with pytest.raises(FileFormatError):
+            read_simpoints(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.simpoints"
+        path.write_text("one 2\n")
+        with pytest.raises(FileFormatError):
+            read_simpoints(path)
+
+    def test_weight_range_enforced(self, tmp_path):
+        path = tmp_path / "bad.weights"
+        path.write_text("1.5 0\n")
+        with pytest.raises(FileFormatError):
+            read_weights(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "ok.simpoints"
+        path.write_text("# comment\n\n3 1\n")
+        assert read_simpoints(path) == [(3, 1)]
+
+
+class TestRegionsFile:
+    def _points(self):
+        return [
+            MappedSimulationPoint(cluster=0, interval_index=0,
+                                  start=None, end=(5, 17),
+                                  primary_weight=0.25),
+            MappedSimulationPoint(cluster=1, interval_index=7,
+                                  start=(5, 17), end=(2, 90),
+                                  primary_weight=0.5),
+            MappedSimulationPoint(cluster=2, interval_index=12,
+                                  start=(2, 90), end=None,
+                                  primary_weight=0.25),
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "prog.regions"
+        points = self._points()
+        write_regions(path, points)
+        assert read_regions(path) == points
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.regions"
+        path.write_text("region 0 0 - - 1 2 0.5\n")
+        with pytest.raises(FileFormatError, match="header"):
+            read_regions(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.regions"
+        path.write_text(
+            "# repro cross-binary regions v1\nregion 0 0 - -\n"
+        )
+        with pytest.raises(FileFormatError):
+            read_regions(path)
+
+    def test_bad_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "bad.regions"
+        path.write_text(
+            "# repro cross-binary regions v1\n"
+            "region 0 0 x y 1 2 0.5\n"
+        )
+        with pytest.raises(FileFormatError, match="coordinate"):
+            read_regions(path)
+
+
+class TestCrossBinaryToolchain:
+    def test_generates_regions_file(self, micro_binary_list, tmp_path):
+        result, regions_path = generate_cross_binary_pinpoints(
+            micro_binary_list,
+            CrossBinaryConfig(
+                interval_size=MICRO_INTERVAL,
+                simpoint=SimPointConfig(max_k=6),
+            ),
+            output_dir=tmp_path,
+        )
+        assert regions_path is not None and regions_path.exists()
+        loaded = read_regions(regions_path)
+        assert loaded == list(result.mapped_points)
+
+    def test_no_output_dir_means_no_files(self, micro_binary_list):
+        result, regions_path = generate_cross_binary_pinpoints(
+            micro_binary_list,
+            CrossBinaryConfig(
+                interval_size=MICRO_INTERVAL,
+                simpoint=SimPointConfig(max_k=6),
+            ),
+        )
+        assert regions_path is None
+        assert result.mapped_points

@@ -1,0 +1,118 @@
+"""Tests for repro.programs.behaviors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProgramError
+from repro.programs.behaviors import (
+    AccessKind,
+    MemoryBehavior,
+    blocked,
+    pointer_chasing,
+    random_access,
+    stack_local,
+    streaming,
+)
+
+
+class TestMemoryBehaviorValidation:
+    def test_rejects_zero_footprint(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, footprint=0, refs_per_exec=1)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, footprint=-4, refs_per_exec=1)
+
+    def test_rejects_negative_refs(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, footprint=64, refs_per_exec=-1)
+
+    def test_zero_refs_allowed(self):
+        behavior = MemoryBehavior(AccessKind.STREAM, 64, refs_per_exec=0)
+        assert behavior.refs_per_exec == 0
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, 64, 1, stride=0)
+
+    def test_rejects_pointer_fraction_above_one(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, 64, 1, pointer_fraction=1.5)
+
+    def test_rejects_negative_pointer_fraction(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, 64, 1, pointer_fraction=-0.1)
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ProgramError):
+            MemoryBehavior(AccessKind.STREAM, 64, 1, read_fraction=2.0)
+
+
+class TestScaledFootprint:
+    def test_32bit_is_baseline(self):
+        behavior = MemoryBehavior(AccessKind.RANDOM, 1000, 1,
+                                  pointer_fraction=0.5)
+        assert behavior.scaled_footprint(4) == 1000
+
+    def test_64bit_scales_pointer_fraction(self):
+        behavior = MemoryBehavior(AccessKind.RANDOM, 1000, 1,
+                                  pointer_fraction=0.5)
+        # Half the footprint is pointers; pointers double: 1000 * 1.5.
+        assert behavior.scaled_footprint(8) == 1500
+
+    def test_no_pointers_means_no_scaling(self):
+        behavior = MemoryBehavior(AccessKind.STREAM, 1000, 1,
+                                  pointer_fraction=0.0)
+        assert behavior.scaled_footprint(8) == 1000
+
+    def test_full_pointer_footprint_doubles(self):
+        behavior = MemoryBehavior(AccessKind.POINTER_CHASE, 1000, 1,
+                                  pointer_fraction=1.0)
+        assert behavior.scaled_footprint(8) == 2000
+
+    def test_rejects_nonpositive_pointer_bytes(self):
+        behavior = streaming(1024)
+        with pytest.raises(ProgramError):
+            behavior.scaled_footprint(0)
+
+    @given(
+        footprint=st.integers(min_value=1, max_value=1 << 26),
+        pointer_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_scaled_footprint_monotone_in_pointer_width(
+        self, footprint, pointer_fraction
+    ):
+        behavior = MemoryBehavior(
+            AccessKind.RANDOM, footprint, 1,
+            pointer_fraction=pointer_fraction,
+        )
+        assert (
+            behavior.scaled_footprint(8) >= behavior.scaled_footprint(4) >= 1
+        )
+
+
+class TestFactories:
+    def test_streaming_kind(self):
+        assert streaming(4096).kind is AccessKind.STREAM
+
+    def test_blocked_kind(self):
+        assert blocked(4096).kind is AccessKind.BLOCKED
+
+    def test_random_kind_and_pointers(self):
+        behavior = random_access(4096, pointer_fraction=0.3)
+        assert behavior.kind is AccessKind.RANDOM
+        assert behavior.pointer_fraction == 0.3
+
+    def test_pointer_chasing_is_pointer_heavy(self):
+        assert pointer_chasing(4096).pointer_fraction > 0.5
+
+    def test_stack_local_is_small(self):
+        behavior = stack_local()
+        assert behavior.kind is AccessKind.STACK
+        assert behavior.footprint <= 8192
+
+    def test_factories_are_frozen(self):
+        behavior = streaming(4096)
+        with pytest.raises(AttributeError):
+            behavior.footprint = 1

@@ -1,0 +1,160 @@
+"""Tests for repro.programs.inputs and repro.programs.suite."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProgramError
+from repro.programs.inputs import ProgramInput, REF_INPUT, TEST_INPUT
+from repro.programs.ir import (
+    Compute,
+    Loop,
+    iter_program_statements,
+    static_statistics,
+)
+from repro.programs.suite import (
+    BENCHMARK_SPECS,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+    estimate_source_instructions,
+)
+
+#: The 21 benchmarks the paper's figures show, in figure order.
+PAPER_BENCHMARKS = (
+    "ammp", "applu", "apsi", "art", "bzip2", "crafty", "eon", "equake",
+    "fma3d", "gcc", "gzip", "lucas", "mcf", "mesa", "perlbmk",
+    "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwise",
+)
+
+
+class TestProgramInput:
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ProgramError):
+            ProgramInput("bad", scale=0)
+
+    def test_unscaled_trips_pass_through(self):
+        assert REF_INPUT.resolve_trips(7, input_scaled=False) == 7
+
+    def test_scaled_trips_multiply(self):
+        half = ProgramInput("half", scale=0.5)
+        assert half.resolve_trips(10, input_scaled=True) == 5
+
+    def test_scaled_trips_never_below_one(self):
+        tiny = ProgramInput("tiny", scale=0.01)
+        assert tiny.resolve_trips(10, input_scaled=True) == 1
+
+    def test_rejects_zero_base_trips(self):
+        with pytest.raises(ProgramError):
+            REF_INPUT.resolve_trips(0, input_scaled=False)
+
+    def test_test_input_is_smaller_than_ref(self):
+        assert TEST_INPUT.scale < REF_INPUT.scale
+
+    @given(
+        base=st.integers(min_value=1, max_value=10**6),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_resolution_is_positive(self, base, scale):
+        result = ProgramInput("x", scale=scale).resolve_trips(base, True)
+        assert result >= 1
+
+
+class TestSuiteRoster:
+    def test_all_paper_benchmarks_present(self):
+        assert benchmark_names() == PAPER_BENCHMARKS
+
+    def test_twenty_one_benchmarks(self):
+        assert len(benchmark_names()) == 21
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ProgramError, match="unknown benchmark"):
+            build_benchmark("nosuchthing")
+
+    def test_build_suite_subset(self):
+        suite = build_suite(("art", "mcf"))
+        assert set(suite) == {"art", "mcf"}
+
+    def test_applu_has_hazard_flag(self):
+        assert BENCHMARK_SPECS["applu"].applu_hazard
+        assert not BENCHMARK_SPECS["gcc"].applu_hazard
+
+
+class TestBenchmarkStructure:
+    @pytest.fixture(scope="class")
+    def art(self):
+        return build_benchmark("art")
+
+    def test_deterministic_construction(self):
+        a = build_benchmark("art")
+        b = build_benchmark("art")
+        assert a == b
+
+    def test_programs_are_finalized(self, art):
+        assert art.finalized
+        for _, stmt in iter_program_statements(art):
+            assert stmt.location is not None
+
+    def test_entry_is_main(self, art):
+        assert art.entry == "main"
+
+    def test_has_stages_and_kernels(self, art):
+        names = set(art.procedures)
+        assert any(name.startswith("stage_") for name in names)
+        assert any(name.startswith("kern_") for name in names)
+
+    def test_size_near_target(self):
+        for name in ("art", "gcc", "swim"):
+            program = build_benchmark(name)
+            target = BENCHMARK_SPECS[name].target_minstr * 1e6
+            estimate = estimate_source_instructions(program)
+            assert 0.5 * target <= estimate <= 1.6 * target, (
+                f"{name}: {estimate} vs target {target}"
+            )
+
+    def test_smaller_input_shrinks_execution(self, art):
+        ref = estimate_source_instructions(art, REF_INPUT)
+        test = estimate_source_instructions(art, TEST_INPUT)
+        assert test < ref
+
+    def test_applu_pde_procedures(self):
+        applu = build_benchmark("applu")
+        pde = [name for name in applu.procedures if name.startswith("pde_")]
+        assert len(pde) == 5
+        for name in pde:
+            assert applu.procedures[name].inlinable
+
+    def test_applu_pde_loops_have_identical_trips(self):
+        applu = build_benchmark("applu")
+        trips = set()
+        for name in (f"pde_{i}" for i in range(5)):
+            loop = applu.procedures[name].body[0]
+            assert isinstance(loop, Loop)
+            trips.add(loop.trips)
+        assert len(trips) == 1  # identical => ambiguous after inlining
+
+    def test_gcc_has_more_stages_than_cluster_budget(self):
+        # The paper limits SimPoint to 10 clusters; gcc's 14 stages force
+        # multiple behaviours into shared phases.
+        assert BENCHMARK_SPECS["gcc"].n_stages > 10
+
+    def test_every_benchmark_builds_and_validates(self):
+        for name in benchmark_names():
+            program = build_benchmark(name)
+            stats = static_statistics(program)
+            assert stats.loops >= 3, name
+            assert stats.procedures >= 5, name
+
+    def test_some_benchmarks_have_inlinable_helpers(self):
+        found = False
+        for name in benchmark_names():
+            program = build_benchmark(name)
+            for proc in program.procedures.values():
+                if proc.name.endswith("_helper") and proc.inlinable:
+                    found = True
+        assert found
+
+    def test_computes_all_have_behaviors_with_positive_footprints(self):
+        program = build_benchmark("vpr")
+        for _, stmt in iter_program_statements(program):
+            if isinstance(stmt, Compute) and stmt.behavior is not None:
+                assert stmt.behavior.footprint > 0

@@ -1,0 +1,211 @@
+"""Tests for repro.programs.ir."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.programs.behaviors import streaming
+from repro.programs.ir import (
+    Call,
+    Compute,
+    Loop,
+    Procedure,
+    Program,
+    call_graph,
+    finalize_program,
+    iter_program_statements,
+    iter_statements,
+    reachable_procedures,
+    static_statistics,
+)
+
+
+def _simple_program(**kwargs):
+    leaf = Procedure(
+        name="leaf",
+        body=(Compute("leaf_c", instructions=10),),
+    )
+    main = Procedure(
+        name="main",
+        body=(
+            Compute("init", instructions=5),
+            Loop(
+                "loop",
+                trips=4,
+                body=(
+                    Call("call_leaf", callee="leaf"),
+                    Compute("work", instructions=20,
+                            behavior=streaming(4096)),
+                ),
+            ),
+        ),
+    )
+    return Program(
+        name="simple",
+        procedures={"main": main, "leaf": leaf},
+        entry="main",
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_compute_rejects_zero_instructions(self):
+        with pytest.raises(ProgramError):
+            Compute("c", instructions=0)
+
+    def test_loop_rejects_zero_trips(self):
+        with pytest.raises(ProgramError):
+            Loop("l", trips=0, body=(Compute("c", instructions=1),))
+
+    def test_loop_rejects_empty_body(self):
+        with pytest.raises(ProgramError):
+            Loop("l", trips=1, body=())
+
+    def test_call_rejects_unnamed_callee(self):
+        with pytest.raises(ProgramError):
+            Call("c", callee="")
+
+    def test_procedure_rejects_empty_body(self):
+        with pytest.raises(ProgramError):
+            Procedure(name="p", body=())
+
+    def test_program_rejects_missing_entry(self):
+        leaf = Procedure(name="leaf", body=(Compute("c", instructions=1),))
+        with pytest.raises(ProgramError):
+            Program(name="p", procedures={"leaf": leaf}, entry="main")
+
+    def test_program_rejects_mismatched_keys(self):
+        leaf = Procedure(name="leaf", body=(Compute("c", instructions=1),))
+        with pytest.raises(ProgramError):
+            Program(name="p", procedures={"other": leaf}, entry="other")
+
+
+class TestWalks:
+    def test_iter_statements_is_preorder(self):
+        program = _simple_program()
+        names = [s.name for s in iter_statements(
+            program.procedures["main"].body)]
+        assert names == ["init", "loop", "call_leaf", "work"]
+
+    def test_iter_program_statements_covers_all_procedures(self):
+        program = _simple_program()
+        pairs = list(iter_program_statements(program))
+        procs = {proc for proc, _ in pairs}
+        assert procs == {"main", "leaf"}
+
+    def test_call_graph(self):
+        program = _simple_program()
+        graph = call_graph(program)
+        assert graph["main"] == ("leaf",)
+        assert graph["leaf"] == ()
+
+    def test_reachable_from_entry(self):
+        program = _simple_program()
+        assert reachable_procedures(program) == ("main", "leaf")
+
+    def test_unreachable_procedures_excluded(self):
+        extra = Procedure(name="orphan", body=(Compute("c", instructions=1),))
+        program = _simple_program()
+        procedures = dict(program.procedures)
+        procedures["orphan"] = extra
+        program = Program(name="p", procedures=procedures, entry="main")
+        assert "orphan" not in reachable_procedures(program)
+
+
+class TestFinalize:
+    def test_assigns_unique_lines(self):
+        program = finalize_program(_simple_program())
+        lines = [
+            stmt.location.line
+            for _, stmt in iter_program_statements(program)
+        ]
+        assert len(lines) == len(set(lines))
+        assert all(line > 0 for line in lines)
+
+    def test_assigns_stream_ids_to_computes(self):
+        program = finalize_program(_simple_program())
+        for _, stmt in iter_program_statements(program):
+            if isinstance(stmt, Compute):
+                assert stmt.stream_id is not None
+
+    def test_named_streams_share_ids(self):
+        main = Procedure(
+            name="main",
+            body=(
+                Compute("a", instructions=1, stream="shared"),
+                Compute("b", instructions=1, stream="shared"),
+                Compute("c", instructions=1),
+            ),
+        )
+        program = finalize_program(
+            Program(name="p", procedures={"main": main}, entry="main")
+        )
+        a, b, c = program.procedures["main"].body
+        assert a.stream_id == b.stream_id
+        assert c.stream_id != a.stream_id
+
+    def test_unnamed_streams_are_unique(self):
+        program = finalize_program(_simple_program())
+        ids = [
+            stmt.stream_id
+            for _, stmt in iter_program_statements(program)
+            if isinstance(stmt, Compute)
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_idempotent(self):
+        once = finalize_program(_simple_program())
+        twice = finalize_program(once)
+        assert once is twice
+
+    def test_source_file_defaults_to_program_name(self):
+        program = finalize_program(_simple_program())
+        assert program.source_file == "simple.c"
+
+    def test_rejects_undefined_callee(self):
+        main = Procedure(
+            name="main", body=(Call("c", callee="missing"),)
+        )
+        program = Program(name="p", procedures={"main": main}, entry="main")
+        with pytest.raises(ProgramError, match="undefined procedure"):
+            finalize_program(program)
+
+    def test_rejects_recursion(self):
+        a = Procedure(name="a", body=(Call("ca", callee="b"),))
+        b = Procedure(name="b", body=(Call("cb", callee="a"),))
+        main = Procedure(name="main", body=(Call("cm", callee="a"),))
+        program = Program(
+            name="p", procedures={"main": main, "a": a, "b": b},
+            entry="main",
+        )
+        with pytest.raises(ProgramError, match="recursive"):
+            finalize_program(program)
+
+    def test_rejects_self_recursion(self):
+        main = Procedure(name="main", body=(Call("cm", callee="main"),))
+        program = Program(name="p", procedures={"main": main}, entry="main")
+        with pytest.raises(ProgramError, match="recursive"):
+            finalize_program(program)
+
+    def test_loop_headers_get_distinct_lines_from_bodies(self):
+        program = finalize_program(_simple_program())
+        main = program.procedures["main"]
+        loop = main.body[1]
+        body_lines = {stmt.location.line for stmt in loop.body}
+        assert loop.location.line not in body_lines
+
+
+class TestStatistics:
+    def test_static_statistics(self):
+        stats = static_statistics(_simple_program())
+        assert stats.procedures == 2
+        assert stats.loops == 1
+        assert stats.computes == 3
+        assert stats.calls == 1
+        assert stats.max_loop_depth == 1
+
+    def test_nested_loop_depth(self):
+        inner = Loop("inner", trips=2, body=(Compute("c", instructions=1),))
+        outer = Loop("outer", trips=2, body=(inner,))
+        main = Procedure(name="main", body=(outer,))
+        program = Program(name="p", procedures={"main": main}, entry="main")
+        assert static_statistics(program).max_loop_depth == 2

@@ -1,0 +1,88 @@
+"""Property tests for the PinPoints file formats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import MappedSimulationPoint
+from repro.pinpoints.files import (
+    read_regions,
+    read_simpoints,
+    read_weights,
+    write_regions,
+    write_simpoints,
+    write_weights,
+)
+from repro.simpoint.simpoint import SimPointResult, SimulationPoint
+
+_coords = st.one_of(
+    st.none(),
+    st.tuples(st.integers(0, 10_000), st.integers(1, 10**9)),
+)
+
+_points = st.lists(
+    st.builds(
+        MappedSimulationPoint,
+        cluster=st.integers(0, 50),
+        interval_index=st.integers(0, 10_000),
+        start=_coords,
+        end=_coords,
+        primary_weight=st.floats(
+            min_value=0.0, max_value=1.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestRegionsRoundtrip:
+    @settings(deadline=None, max_examples=50)
+    @given(points=_points)
+    def test_roundtrip_exact(self, points, tmp_path_factory):
+        path = tmp_path_factory.mktemp("regions") / "r.regions"
+        write_regions(path, points)
+        assert read_regions(path) == points
+
+
+def _simpoint_result(pairs, weights):
+    points = tuple(
+        SimulationPoint(cluster=c, interval_index=i, weight=w)
+        for (i, c), w in zip(pairs, weights)
+    )
+    return SimPointResult(
+        points=points,
+        labels=(0,),
+        k=max((c for _, c in pairs), default=0) + 1,
+        bic_scores=(0.0,),
+        interval_instructions=(1,),
+    )
+
+
+class TestSimpointsWeightsRoundtrip:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 10**6), st.integers(0, 40)),
+                st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_roundtrip(self, data, tmp_path_factory):
+        pairs = [pair for pair, _ in data]
+        weights = [weight for _, weight in data]
+        result = _simpoint_result(pairs, weights)
+        directory = tmp_path_factory.mktemp("sp")
+        sp_path = directory / "x.simpoints"
+        w_path = directory / "x.weights"
+        write_simpoints(sp_path, result)
+        write_weights(w_path, result)
+        assert read_simpoints(sp_path) == pairs
+        loaded = read_weights(w_path)
+        for (weight, cluster), (pair, original) in zip(loaded, data):
+            assert cluster == pair[1]
+            assert weight == pytest.approx(original, abs=1e-9)

@@ -1,0 +1,106 @@
+"""Property tests for the simulator's interval trackers.
+
+The trackers attribute instructions and cycles to interval structures
+while the detailed simulation streams by. These properties pin down
+their conservation laws and their equivalence to the profiling-side
+interval builders, over random programs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.cmpsim.simulator import CMPSim, FLITracker, VLITracker
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS
+from repro.core.mapping import interval_boundaries
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.callbranch import collect_call_branch_profile
+
+from tests.strategies import programs
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_INTERVAL = 5_000
+
+
+class TestFLITrackerProperties:
+    @_SETTINGS
+    @given(program=programs())
+    def test_tracker_intervals_align_with_profiler(self, program):
+        """Same interval count and per-interval instruction counts as
+        the BBV profiler (both cut at exact instruction positions)."""
+        binaries = compile_standard_binaries(program)
+        for target in STANDARD_TARGETS[:2]:
+            binary = binaries[target]
+            profiled = collect_fli_bbvs(binary, _INTERVAL)
+            tracker = FLITracker(_INTERVAL)
+            stats = CMPSim(binary).run_full(trackers=(tracker,)).stats
+            assert len(tracker.intervals) == len(profiled)
+            assert [i.instructions for i in tracker.intervals] == [
+                i.instructions for i in profiled
+            ]
+            assert sum(i.cycles for i in tracker.intervals) == (
+                pytest.approx(stats.cycles)
+            )
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_cycles_positive_and_bounded(self, program):
+        binaries = compile_standard_binaries(program)
+        binary = binaries[STANDARD_TARGETS[0]]
+        tracker = FLITracker(_INTERVAL)
+        CMPSim(binary).run_full(trackers=(tracker,))
+        for interval in tracker.intervals:
+            assert interval.cycles > 0
+            # CPI is bounded below by the smallest base CPI and above
+            # by every-ref-missing-to-DRAM behaviour.
+            assert 0.3 < interval.cpi < 300.0
+
+
+class TestVLITrackerProperties:
+    def _setup(self, program):
+        binaries = compile_standard_binaries(program)
+        ordered = [binaries[target] for target in STANDARD_TARGETS]
+        profiles = [
+            (binary, collect_call_branch_profile(binary))
+            for binary in ordered
+        ]
+        marker_set, _ = find_mappable_points(profiles)
+        intervals = collect_vli_bbvs(ordered[0], marker_set, _INTERVAL)
+        boundaries = interval_boundaries(intervals)
+        return ordered, marker_set, intervals, boundaries
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_conservation_in_every_binary(self, program):
+        ordered, marker_set, intervals, boundaries = self._setup(program)
+        for binary in ordered:
+            tracker = VLITracker(
+                marker_set.table_for(binary.name), boundaries
+            )
+            stats = CMPSim(binary).run_full(trackers=(tracker,)).stats
+            assert len(tracker.intervals) == len(intervals)
+            assert sum(i.instructions for i in tracker.intervals) == (
+                stats.instructions
+            )
+            assert sum(i.cycles for i in tracker.intervals) == (
+                pytest.approx(stats.cycles)
+            )
+
+    @_SETTINGS
+    @given(program=programs())
+    def test_primary_tracker_matches_builder_sizes(self, program):
+        ordered, marker_set, intervals, boundaries = self._setup(program)
+        tracker = VLITracker(
+            marker_set.table_for(ordered[0].name), boundaries
+        )
+        CMPSim(ordered[0]).run_full(trackers=(tracker,))
+        assert [i.instructions for i in tracker.intervals] == [
+            i.instructions for i in intervals
+        ]

@@ -1,0 +1,90 @@
+"""Validation tests for region-simulation inputs and helpers."""
+
+import pytest
+
+from repro.cmpsim.simulator import (
+    CMPSim,
+    RegionSpec,
+    regions_from_mapped_points,
+)
+from repro.core.mapping import MappedSimulationPoint
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.errors import SimulationError
+from repro.profiling.callbranch import collect_call_branch_profile
+
+from tests.conftest import MICRO_INTERVAL
+
+
+@pytest.fixture(scope="module")
+def setup(micro_binary_list):
+    profiles = [
+        (binary, collect_call_branch_profile(binary))
+        for binary in micro_binary_list
+    ]
+    marker_set, _ = find_mappable_points(profiles)
+    intervals = collect_vli_bbvs(
+        micro_binary_list[0], marker_set, MICRO_INTERVAL
+    )
+    return micro_binary_list[0], marker_set, intervals
+
+
+class TestRegionSpecValidation:
+    def test_non_first_region_cannot_start_at_program_start(self, setup):
+        binary, marker_set, intervals = setup
+        table = marker_set.table_for(binary.name)
+        regions = [
+            RegionSpec(label=0, start=intervals[1].start_coord,
+                       end=intervals[1].end_coord),
+            RegionSpec(label=1, start=None,
+                       end=intervals[3].end_coord),
+        ]
+        with pytest.raises(SimulationError, match="first region"):
+            CMPSim(binary).run_regions(regions, table)
+
+    def test_non_last_region_cannot_run_to_exit(self, setup):
+        binary, marker_set, intervals = setup
+        table = marker_set.table_for(binary.name)
+        regions = [
+            RegionSpec(label=0, start=intervals[1].start_coord,
+                       end=None),
+            RegionSpec(label=1, start=intervals[3].start_coord,
+                       end=intervals[3].end_coord),
+        ]
+        with pytest.raises(SimulationError, match="last region"):
+            CMPSim(binary).run_regions(regions, table)
+
+    def test_whole_program_as_one_region_matches_full_run(self, setup):
+        binary, marker_set, _ = setup
+        table = marker_set.table_for(binary.name)
+        region = RegionSpec(label=7, start=None, end=None)
+        result = CMPSim(binary).run_regions([region], table)
+        full = CMPSim(binary).run_full().stats
+        stats = result.region(7)
+        assert stats.instructions == full.instructions
+        assert stats.cycles == pytest.approx(full.cycles)
+        assert result.fast_forward_instructions == 0
+
+
+class TestRegionsFromMappedPoints:
+    def test_orders_by_interval_index(self):
+        points = [
+            MappedSimulationPoint(cluster=0, interval_index=9,
+                                  start=(1, 5), end=(1, 9),
+                                  primary_weight=0.5),
+            MappedSimulationPoint(cluster=1, interval_index=2,
+                                  start=(1, 1), end=(1, 2),
+                                  primary_weight=0.5),
+        ]
+        regions = regions_from_mapped_points(points)
+        assert [region.label for region in regions] == [1, 0]
+        assert regions[0].start == (1, 1)
+
+    def test_labels_are_cluster_ids(self):
+        points = [
+            MappedSimulationPoint(cluster=4, interval_index=0,
+                                  start=None, end=(1, 1),
+                                  primary_weight=1.0),
+        ]
+        regions = regions_from_mapped_points(points)
+        assert regions[0].label == 4

@@ -1,0 +1,164 @@
+"""Tests for SimPoint extensions: early points and binary-search k."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.profiling.intervals import Interval
+from repro.simpoint.early import (
+    pick_early_simulation_points,
+    run_early_simpoint,
+)
+from repro.simpoint.kmeans import weighted_kmeans
+from repro.simpoint.select import (
+    choose_clustering,
+    choose_clustering_binary_search,
+)
+from repro.simpoint.simpoint import SimPointConfig, run_simpoint
+
+
+def _phase_intervals(n_per_phase=10, phases=3, drift=0.02, seed=9):
+    """Phases whose members drift slightly, so distances are not tied:
+    the centroid-nearest member sits mid-phase, the earliest does not.
+    """
+    rng = np.random.default_rng(seed)
+    intervals = []
+    index = 0
+    for phase in range(phases):
+        for position in range(n_per_phase):
+            bbv = {}
+            for block in range(4):
+                key = phase * 10 + block
+                # Linear drift across the phase's occurrences.
+                bbv[key] = 1000.0 * (1 + block) * (
+                    1 + drift * (position - n_per_phase / 2)
+                    + rng.uniform(-0.001, 0.001)
+                )
+            intervals.append(
+                Interval(index=index, instructions=10_000, bbv=bbv)
+            )
+            index += 1
+    return intervals
+
+
+class TestEarlySimulationPoints:
+    def test_rejects_negative_tolerance(self):
+        points = np.zeros((4, 2))
+        result = weighted_kmeans(points, 1)
+        with pytest.raises(ClusteringError):
+            pick_early_simulation_points(
+                points, np.ones(4), result, tolerance=-0.1
+            )
+
+    def test_earliness_never_worse_than_classic(self):
+        early = run_early_simpoint(
+            _phase_intervals(), SimPointConfig(max_k=6), tolerance=0.5
+        )
+        assert early.last_point_index <= early.classic_last_point_index
+        assert early.earliness_gain >= 0
+
+    def test_large_tolerance_picks_earliest_member(self):
+        intervals = _phase_intervals()
+        early = run_early_simpoint(
+            intervals, SimPointConfig(max_k=6), tolerance=1e9
+        )
+        labels = early.result.labels
+        for point in early.result.points:
+            first_member = labels.index(point.cluster)
+            assert point.interval_index == first_member
+
+    def test_clustering_identical_to_classic(self):
+        intervals = _phase_intervals()
+        classic = run_simpoint(intervals, SimPointConfig(max_k=6))
+        early = run_early_simpoint(
+            intervals, SimPointConfig(max_k=6), tolerance=0.5
+        )
+        assert early.result.labels == classic.labels
+        assert early.result.k == classic.k
+        # Weights are a property of the clustering, not the choice.
+        classic_weights = {p.cluster: p.weight for p in classic.points}
+        early_weights = {p.cluster: p.weight
+                         for p in early.result.points}
+        assert early_weights == pytest.approx(classic_weights)
+
+    def test_representative_is_member(self):
+        intervals = _phase_intervals()
+        early = run_early_simpoint(
+            intervals, SimPointConfig(max_k=6), tolerance=0.3
+        )
+        for point in early.result.points:
+            assert early.result.labels[point.interval_index] == point.cluster
+
+    def test_tolerance_monotone_in_earliness(self):
+        intervals = _phase_intervals()
+        last = None
+        for tolerance in (0.0, 0.5, 2.0, 1e6):
+            early = run_early_simpoint(
+                intervals, SimPointConfig(max_k=6), tolerance=tolerance
+            )
+            if last is not None:
+                assert early.last_point_index <= last
+            last = early.last_point_index
+
+
+class TestBinarySearchK:
+    def _data(self, phases=4, seed=3):
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(-10, 10, size=(phases, 6))
+        points = np.vstack([
+            center + rng.normal(scale=0.05, size=(15, 6))
+            for center in centers
+        ])
+        weights = np.ones(points.shape[0])
+        return points, weights
+
+    def test_result_satisfies_threshold(self):
+        points, weights = self._data()
+        choice = choose_clustering_binary_search(
+            points, weights, max_k=10, seed=0
+        )
+        assert 1 <= choice.k <= 10
+
+    def test_matches_exhaustive_on_clean_phases(self):
+        points, weights = self._data(phases=4)
+        exhaustive = choose_clustering(points, weights, max_k=10, seed=0)
+        binary = choose_clustering_binary_search(
+            points, weights, max_k=10, seed=0
+        )
+        assert binary.k == exhaustive.k == 4
+
+    def test_evaluates_fewer_clusterings(self):
+        points, weights = self._data(phases=4)
+        binary = choose_clustering_binary_search(
+            points, weights, max_k=10, seed=0
+        )
+        exhaustive = choose_clustering(points, weights, max_k=10, seed=0)
+        assert len(binary.bic_scores) < len(exhaustive.bic_scores)
+
+    def test_facade_routes_k_search(self):
+        intervals = _phase_intervals(phases=3)
+        exhaustive = run_simpoint(
+            intervals, SimPointConfig(max_k=8, k_search="exhaustive")
+        )
+        binary = run_simpoint(
+            intervals, SimPointConfig(max_k=8, k_search="binary")
+        )
+        assert binary.k == exhaustive.k
+
+    def test_config_rejects_unknown_search(self):
+        with pytest.raises(ClusteringError):
+            SimPointConfig(k_search="magic")
+
+    def test_single_point_degenerate(self):
+        points = np.zeros((1, 3))
+        choice = choose_clustering_binary_search(
+            points, np.ones(1), max_k=10
+        )
+        assert choice.k == 1
+
+    def test_rejects_bad_threshold(self):
+        points, weights = self._data()
+        with pytest.raises(ClusteringError):
+            choose_clustering_binary_search(
+                points, weights, max_k=5, bic_threshold=1.5
+            )

@@ -1,0 +1,153 @@
+"""Tests for repro.simpoint.kmeans and repro.simpoint.bic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ClusteringError
+from repro.simpoint.bic import bic_score
+from repro.simpoint.kmeans import weighted_kmeans
+
+
+def _three_blobs(n_per=20, seed=7):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack([
+        center + rng.normal(scale=0.3, size=(n_per, 2))
+        for center in centers
+    ])
+    return points
+
+
+class TestWeightedKMeans:
+    def test_recovers_separated_blobs(self):
+        points = _three_blobs()
+        result = weighted_kmeans(points, 3, seed=1)
+        # Each blob's 20 points share a label.
+        labels = result.labels
+        blob_labels = [set(labels[i * 20:(i + 1) * 20]) for i in range(3)]
+        assert all(len(s) == 1 for s in blob_labels)
+        assert len(set.union(*blob_labels)) == 3
+
+    def test_k1_centroid_is_weighted_mean(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([3.0, 1.0])
+        result = weighted_kmeans(points, 1, weights)
+        assert result.centroids[0, 0] == pytest.approx(2.5)
+
+    def test_inertia_decreases_with_k(self):
+        points = _three_blobs()
+        inertias = [
+            weighted_kmeans(points, k, seed=3).inertia for k in (1, 2, 3)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic_for_fixed_seed(self):
+        points = _three_blobs()
+        a = weighted_kmeans(points, 3, seed=42)
+        b = weighted_kmeans(points, 3, seed=42)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_weights_pull_centroids(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        heavy_left = np.array([100.0, 100.0, 1.0, 1.0])
+        result = weighted_kmeans(points, 1, heavy_left)
+        assert result.centroids[0, 0] < 2.0
+
+    def test_k_equal_n_gives_zero_inertia(self):
+        points = np.array([[0.0], [5.0], [9.0]])
+        result = weighted_kmeans(points, 3)
+        assert result.inertia == pytest.approx(0.0)
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ClusteringError):
+            weighted_kmeans(np.zeros((2, 2)), 3)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ClusteringError):
+            weighted_kmeans(np.zeros((2, 2)), 0)
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ClusteringError):
+            weighted_kmeans(np.zeros((0, 2)), 1)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ClusteringError):
+            weighted_kmeans(np.zeros((3, 2)), 1, np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_wrong_weight_shape(self):
+        with pytest.raises(ClusteringError):
+            weighted_kmeans(np.zeros((3, 2)), 1, np.array([1.0, 1.0]))
+
+    def test_identical_points_no_crash(self):
+        points = np.ones((10, 3))
+        result = weighted_kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_every_label_in_range_and_every_cluster_usable(self, n, k, seed):
+        if k > n:
+            k = n
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(n, 4))
+        result = weighted_kmeans(points, k, seed=seed)
+        assert result.labels.shape == (n,)
+        assert set(result.labels.tolist()) <= set(range(k))
+        assert result.inertia >= 0.0
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_inertia_is_weighted_sum_of_squares(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(12, 3))
+        weights = rng.uniform(0.5, 2.0, size=12)
+        result = weighted_kmeans(points, 3, weights, seed=seed)
+        manual = 0.0
+        for i in range(12):
+            diff = points[i] - result.centroids[result.labels[i]]
+            manual += weights[i] * float(diff @ diff)
+        assert result.inertia == pytest.approx(manual, rel=1e-9)
+
+
+class TestBIC:
+    def test_prefers_true_k_on_blobs(self):
+        points = _three_blobs()
+        weights = np.ones(points.shape[0])
+        scores = {}
+        for k in range(1, 7):
+            result = weighted_kmeans(points, k, weights, seed=k)
+            scores[k] = bic_score(points, result, weights)
+        assert max(scores, key=scores.get) == 3
+
+    def test_higher_is_better_orientation(self):
+        points = _three_blobs()
+        weights = np.ones(points.shape[0])
+        bad = weighted_kmeans(points, 1, weights, seed=0)
+        good = weighted_kmeans(points, 3, weights, seed=0)
+        assert bic_score(points, good, weights) > bic_score(points, bad,
+                                                            weights)
+
+    def test_rejects_mismatched_labels(self):
+        points = _three_blobs()
+        result = weighted_kmeans(points, 2, seed=0)
+        with pytest.raises(ClusteringError):
+            bic_score(points[:10], result)
+
+    def test_weighted_reduces_to_unweighted(self):
+        points = _three_blobs()
+        result = weighted_kmeans(points, 3, seed=0)
+        unweighted = bic_score(points, result)
+        ones = bic_score(points, result, np.ones(points.shape[0]))
+        assert unweighted == pytest.approx(ones)
+
+    def test_degenerate_zero_variance(self):
+        points = np.ones((10, 2))
+        result = weighted_kmeans(points, 1)
+        score = bic_score(points, result)
+        assert np.isfinite(score)

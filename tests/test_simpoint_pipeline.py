@@ -1,0 +1,225 @@
+"""Tests for repro.simpoint: vectors, projection, selection, facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ClusteringError
+from repro.profiling.intervals import Interval
+from repro.simpoint.projection import project, projection_matrix
+from repro.simpoint.select import choose_clustering, pick_simulation_points
+from repro.simpoint.simpoint import SimPointConfig, run_simpoint
+from repro.simpoint.vectors import build_vector_set
+
+
+def _intervals_with_phases(n_per_phase=12, phases=3, noise=0.01, seed=5):
+    """Synthetic intervals: each phase uses a distinct block set."""
+    rng = np.random.default_rng(seed)
+    intervals = []
+    index = 0
+    for phase in range(phases):
+        for _ in range(n_per_phase):
+            bbv = {}
+            for block in range(4):
+                key = phase * 10 + block
+                bbv[key] = 1000.0 * (1 + block) * (1 + rng.uniform(-noise,
+                                                                   noise))
+            # A block shared by all phases, lightly used.
+            bbv[999] = 100.0
+            intervals.append(
+                Interval(index=index, instructions=10_000, bbv=bbv)
+            )
+            index += 1
+    return intervals
+
+
+class TestVectorSet:
+    def test_rows_normalized(self):
+        vs = build_vector_set(_intervals_with_phases())
+        sums = vs.matrix.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_weights_are_instruction_counts(self):
+        vs = build_vector_set(_intervals_with_phases())
+        assert np.all(vs.weights == 10_000)
+
+    def test_dimension_keys_cover_blocks(self):
+        vs = build_vector_set(_intervals_with_phases(phases=2))
+        assert 999 in vs.dimension_keys
+        assert vs.n_dimensions == 2 * 4 + 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ClusteringError):
+            build_vector_set([])
+
+    def test_rejects_interval_with_empty_bbv(self):
+        good = Interval(index=0, instructions=10, bbv={1: 10.0})
+        bad = Interval(index=1, instructions=10, bbv={})
+        with pytest.raises(ClusteringError):
+            build_vector_set([good, bad])
+
+
+class TestProjection:
+    def test_deterministic(self):
+        a = projection_matrix(100, 15, seed=1)
+        b = projection_matrix(100, 15, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = projection_matrix(100, 15, seed=1)
+        b = projection_matrix(100, 15, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_output_shape(self):
+        data = np.random.default_rng(0).uniform(size=(20, 100))
+        projected = project(data, 15)
+        assert projected.shape == (20, 15)
+
+    def test_low_dim_data_passes_through(self):
+        data = np.random.default_rng(0).uniform(size=(20, 10))
+        assert project(data, 15) is data
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ClusteringError):
+            projection_matrix(0, 15)
+
+    def test_preserves_separation_approximately(self):
+        """Well-separated clusters stay separated after projection."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 0.01, size=(30, 100))
+        b = rng.normal(1.0, 0.01, size=(30, 100))
+        pa = project(a, 15, seed=0)
+        pb = project(b, 15, seed=0)
+        within = np.linalg.norm(pa - pa.mean(axis=0), axis=1).mean()
+        between = np.linalg.norm(pa.mean(axis=0) - pb.mean(axis=0))
+        assert between > 5 * within
+
+
+class TestChooseClustering:
+    def test_finds_phase_count(self):
+        vs = build_vector_set(_intervals_with_phases(phases=3))
+        choice = choose_clustering(
+            project(vs.matrix), vs.weights, max_k=8, seed=0
+        )
+        assert choice.k == 3
+
+    def test_smallest_good_k_wins(self):
+        """With a lenient threshold, a smaller k is acceptable."""
+        vs = build_vector_set(_intervals_with_phases(phases=4))
+        strict = choose_clustering(
+            project(vs.matrix), vs.weights, max_k=8, bic_threshold=0.99,
+            seed=0,
+        )
+        lenient = choose_clustering(
+            project(vs.matrix), vs.weights, max_k=8, bic_threshold=0.1,
+            seed=0,
+        )
+        assert lenient.k <= strict.k
+
+    def test_k_capped_by_interval_count(self):
+        vs = build_vector_set(_intervals_with_phases(n_per_phase=2,
+                                                     phases=2))
+        choice = choose_clustering(vs.matrix, vs.weights, max_k=100, seed=0)
+        assert choice.k <= 4
+
+    def test_bic_scores_exposed(self):
+        vs = build_vector_set(_intervals_with_phases())
+        choice = choose_clustering(
+            project(vs.matrix), vs.weights, max_k=5, seed=0
+        )
+        assert len(choice.bic_scores) == 5
+
+    def test_rejects_bad_threshold(self):
+        vs = build_vector_set(_intervals_with_phases())
+        with pytest.raises(ClusteringError):
+            choose_clustering(vs.matrix, vs.weights, max_k=5,
+                              bic_threshold=0.0)
+
+
+class TestPickSimulationPoints:
+    def test_representative_is_cluster_member(self):
+        vs = build_vector_set(_intervals_with_phases())
+        points = project(vs.matrix)
+        choice = choose_clustering(points, vs.weights, max_k=8, seed=0)
+        picks = pick_simulation_points(points, vs.weights, choice.result)
+        for pick in picks:
+            assert choice.result.labels[pick.interval_index] == pick.cluster
+
+    def test_weights_sum_to_one(self):
+        vs = build_vector_set(_intervals_with_phases())
+        points = project(vs.matrix)
+        choice = choose_clustering(points, vs.weights, max_k=8, seed=0)
+        picks = pick_simulation_points(points, vs.weights, choice.result)
+        assert sum(p.weight for p in picks) == pytest.approx(1.0)
+
+    def test_equal_phases_get_equal_weights(self):
+        vs = build_vector_set(_intervals_with_phases(phases=3))
+        points = project(vs.matrix)
+        choice = choose_clustering(points, vs.weights, max_k=8, seed=0)
+        picks = pick_simulation_points(points, vs.weights, choice.result)
+        if choice.k == 3:
+            for pick in picks:
+                assert pick.weight == pytest.approx(1 / 3, abs=0.01)
+
+
+class TestRunSimPoint:
+    def test_end_to_end_on_synthetic_phases(self):
+        result = run_simpoint(_intervals_with_phases(phases=3),
+                              SimPointConfig(max_k=8))
+        assert result.k == 3
+        assert result.n_points == 3
+        assert len(result.labels) == 36
+
+    def test_max_k_respected(self):
+        result = run_simpoint(
+            _intervals_with_phases(phases=6),
+            SimPointConfig(max_k=4),
+        )
+        assert result.k <= 4
+
+    def test_weights_sum_to_one(self):
+        result = run_simpoint(_intervals_with_phases())
+        assert sum(p.weight for p in result.points) == pytest.approx(1.0)
+
+    def test_phase_of_accessor(self):
+        result = run_simpoint(_intervals_with_phases())
+        for point in result.points:
+            assert result.phase_of(point.interval_index) == point.cluster
+
+    def test_weight_of_cluster_accessor(self):
+        result = run_simpoint(_intervals_with_phases())
+        for point in result.points:
+            assert result.weight_of_cluster(point.cluster) == point.weight
+        with pytest.raises(ClusteringError):
+            result.weight_of_cluster(10_000)
+
+    def test_single_interval(self):
+        intervals = [Interval(index=0, instructions=100, bbv={1: 100.0})]
+        result = run_simpoint(intervals)
+        assert result.k == 1
+        assert result.points[0].weight == pytest.approx(1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ClusteringError):
+            SimPointConfig(max_k=0)
+        with pytest.raises(ClusteringError):
+            SimPointConfig(dimensions=0)
+
+    def test_deterministic(self):
+        intervals = _intervals_with_phases()
+        a = run_simpoint(intervals)
+        b = run_simpoint(intervals)
+        assert a == b
+
+    @settings(deadline=None, max_examples=10)
+    @given(phases=st.integers(min_value=1, max_value=5),
+           seed=st.integers(min_value=0, max_value=20))
+    def test_labels_consistent_with_points(self, phases, seed):
+        intervals = _intervals_with_phases(
+            n_per_phase=6, phases=phases, seed=seed
+        )
+        result = run_simpoint(intervals, SimPointConfig(max_k=8))
+        clusters_in_labels = set(result.labels)
+        clusters_in_points = {p.cluster for p in result.points}
+        assert clusters_in_points == clusters_in_labels
+        assert sum(p.weight for p in result.points) == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.validation."""
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.experiments.validation import (
+    ClaimResult,
+    Verdict,
+    render_validation,
+    validate_reproduction,
+)
+
+
+@pytest.fixture(scope="module")
+def art_only_runs():
+    return run_suite(["art"])
+
+
+class TestValidation:
+    def test_all_claims_evaluated(self, art_only_runs):
+        results = validate_reproduction(art_only_runs)
+        claims = [result.claim for result in results]
+        assert claims == [
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "table2", "table3",
+        ]
+
+    def test_benchmark_specific_claims_skip(self, art_only_runs):
+        """Without applu/gcc/apsi, their claims skip rather than fail."""
+        results = {
+            result.claim: result
+            for result in validate_reproduction(art_only_runs)
+        }
+        assert results["figure2"].verdict is Verdict.SKIP
+        assert results["table2"].verdict is Verdict.SKIP
+        assert results["table3"].verdict is Verdict.SKIP
+
+    def test_generic_claims_evaluated_on_subset(self, art_only_runs):
+        results = {
+            result.claim: result
+            for result in validate_reproduction(art_only_runs)
+        }
+        assert results["figure1"].verdict in (Verdict.PASS, Verdict.FAIL)
+        assert results["figure3"].verdict in (Verdict.PASS, Verdict.FAIL)
+
+    def test_render_contains_verdicts_and_counts(self, art_only_runs):
+        results = validate_reproduction(art_only_runs)
+        text = render_validation(results)
+        assert "reproduction validation" in text
+        assert "skipped" in text
+        for result in results:
+            assert result.claim in text
+            assert result.verdict.value in text
+
+    def test_cli_validate_subset(self, capsys):
+        from repro.cli import main
+
+        code = main(["validate", "--benchmarks", "art"])
+        out = capsys.readouterr().out
+        assert "reproduction validation" in out
+        # A subset run must never FAIL benchmark-specific claims.
+        assert "[FAIL] figure2" not in out
+        assert code in (0, 1)
+
+    def test_claim_result_immutable(self):
+        result = ClaimResult("c", "d", Verdict.PASS, "x")
+        with pytest.raises(AttributeError):
+            result.verdict = Verdict.FAIL
