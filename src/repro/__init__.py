@@ -59,6 +59,7 @@ from repro.core import (
     find_mappable_points,
     run_cross_binary_simpoint,
     run_per_binary_simpoint,
+    run_per_binary_simpoints,
 )
 from repro.errors import ReproError
 from repro.execution import ExecutionEngine, PinTool, run_binary, run_with_tools
@@ -74,6 +75,12 @@ from repro.programs import (
     benchmark_names,
     build_benchmark,
     build_suite,
+)
+from repro.runtime import (
+    CacheStats,
+    ProfileCache,
+    parallel_map,
+    runtime_session,
 )
 from repro.simpoint import (
     SimPointConfig,
@@ -113,7 +120,12 @@ __all__ = [
     "find_mappable_points",
     "run_cross_binary_simpoint",
     "run_per_binary_simpoint",
+    "run_per_binary_simpoints",
     "ReproError",
+    "CacheStats",
+    "ProfileCache",
+    "parallel_map",
+    "runtime_session",
     "ExecutionEngine",
     "PinTool",
     "run_binary",

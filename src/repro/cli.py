@@ -252,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Cross Binary Simulation Points (ISPASS 2007) "
                     "reproduction harness",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for per-binary fan-out "
+             "(default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="profile cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk profile cache",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the benchmark suite")
@@ -321,9 +335,39 @@ _COMMANDS = {
 }
 
 
+def _resolve_runtime(args: argparse.Namespace):
+    """The CLI's effective (jobs, cache) from flags and environment."""
+    import os
+
+    from repro.runtime import ProfileCache
+
+    jobs = args.jobs
+    if jobs is None and not os.environ.get("REPRO_JOBS"):
+        jobs = os.cpu_count() or 1
+    no_cache = args.no_cache or bool(os.environ.get("REPRO_NO_CACHE"))
+    if no_cache:
+        return jobs, None
+    cache_dir = (
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or os.path.join(os.path.expanduser("~"), ".cache", "repro")
+    )
+    return jobs, ProfileCache(cache_dir)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.runtime import runtime_session
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    jobs, cache = _resolve_runtime(args)
+    try:
+        with runtime_session(jobs=jobs, cache=cache):
+            return _COMMANDS[args.command](args)
+    finally:
+        if cache is not None and cache.stats.lookups:
+            from repro.experiments.reporting import render_cache_stats
+
+            print(f"\n{render_cache_stats(cache.stats)}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ trackers' bulk-chunk boundary arithmetic exact.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -80,6 +81,9 @@ class FLITracker:
         self._size = interval_size
         self._cur = IntervalStats()
         self.intervals: List[IntervalStats] = []
+        self.total_instructions = 0
+        self.total_cycles = 0.0
+        self.total_dram = 0.0
 
     def on_chunk(
         self,
@@ -89,6 +93,16 @@ class FLITracker:
         cycles: float,
         dram: float = 0.0,
     ) -> None:
+        self.total_instructions += instructions
+        self.total_cycles += cycles
+        self.total_dram += dram
+        if instructions <= 0:
+            # A chunk may carry cycles/DRAM traffic without committing
+            # instructions; conserve them in the open interval instead
+            # of silently dropping them.
+            self._cur.cycles += cycles
+            self._cur.dram_accesses += dram
+            return
         remaining_instr = instructions
         remaining_cycles = cycles
         remaining_dram = dram
@@ -112,9 +126,21 @@ class FLITracker:
             self._cur = IntervalStats()
 
     def finish(self) -> None:
-        if self._cur.instructions > 0:
+        if (
+            self._cur.instructions > 0
+            or self._cur.cycles != 0.0
+            or self._cur.dram_accesses != 0.0
+        ):
             self.intervals.append(self._cur)
             self._cur = IntervalStats()
+        tracked = sum(interval.cycles for interval in self.intervals)
+        if not math.isclose(
+            tracked, self.total_cycles, rel_tol=1e-9, abs_tol=1e-6
+        ):
+            raise SimulationError(
+                f"FLI tracker lost cycles: saw {self.total_cycles}, "
+                f"attributed {tracked}"
+            )
 
 
 class VLITracker:

@@ -36,6 +36,7 @@ from repro.core.pipeline import (
     CrossBinaryResult,
     run_cross_binary_simpoint,
     run_per_binary_simpoint,
+    run_per_binary_simpoints,
 )
 from repro.core.vli import VLIBuilder, collect_vli_bbvs
 from repro.core.weights import measure_interval_instructions, phase_weights
@@ -54,6 +55,7 @@ __all__ = [
     "CrossBinaryResult",
     "run_cross_binary_simpoint",
     "run_per_binary_simpoint",
+    "run_per_binary_simpoints",
     "VLIBuilder",
     "collect_vli_bbvs",
     "measure_interval_instructions",

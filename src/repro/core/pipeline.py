@@ -27,6 +27,9 @@ from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.callbranch import collect_call_branch_profile
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.runtime.cache import ProfileCache, cache_from_root, merge_stats
+from repro.runtime.config import active_cache
+from repro.runtime.parallel import parallel_map
 from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
 
 
@@ -72,14 +75,43 @@ class CrossBinaryResult:
             ) from None
 
 
+def _callbranch_task(task):
+    """Worker: call-branch profile for one binary (cache-aware)."""
+    binary, program_input, cache_root = task
+    cache = cache_from_root(cache_root)
+    profile = collect_call_branch_profile(
+        binary, program_input, cache=cache
+    )
+    return profile, (cache.stats if cache is not None else None)
+
+
+def _measure_task(task):
+    """Worker: per-interval instruction counts for one binary."""
+    binary, marker_set, boundaries, program_input, cache_root = task
+    cache = cache_from_root(cache_root)
+    counts = measure_interval_instructions(
+        binary, marker_set, boundaries, program_input, cache=cache
+    )
+    return counts, (cache.stats if cache is not None else None)
+
+
 def run_cross_binary_simpoint(
     binaries: Sequence[Binary],
     config: CrossBinaryConfig = CrossBinaryConfig(),
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ProfileCache] = None,
 ) -> CrossBinaryResult:
     """Run the full Cross Binary SimPoint pipeline.
 
     ``binaries`` must all be compilations of the same program, and they
-    are all run with ``config.program_input``.
+    are all run with ``config.program_input``. Steps 1 (call-branch
+    profiling) and 6 (per-binary weight re-measurement) are independent
+    per binary and fan out over ``jobs`` worker processes; profiles go
+    through the profile cache when one is active. Both knobs default to
+    the process-wide runtime configuration, and neither changes the
+    result: parallel cached runs are bit-identical to serial uncached
+    ones.
     """
     if len(binaries) < 2:
         raise MatchingError("need at least two binaries to cross-map")
@@ -94,10 +126,22 @@ def run_cross_binary_simpoint(
             f"binaries come from different programs: {sorted(programs)}"
         )
 
-    # Step 1: call-and-branch profile for each binary.
+    cache = cache if cache is not None else active_cache()
+    cache_root = cache.root if cache is not None else None
+
+    # Step 1: call-and-branch profile for each binary (fan-out).
+    profile_results = parallel_map(
+        _callbranch_task,
+        [
+            (binary, config.program_input, cache_root)
+            for binary in binaries
+        ],
+        jobs=jobs,
+    )
+    merge_stats(cache, [stats for _, stats in profile_results])
     profiles = [
-        (binary, collect_call_branch_profile(binary, config.program_input))
-        for binary in binaries
+        (binary, profile)
+        for binary, (profile, _) in zip(binaries, profile_results)
     ]
     # Step 2: mappable points that exist in all binaries.
     marker_set, match_report = find_mappable_points(
@@ -107,20 +151,28 @@ def run_cross_binary_simpoint(
     # Step 3: VLIs over the primary binary.
     primary = binaries[config.primary_index]
     intervals = collect_vli_bbvs(
-        primary, marker_set, config.interval_size, config.program_input
+        primary, marker_set, config.interval_size, config.program_input,
+        cache=cache,
     )
     # Step 4: SimPoint on the primary binary's VLI BBVs.
     simpoint_result = run_simpoint(intervals, config.simpoint)
     # Step 5: map simulation points to all binaries (definitional).
     mapped_points = map_simulation_points(intervals, simpoint_result)
     boundaries = interval_boundaries(intervals)
-    # Step 6: re-measure weights per binary.
+    # Step 6: re-measure weights per binary (fan-out).
+    measure_results = parallel_map(
+        _measure_task,
+        [
+            (binary, marker_set, boundaries, config.program_input,
+             cache_root)
+            for binary in binaries
+        ],
+        jobs=jobs,
+    )
+    merge_stats(cache, [stats for _, stats in measure_results])
     interval_instructions: Dict[str, Tuple[int, ...]] = {}
     weights: Dict[str, Dict[int, float]] = {}
-    for binary in binaries:
-        counts = measure_interval_instructions(
-            binary, marker_set, boundaries, config.program_input
-        )
+    for binary, (counts, _) in zip(binaries, measure_results):
         interval_instructions[binary.name] = tuple(counts)
         weights[binary.name] = phase_weights(counts, simpoint_result.labels)
     return CrossBinaryResult(
@@ -141,8 +193,56 @@ def run_per_binary_simpoint(
     interval_size: int = 100_000,
     config: Optional[SimPointConfig] = None,
     program_input: ProgramInput = REF_INPUT,
+    *,
+    cache: Optional[ProfileCache] = None,
 ) -> Tuple[List[Interval], SimPointResult]:
     """The paper's baseline: FLI SimPoint on one binary in isolation."""
-    intervals = collect_fli_bbvs(binary, interval_size, program_input)
+    intervals = collect_fli_bbvs(
+        binary, interval_size, program_input, cache=cache
+    )
     result = run_simpoint(intervals, config or SimPointConfig())
     return intervals, result
+
+
+def _per_binary_task(task):
+    """Worker: the FLI baseline for one binary (cache-aware)."""
+    binary, interval_size, config, program_input, cache_root = task
+    cache = cache_from_root(cache_root)
+    intervals, result = run_per_binary_simpoint(
+        binary, interval_size, config, program_input, cache=cache
+    )
+    return (intervals, result), (
+        cache.stats if cache is not None else None
+    )
+
+
+def run_per_binary_simpoints(
+    binaries: Sequence[Binary],
+    interval_size: int = 100_000,
+    config: Optional[SimPointConfig] = None,
+    program_input: ProgramInput = REF_INPUT,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ProfileCache] = None,
+) -> Dict[str, Tuple[List[Interval], SimPointResult]]:
+    """The FLI baseline over several binaries, fanned out over workers.
+
+    Returns results keyed by binary name, in ``binaries`` order (dicts
+    preserve insertion order); identical to calling
+    :func:`run_per_binary_simpoint` on each binary serially.
+    """
+    cache = cache if cache is not None else active_cache()
+    cache_root = cache.root if cache is not None else None
+    results = parallel_map(
+        _per_binary_task,
+        [
+            (binary, interval_size, config, program_input, cache_root)
+            for binary in binaries
+        ],
+        jobs=jobs,
+    )
+    merge_stats(cache, [stats for _, stats in results])
+    return {
+        binary.name: payload
+        for binary, (payload, _) in zip(binaries, results)
+    }

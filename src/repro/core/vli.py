@@ -23,6 +23,8 @@ from repro.execution.engine import ExecutionEngine
 from repro.execution.events import ExecutionConsumer, iteration_profile
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.runtime.cache import ProfileCache
+from repro.runtime.config import active_cache
 
 
 class VLIBuilder(ExecutionConsumer):
@@ -147,10 +149,26 @@ def collect_vli_bbvs(
     marker_set: MarkerSet,
     target_size: int,
     program_input: ProgramInput = REF_INPUT,
+    *,
+    cache: Optional[ProfileCache] = None,
 ) -> List[Interval]:
-    """Profile a binary into mappable variable-length intervals."""
-    builder = VLIBuilder(
-        binary, marker_set.table_for(binary.name), target_size
+    """Profile a binary into mappable variable-length intervals.
+
+    With a cache (explicit or the process-wide one), the profile is
+    memoized by ``(binary, input, this binary's marker table, target
+    size)`` fingerprint — only the table matters, since the builder
+    never consults the other binaries' anchors.
+    """
+    table = marker_set.table_for(binary.name)
+
+    def compute() -> List[Interval]:
+        builder = VLIBuilder(binary, table, target_size)
+        ExecutionEngine(binary, program_input).run(builder)
+        return builder.intervals
+
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(
+        "vli", (binary, program_input, table, target_size), compute
     )
-    ExecutionEngine(binary, program_input).run(builder)
-    return builder.intervals

@@ -19,6 +19,8 @@ from repro.errors import MappingError
 from repro.execution.engine import ExecutionEngine
 from repro.execution.events import ExecutionConsumer, iteration_profile
 from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.runtime.cache import ProfileCache
+from repro.runtime.config import active_cache
 
 
 class IntervalInstructionCounter(ExecutionConsumer):
@@ -65,9 +67,19 @@ class IntervalInstructionCounter(ExecutionConsumer):
             self._current += instructions * execs
             return
         count = self._marker_counts.get(marker_id, 0)
-        for _ in range(execs):
-            count += 1
-            self._current += instructions
+        remaining = execs
+        while remaining > 0:
+            take = remaining
+            if self._next < len(self._boundaries):
+                expected_marker, expected_count = self._boundaries[self._next]
+                if (
+                    expected_marker == marker_id
+                    and count < expected_count <= count + remaining
+                ):
+                    take = expected_count - count
+            self._current += instructions * take
+            count += take
+            remaining -= take
             self._fire(marker_id, count)
         self._marker_counts[marker_id] = count
 
@@ -111,11 +123,34 @@ def measure_interval_instructions(
     marker_set: MarkerSet,
     boundaries: Sequence[ExecutionCoordinate],
     program_input: ProgramInput = REF_INPUT,
+    *,
+    cache: Optional[ProfileCache] = None,
 ) -> List[int]:
-    """Instructions per mapped interval for one binary (functional run)."""
-    counter = IntervalInstructionCounter(binary, marker_set, boundaries)
-    ExecutionEngine(binary, program_input).run(counter)
-    return counter.interval_instructions
+    """Instructions per mapped interval for one binary (functional run).
+
+    With a cache (explicit or the process-wide one), the counts are
+    memoized by ``(binary, input, this binary's marker table, the
+    boundary coordinates)`` fingerprint.
+    """
+
+    def compute() -> List[int]:
+        counter = IntervalInstructionCounter(binary, marker_set, boundaries)
+        ExecutionEngine(binary, program_input).run(counter)
+        return counter.interval_instructions
+
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(
+        "interval-counts",
+        (
+            binary,
+            program_input,
+            marker_set.table_for(binary.name),
+            tuple(boundaries),
+        ),
+        compute,
+    )
 
 
 def phase_weights(

@@ -46,3 +46,7 @@ class SimulationError(ReproError):
 
 class FileFormatError(ReproError):
     """A PinPoints-style file could not be parsed or round-tripped."""
+
+
+class CacheError(ReproError):
+    """The profile cache is misconfigured or cannot store a value."""

@@ -80,6 +80,23 @@ def render_simulation_stats(stats, level_names=("L1D", "L2", "L3")) -> str:
     )
 
 
+def render_cache_stats(stats) -> str:
+    """Render a profile cache's hit/miss/traffic counters.
+
+    ``stats`` is a :class:`repro.runtime.cache.CacheStats`.
+    """
+    header = ["lookups", "hits", "misses", "hit rate", "read", "written"]
+    row = [
+        f"{stats.lookups:,}",
+        f"{stats.hits:,}",
+        f"{stats.misses:,}",
+        f"{stats.hit_rate:.1%}",
+        f"{stats.bytes_read:,} B",
+        f"{stats.bytes_written:,} B",
+    ]
+    return "Profile cache\n" + _render_grid(header, [row])
+
+
 def render_phase_comparison(comparison: PhaseComparison) -> str:
     """Render a Tables-2/3-style phase comparison."""
     lines = [

@@ -44,6 +44,9 @@ from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.programs.suite import build_benchmark
+from repro.runtime.cache import cache_from_root, merge_stats
+from repro.runtime.config import active_cache
+from repro.runtime.parallel import parallel_map
 from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
 
 
@@ -194,10 +197,57 @@ def _vli_estimate(
     )
 
 
+def _outcome_task(task):
+    """Worker: one binary's full measurement (profile + detailed sim)."""
+    target, binary, cross, config, cache_root = task
+    cache = cache_from_root(cache_root)
+    fli_profile = collect_fli_bbvs(
+        binary, config.interval_size, config.program_input, cache=cache
+    )
+    fli_simpoint = run_simpoint(fli_profile, config.simpoint)
+
+    fli_tracker = FLITracker(config.interval_size)
+    vli_tracker = VLITracker(
+        cross.marker_set.table_for(binary.name), cross.boundaries
+    )
+    sim = CMPSim(binary, config.memory, config.program_input)
+    stats = sim.run_full(trackers=(fli_tracker, vli_tracker)).stats
+
+    outcome = BinaryOutcome(
+        target=target,
+        binary_name=binary.name,
+        stats=stats,
+        fli_intervals=tuple(fli_tracker.intervals),
+        vli_intervals=tuple(vli_tracker.intervals),
+        fli_simpoint=fli_simpoint,
+        fli_estimate=_fli_estimate(
+            binary, fli_profile, fli_simpoint, fli_tracker, stats
+        ),
+        vli_estimate=_vli_estimate(binary, cross, vli_tracker, stats),
+        vli_weights=cross.weights_for(binary.name),
+    )
+    return outcome, (cache.stats if cache is not None else None)
+
+
+def remember_run(run: BenchmarkRun) -> None:
+    """Install a run (e.g. computed in a worker) in the in-process memo."""
+    _CACHE[(run.name, run.config.cache_key())] = run
+
+
 def run_benchmark(
-    name: str, config: Optional[ExperimentConfig] = None
+    name: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    jobs: Optional[int] = None,
 ) -> BenchmarkRun:
-    """Run (or fetch from cache) the full experiment for one benchmark."""
+    """Run (or fetch from cache) the full experiment for one benchmark.
+
+    Independent per-binary work — call-branch profiling, weight
+    re-measurement, FLI profiling, and the detailed simulations — fans
+    out over ``jobs`` worker processes (default: the runtime
+    configuration; serial unless configured otherwise). Results are
+    bit-identical to a serial run.
+    """
     config = config or ExperimentConfig()
     key = (name, config.cache_key())
     cached = _CACHE.get(key)
@@ -217,36 +267,24 @@ def run_benchmark(
             primary_index=config.primary_index,
             enable_signature_recovery=config.enable_signature_recovery,
         ),
+        jobs=jobs,
     )
 
-    outcomes: Dict[str, BinaryOutcome] = {}
-    for target in config.targets:
-        binary = binaries[target]
-        fli_profile = collect_fli_bbvs(
-            binary, config.interval_size, config.program_input
-        )
-        fli_simpoint = run_simpoint(fli_profile, config.simpoint)
-
-        fli_tracker = FLITracker(config.interval_size)
-        vli_tracker = VLITracker(
-            cross.marker_set.table_for(binary.name), cross.boundaries
-        )
-        sim = CMPSim(binary, config.memory, config.program_input)
-        stats = sim.run_full(trackers=(fli_tracker, vli_tracker)).stats
-
-        outcomes[target.label] = BinaryOutcome(
-            target=target,
-            binary_name=binary.name,
-            stats=stats,
-            fli_intervals=tuple(fli_tracker.intervals),
-            vli_intervals=tuple(vli_tracker.intervals),
-            fli_simpoint=fli_simpoint,
-            fli_estimate=_fli_estimate(
-                binary, fli_profile, fli_simpoint, fli_tracker, stats
-            ),
-            vli_estimate=_vli_estimate(binary, cross, vli_tracker, stats),
-            vli_weights=cross.weights_for(binary.name),
-        )
+    cache = active_cache()
+    cache_root = cache.root if cache is not None else None
+    results = parallel_map(
+        _outcome_task,
+        [
+            (target, binaries[target], cross, config, cache_root)
+            for target in config.targets
+        ],
+        jobs=jobs,
+    )
+    merge_stats(cache, [stats for _, stats in results])
+    outcomes: Dict[str, BinaryOutcome] = {
+        target.label: outcome
+        for target, (outcome, _) in zip(config.targets, results)
+    }
 
     run = BenchmarkRun(
         name=name, config=config, cross=cross, outcomes=outcomes
@@ -255,15 +293,62 @@ def run_benchmark(
     return run
 
 
+def _benchmark_task(task):
+    """Worker: one benchmark's full experiment (nested fan-out is
+    suppressed inside workers, so this runs serially there)."""
+    name, config, cache_root = task
+    cache = cache_from_root(cache_root)
+    if cache is not None:
+        from repro.runtime.config import runtime_session
+
+        with runtime_session(cache=cache):
+            run = run_benchmark(name, config)
+    else:
+        run = run_benchmark(name, config)
+    return run, (cache.stats if cache is not None else None)
+
+
 def run_suite(
     names: Sequence[str],
     config: Optional[ExperimentConfig] = None,
     progress: bool = False,
+    *,
+    jobs: Optional[int] = None,
 ) -> Dict[str, BenchmarkRun]:
-    """Run the experiment for several benchmarks."""
+    """Run the experiment for several benchmarks.
+
+    With ``jobs`` > 1 the benchmarks themselves fan out over worker
+    processes (each worker runs its benchmark serially); finished runs
+    are installed in the in-process memo so later sweeps reuse them.
+    """
+    from repro.runtime.config import resolve_jobs
+
     runs: Dict[str, BenchmarkRun] = {}
+    pending = []
     for name in names:
+        key = (name, (config or ExperimentConfig()).cache_key())
+        if key in _CACHE:
+            runs[name] = _CACHE[key]
+        else:
+            pending.append(name)
+    if pending and resolve_jobs(jobs) > 1:
         if progress:
-            print(f"[repro] running {name} ...", flush=True)
-        runs[name] = run_benchmark(name, config)
-    return runs
+            for name in pending:
+                print(f"[repro] running {name} ...", flush=True)
+        cache = active_cache()
+        cache_root = cache.root if cache is not None else None
+        results = parallel_map(
+            _benchmark_task,
+            [(name, config, cache_root) for name in pending],
+            jobs=jobs,
+        )
+        merge_stats(cache, [stats for _, stats in results])
+        for run, _ in results:
+            remember_run(run)
+            runs[run.name] = run
+    else:
+        for name in pending:
+            if progress:
+                print(f"[repro] running {name} ...", flush=True)
+            runs[name] = run_benchmark(name, config, jobs=jobs)
+    return {name: runs[name] for name in names}

@@ -26,8 +26,13 @@ from repro.experiments.figures import pair_speedup_error
 from repro.experiments.runner import (
     BenchmarkRun,
     ExperimentConfig,
+    _benchmark_task,
+    remember_run,
     run_benchmark,
 )
+from repro.runtime.cache import merge_stats
+from repro.runtime.config import active_cache, resolve_jobs
+from repro.runtime.parallel import parallel_map
 from repro.simpoint.early import run_early_simpoint
 from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
 
@@ -50,16 +55,40 @@ def sweep_interval_sizes(
     sizes: Sequence[int],
     base_config: Optional[ExperimentConfig] = None,
     speedup_pair: Tuple[str, str] = ("32u", "32o"),
+    *,
+    jobs: Optional[int] = None,
 ) -> Dict[int, IntervalSizeSweepPoint]:
-    """Run the full experiment at several interval sizes."""
+    """Run the full experiment at several interval sizes.
+
+    Each size is an independent full experiment, so with ``jobs`` > 1
+    the settings fan out over worker processes; finished runs land in
+    the runner's in-process memo either way.
+    """
     if not sizes:
         raise SimulationError("no interval sizes given")
     base_config = base_config or ExperimentConfig()
     results: Dict[int, IntervalSizeSweepPoint] = {}
     baseline, improved = speedup_pair
+    runs_by_size: Dict[int, BenchmarkRun] = {}
+    if resolve_jobs(jobs) > 1 and len(sizes) > 1:
+        cache = active_cache()
+        cache_root = cache.root if cache is not None else None
+        task_results = parallel_map(
+            _benchmark_task,
+            [
+                (benchmark, replace(base_config, interval_size=size),
+                 cache_root)
+                for size in sizes
+            ],
+            jobs=jobs,
+        )
+        merge_stats(cache, [stats for _, stats in task_results])
+        for size, (run, _) in zip(sizes, task_results):
+            remember_run(run)
+            runs_by_size[size] = run
     for size in sizes:
-        run = run_benchmark(
-            benchmark, replace(base_config, interval_size=size)
+        run = runs_by_size.get(size) or run_benchmark(
+            benchmark, replace(base_config, interval_size=size), jobs=jobs
         )
         fli = pair_speedup_error(run, "fli", baseline, improved)
         vli = pair_speedup_error(run, "vli", baseline, improved)
@@ -130,18 +159,35 @@ class MaxKSweepPoint:
     representation_error: float
 
 
+def _recluster_task(task):
+    """Worker: re-cluster one profile under one configuration."""
+    intervals, config = task
+    return run_simpoint(list(intervals), config)
+
+
 def sweep_max_k(
-    run: BenchmarkRun, budgets: Sequence[int]
+    run: BenchmarkRun,
+    budgets: Sequence[int],
+    *,
+    jobs: Optional[int] = None,
 ) -> Dict[int, MaxKSweepPoint]:
-    """Re-cluster a cached run's VLI profile under several budgets."""
+    """Re-cluster a cached run's VLI profile under several budgets.
+
+    The re-clusterings are independent, so with ``jobs`` > 1 they fan
+    out over worker processes.
+    """
     if not budgets:
         raise SimulationError("no budgets given")
     results: Dict[int, MaxKSweepPoint] = {}
-    for budget in budgets:
-        simpoint_result = run_simpoint(
-            list(run.cross.intervals),
-            SimPointConfig(max_k=budget),
-        )
+    simpoint_results = parallel_map(
+        _recluster_task,
+        [
+            (run.cross.intervals, SimPointConfig(max_k=budget))
+            for budget in budgets
+        ],
+        jobs=jobs,
+    )
+    for budget, simpoint_result in zip(budgets, simpoint_results):
         results[budget] = MaxKSweepPoint(
             max_k=budget,
             k=simpoint_result.k,

@@ -13,7 +13,7 @@ PinPoints profiles.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.compilation.binary import Binary, LLoop
 from repro.errors import ProfilingError
@@ -21,6 +21,8 @@ from repro.execution.engine import ExecutionEngine
 from repro.execution.events import ExecutionConsumer, iteration_profile
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
+from repro.runtime.cache import ProfileCache
+from repro.runtime.config import active_cache
 
 
 class FixedLengthBBVCollector(ExecutionConsumer):
@@ -86,8 +88,23 @@ def collect_fli_bbvs(
     binary: Binary,
     interval_size: int,
     program_input: ProgramInput = REF_INPUT,
+    *,
+    cache: Optional[ProfileCache] = None,
 ) -> List[Interval]:
-    """Profile a binary into fixed-length-interval BBVs."""
-    collector = FixedLengthBBVCollector(binary, interval_size)
-    ExecutionEngine(binary, program_input).run(collector)
-    return collector.intervals
+    """Profile a binary into fixed-length-interval BBVs.
+
+    With a cache (explicit or the process-wide one), the profile is
+    memoized by ``(binary, input, interval size)`` fingerprint.
+    """
+
+    def compute() -> List[Interval]:
+        collector = FixedLengthBBVCollector(binary, interval_size)
+        ExecutionEngine(binary, program_input).run(collector)
+        return collector.intervals
+
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(
+        "fli", (binary, program_input, interval_size), compute
+    )

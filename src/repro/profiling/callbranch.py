@@ -23,6 +23,8 @@ from repro.compilation.binary import Binary
 from repro.execution.pin import PinTool, run_with_tools
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.programs.ir import SourceLocation
+from repro.runtime.cache import ProfileCache
+from repro.runtime.config import active_cache
 
 
 @dataclass(frozen=True)
@@ -109,9 +111,25 @@ class CallBranchProfiler(PinTool):
 
 
 def collect_call_branch_profile(
-    binary: Binary, program_input: ProgramInput = REF_INPUT
+    binary: Binary,
+    program_input: ProgramInput = REF_INPUT,
+    *,
+    cache: Optional[ProfileCache] = None,
 ) -> CallBranchProfile:
-    """Run a binary under the call-and-branch profiler."""
-    profiler = CallBranchProfiler()
-    run_with_tools(binary, (profiler,), program_input)
-    return profiler.profile()
+    """Run a binary under the call-and-branch profiler.
+
+    With a cache (explicit or the process-wide one), the profile is
+    memoized by ``(binary, input)`` content fingerprint.
+    """
+
+    def compute() -> CallBranchProfile:
+        profiler = CallBranchProfiler()
+        run_with_tools(binary, (profiler,), program_input)
+        return profiler.profile()
+
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(
+        "callbranch", (binary, program_input), compute
+    )

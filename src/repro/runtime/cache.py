@@ -1,0 +1,133 @@
+"""Content-addressed on-disk profile cache.
+
+Every entry is stored under ``<root>/<kind>/<aa>/<digest>.pkl`` where
+``digest`` is the :func:`~repro.runtime.fingerprint.fingerprint` of the
+full key material — for profiles that is ``(binary, program input,
+params)``, so *any* change to the binary's code, the input, or the
+consumer parameters produces a different address. There is no explicit
+invalidation: stale entries are simply never addressed again.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes can share one cache directory; a corrupt or unreadable entry
+is treated as a miss and rewritten. :class:`CacheStats` counts hits,
+misses, and bytes moved, and worker-process deltas can be merged back
+into the parent's stats.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.errors import CacheError
+from repro.runtime.fingerprint import fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another handle's counters (e.g. a worker's) into this."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+
+class ProfileCache:
+    """One cache directory plus the statistics of this handle's use."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / digest[:2] / f"{digest}.pkl"
+
+    def get_or_compute(
+        self,
+        kind: str,
+        key_material: Sequence[Any],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached value for the key, computing it on a miss."""
+        digest = fingerprint(kind, list(key_material))
+        path = self._path(kind, digest)
+        try:
+            payload = path.read_bytes()
+            value = pickle.loads(payload)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            pass  # miss, or corrupt entry: recompute and overwrite
+        else:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(payload)
+            return value
+        value = compute()
+        self.stats.misses += 1
+        self._write(path, value)
+        return value
+
+    def _write(self, path: Path, value: Any) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise CacheError(
+                f"cannot write cache entry {path}: {exc}"
+            ) from exc
+        self.stats.bytes_written += len(payload)
+
+
+def merge_stats(
+    cache: Optional[ProfileCache],
+    deltas: Sequence[Optional[CacheStats]],
+) -> None:
+    """Fold worker-handle statistics back into the parent's cache."""
+    if cache is None:
+        return
+    for delta in deltas:
+        if delta is not None:
+            cache.stats.merge(delta)
+
+
+def cache_from_root(
+    root: Optional[Union[str, Path]]
+) -> Optional[ProfileCache]:
+    """A fresh handle on a cache directory, or ``None`` for no cache.
+
+    Worker processes use this to reopen the parent's cache from its
+    root path (handles themselves hold per-process statistics and are
+    deliberately not shared).
+    """
+    return ProfileCache(root) if root is not None else None

@@ -1,0 +1,102 @@
+"""Process-wide runtime defaults: job count and active profile cache.
+
+Resolution order for the job count (first match wins):
+
+1. an explicit ``jobs=`` argument at the call site;
+2. the ``REPRO_JOBS`` environment variable (``1`` forces serial);
+3. a process default installed by :func:`set_jobs` (the CLI's
+   ``--jobs`` flag lands here);
+4. serial (``1``) — library calls never fan out unless asked to.
+
+The active cache is ``None`` (disabled) unless :func:`set_cache`
+installed one or ``REPRO_CACHE_DIR`` names a directory;
+``REPRO_NO_CACHE=1`` disables the environment fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.errors import CacheError
+from repro.runtime.cache import ProfileCache
+
+_UNSET = object()
+
+_default_jobs: Optional[int] = None
+_cache: object = _UNSET  # _UNSET -> fall back to the environment
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Install (or clear, with ``None``) the process default job count."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise CacheError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective job count for one fan-out call."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise CacheError(f"REPRO_JOBS must be an integer, got {env!r}")
+    if _default_jobs is not None:
+        return _default_jobs
+    return 1
+
+
+def set_cache(cache: Optional[ProfileCache]) -> None:
+    """Install the process-wide cache (``None`` disables caching)."""
+    global _cache
+    _cache = cache
+
+
+def active_cache() -> Optional[ProfileCache]:
+    """The cache profile collectors consult when none is passed."""
+    if _cache is not _UNSET:
+        return _cache  # type: ignore[return-value]
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        # Install it so statistics accumulate across calls.
+        set_cache(ProfileCache(root))
+        return _cache  # type: ignore[return-value]
+    return None
+
+
+def configure(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    no_cache: bool = False,
+) -> Optional[ProfileCache]:
+    """One-shot setup used by the CLI; returns the installed cache."""
+    set_jobs(jobs)
+    if no_cache:
+        set_cache(None)
+        return None
+    if cache_dir is not None:
+        set_cache(ProfileCache(cache_dir))
+    return active_cache()
+
+
+@contextmanager
+def runtime_session(
+    jobs: Optional[int] = None,
+    cache: Optional[ProfileCache] = None,
+) -> Iterator[None]:
+    """Temporarily install runtime defaults (tests use this)."""
+    global _cache, _default_jobs
+    saved_cache, saved_jobs = _cache, _default_jobs
+    try:
+        _default_jobs = jobs
+        _cache = cache
+        yield
+    finally:
+        _cache, _default_jobs = saved_cache, saved_jobs

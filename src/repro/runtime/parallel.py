@@ -1,0 +1,60 @@
+"""Deterministic process-pool fan-out.
+
+:func:`parallel_map` is ``map`` over a ``ProcessPoolExecutor`` with
+three guarantees:
+
+* **deterministic ordering** — results come back in input order, no
+  matter which worker finished first;
+* **serial fallback** — one job (``REPRO_JOBS=1``), one item, running
+  inside another ``parallel_map`` worker, or an environment where
+  process pools cannot be created (sandboxes without semaphores) all
+  degrade to a plain in-process loop with identical results;
+* **exception transparency** — an exception raised by ``fn`` for any
+  item propagates to the caller, as in the serial loop.
+
+Worker functions must be module-level (picklable); keyword arguments
+can be bound with :func:`functools.partial`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ReproError
+from repro.runtime.config import resolve_jobs
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Set in pool workers so nested fan-outs run serially instead of
+#: spawning pools-of-pools.
+_in_worker = False
+
+
+def _mark_worker() -> None:
+    global _in_worker
+    _in_worker = True
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: Optional[int] = None,
+) -> List[_R]:
+    """Apply ``fn`` to every item, fanning out over ``jobs`` processes."""
+    work = list(items)
+    n_jobs = min(resolve_jobs(jobs), len(work))
+    if n_jobs <= 1 or _in_worker:
+        return [fn(item) for item in work]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_mark_worker
+        ) as pool:
+            return list(pool.map(fn, work))
+    except ReproError:
+        raise  # a worker failed with a real library error
+    except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
+        # The pool itself could not run (restricted environment);
+        # results are identical either way, so fall back to serial.
+        return [fn(item) for item in work]

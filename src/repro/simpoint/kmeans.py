@@ -86,13 +86,21 @@ def _lloyd(
         distances = _squared_distances(points, centroids)
         new_labels = distances.argmin(axis=1)
         # Empty-cluster repair: reseed on the overall farthest point.
+        # ``point_dists`` (each point's distance to its own centroid) is
+        # masked after every repair: the reseeded point now sits *on* its
+        # centroid, so a second empty cluster must pick a different point
+        # instead of re-stealing the same one through stale distances.
+        point_dists: Optional[np.ndarray] = None
         for cluster in range(k):
             if not np.any(new_labels == cluster):
-                farthest = int(
-                    (distances[np.arange(len(new_labels)), new_labels]).argmax()
-                )
+                if point_dists is None:
+                    point_dists = distances[
+                        np.arange(len(new_labels)), new_labels
+                    ].copy()
+                farthest = int(point_dists.argmax())
                 new_labels[farthest] = cluster
                 centroids[cluster] = points[farthest]
+                point_dists[farthest] = 0.0
         if np.array_equal(new_labels, labels):
             break
         labels = new_labels

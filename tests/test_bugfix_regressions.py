@@ -1,0 +1,244 @@
+"""Regression tests for the interval-accounting and clustering fixes.
+
+Each test here fails on the pre-fix code:
+
+* ``_lloyd`` reseeded two simultaneously-empty clusters on the same
+  farthest point because the distance matrix went stale between
+  repairs, leaving one cluster empty;
+* ``FLITracker.on_chunk`` silently dropped the cycles/DRAM of a chunk
+  with zero instructions;
+* ``IntervalInstructionCounter.on_block`` looped once per execution on
+  the hottest path — replaced by bulk arithmetic that must keep the
+  exact boundary semantics of the per-execution loop.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.simulator import FLITracker
+from repro.compilation.binary import BlockKind, LoweredBlock
+from repro.core.markers import MarkerSet, MarkerTable
+from repro.core.weights import IntervalInstructionCounter
+from repro.simpoint.kmeans import _lloyd, weighted_kmeans
+
+
+class _StubBinary:
+    """The minimal Binary surface the interval counter touches."""
+
+    def __init__(self, blocks, name="stub/32u"):
+        self.name = name
+        self.blocks = blocks
+
+
+def _stub_setup(block_sizes, anchors):
+    """A stub binary plus a marker set anchoring ``anchors`` blocks."""
+    blocks = {
+        block_id: LoweredBlock(
+            block_id=block_id,
+            kind=BlockKind.COMPUTE,
+            instructions=size,
+            base_cpi=1.0,
+        )
+        for block_id, size in block_sizes.items()
+    }
+    binary = _StubBinary(blocks)
+    table = MarkerTable(
+        binary_name=binary.name,
+        anchor_blocks={
+            marker_id: block_id
+            for marker_id, block_id in anchors.items()
+        },
+    )
+    marker_set = MarkerSet(points=(), tables={binary.name: table})
+    return binary, marker_set
+
+
+class _ReferenceCounter(IntervalInstructionCounter):
+    """The pre-fix per-execution ``on_block`` (ground truth)."""
+
+    def on_block(self, block_id, execs=1):
+        instructions = self._binary.blocks[block_id].instructions
+        marker_id = self._block_to_marker.get(block_id)
+        if marker_id is None:
+            self._current += instructions * execs
+            return
+        count = self._marker_counts.get(marker_id, 0)
+        for _ in range(execs):
+            count += 1
+            self._current += instructions
+            self._fire(marker_id, count)
+        self._marker_counts[marker_id] = count
+
+
+class TestEmptyClusterRepair:
+    def test_two_empty_clusters_get_distinct_points(self):
+        # Five coincident points plus one outlier; two of the three
+        # initial centroids are far away, so clusters 1 and 2 are both
+        # empty on the first assignment. The stale-distance bug reseeds
+        # both on the outlier, leaving a cluster empty.
+        points = np.array(
+            [[0.0, 0.0]] * 5 + [[10.0, 0.0]], dtype=np.float64
+        )
+        weights = np.ones(len(points))
+        centroids = np.array(
+            [[0.0, 0.0], [100.0, 100.0], [200.0, 200.0]],
+            dtype=np.float64,
+        )
+        result = _lloyd(points, weights, centroids.copy(), max_iter=1)
+        occupied = set(result.labels.tolist())
+        assert occupied == {0, 1, 2}
+
+    def test_single_empty_cluster_repair_unchanged(self):
+        # One empty cluster: the masked repair must behave exactly like
+        # the original farthest-point reseed.
+        points = np.array(
+            [[0.0, 0.0]] * 4 + [[8.0, 0.0]], dtype=np.float64
+        )
+        weights = np.ones(len(points))
+        centroids = np.array(
+            [[0.0, 0.0], [100.0, 100.0]], dtype=np.float64
+        )
+        result = _lloyd(points, weights, centroids.copy(), max_iter=1)
+        assert set(result.labels.tolist()) == {0, 1}
+        # The outlier is the farthest point, so it seeds cluster 1.
+        assert result.labels[-1] == 1
+
+    def test_full_kmeans_never_returns_empty_clusters(self):
+        rng = np.random.default_rng(11)
+        points = np.vstack(
+            [np.zeros((12, 2)), rng.normal(size=(4, 2)) * 0.01]
+        )
+        for k in (2, 3, 4, 5):
+            result = weighted_kmeans(points, k, seed=5)
+            assert set(result.labels.tolist()) == set(range(k))
+
+
+class TestFLITrackerZeroInstructionChunks:
+    def test_cycles_of_empty_chunk_are_conserved(self):
+        tracker = FLITracker(100)
+        tracker.on_chunk(0, 1, 60, 90.0)
+        tracker.on_chunk(1, 1, 0, 7.0, dram=2.0)  # pure-stall chunk
+        tracker.on_chunk(0, 1, 40, 50.0)
+        tracker.finish()
+        assert sum(i.instructions for i in tracker.intervals) == 100
+        assert sum(i.cycles for i in tracker.intervals) == pytest.approx(
+            147.0
+        )
+        assert sum(
+            i.dram_accesses for i in tracker.intervals
+        ) == pytest.approx(2.0)
+
+    def test_trailing_empty_chunk_not_dropped(self):
+        tracker = FLITracker(50)
+        tracker.on_chunk(0, 1, 50, 50.0)
+        tracker.on_chunk(1, 1, 0, 3.0)
+        tracker.finish()
+        assert sum(i.cycles for i in tracker.intervals) == pytest.approx(
+            53.0
+        )
+
+    def test_finish_asserts_cycle_conservation(self):
+        tracker = FLITracker(10)
+        tracker.on_chunk(0, 1, 5, 5.0)
+        tracker.total_cycles += 100.0  # simulate lost accounting
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="lost cycles"):
+            tracker.finish()
+
+
+class TestIntervalCounterBulkEquivalence:
+    def _random_scenario(self, seed):
+        rng = random.Random(seed)
+        n_blocks = rng.randint(2, 6)
+        block_sizes = {
+            block_id: rng.randint(1, 50)
+            for block_id in range(n_blocks)
+        }
+        n_markers = rng.randint(1, min(3, n_blocks))
+        anchors = {
+            marker_id: block_id
+            for marker_id, block_id in enumerate(
+                rng.sample(range(n_blocks), n_markers)
+            )
+        }
+        events = [
+            (rng.randrange(n_blocks), rng.randint(1, 200))
+            for _ in range(rng.randint(5, 40))
+        ]
+        return block_sizes, anchors, events
+
+    def _firings(self, anchors, events):
+        """All (marker, cumulative-count) firings, in order."""
+        block_to_marker = {b: m for m, b in anchors.items()}
+        counts = {}
+        firings = []
+        for block_id, execs in events:
+            marker = block_to_marker.get(block_id)
+            if marker is None:
+                continue
+            for _ in range(execs):
+                counts[marker] = counts.get(marker, 0) + 1
+                firings.append((marker, counts[marker]))
+        return firings
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bulk_on_block_matches_per_execution_loop(self, seed):
+        block_sizes, anchors, events = self._random_scenario(seed)
+        firings = self._firings(anchors, events)
+        if not firings:
+            pytest.skip("scenario fired no markers")
+        rng = random.Random(seed + 1000)
+        n_boundaries = rng.randint(1, min(5, len(firings)))
+        boundaries = sorted(
+            rng.sample(range(len(firings)), n_boundaries)
+        )
+        boundary_coords = [firings[i] for i in boundaries]
+
+        binary, marker_set = _stub_setup(block_sizes, anchors)
+        fast = IntervalInstructionCounter(
+            binary, marker_set, boundary_coords
+        )
+        slow = _ReferenceCounter(binary, marker_set, boundary_coords)
+        for block_id, execs in events:
+            fast.on_block(block_id, execs)
+            slow.on_block(block_id, execs)
+        fast.finish()
+        slow.finish()
+        assert fast.interval_instructions == slow.interval_instructions
+        assert len(fast.interval_instructions) == len(boundary_coords) + 1
+
+    def test_huge_exec_counts_are_constant_time(self):
+        # The pre-fix code iterated once per execution (10M Python
+        # iterations here, several seconds); the bulk path closes the
+        # two boundaries with integer arithmetic in microseconds.
+        import time
+
+        binary, marker_set = _stub_setup({0: 3}, {1: 0})
+        counter = IntervalInstructionCounter(
+            binary, marker_set, [(1, 1_000_000), (1, 9_000_000)]
+        )
+        start = time.perf_counter()
+        counter.on_block(0, 10_000_000)
+        elapsed = time.perf_counter() - start
+        counter.finish()
+        assert counter.interval_instructions == [
+            3_000_000, 24_000_000, 3_000_000
+        ]
+        assert elapsed < 0.5, (
+            f"on_block took {elapsed:.2f}s for 10M executions - "
+            f"the bulk arithmetic path regressed to per-execution work"
+        )
+
+    def test_bulk_path_handles_multiple_boundaries_in_one_chunk(self):
+        # One marked block, three boundaries crossed by a single
+        # bulk call: the counter must close three intervals mid-chunk.
+        binary, marker_set = _stub_setup({0: 10}, {7: 0})
+        counter = IntervalInstructionCounter(
+            binary, marker_set, [(7, 2), (7, 5), (7, 9)]
+        )
+        counter.on_block(0, 12)
+        counter.finish()
+        assert counter.interval_instructions == [20, 30, 40, 30]

@@ -1,0 +1,216 @@
+"""Property tests: tracker conservation laws and weight invariants.
+
+The interval trackers see execution as an arbitrary stream of
+``on_chunk`` calls — chunk granularity is a simulator implementation
+detail, so no chunking may create or destroy instructions, cycles, or
+DRAM accesses. These properties drive the trackers directly with
+hypothesis-generated streams (including zero-instruction chunks, the
+subject of a past accounting bug) rather than through full simulations.
+"""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cmpsim.simulator import FLITracker, VLITracker
+from repro.core.markers import MarkerTable
+from repro.core.weights import phase_weights
+from repro.errors import MappingError
+from repro.runtime import ProfileCache
+
+_SETTINGS = settings(deadline=None, max_examples=75)
+
+#: One FLI chunk: (block_id, execs, instructions, cycles, dram).
+#: Zero-instruction chunks with nonzero cycles/DRAM are deliberately
+#: common — they model stall-only events and used to be dropped.
+_fli_chunks = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=5_000),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestFLIConservation:
+    @_SETTINGS
+    @given(chunks=_fli_chunks,
+           interval_size=st.integers(min_value=1, max_value=10_000))
+    def test_arbitrary_chunkings_conserve_everything(
+        self, chunks, interval_size
+    ):
+        tracker = FLITracker(interval_size)
+        for block_id, execs, instructions, cycles, dram in chunks:
+            tracker.on_chunk(block_id, execs, instructions, cycles, dram)
+        tracker.finish()  # raises SimulationError if cycles were lost
+        intervals = tracker.intervals
+        assert sum(i.instructions for i in intervals) == sum(
+            c[2] for c in chunks
+        )
+        assert math.isclose(
+            sum(i.cycles for i in intervals),
+            sum(c[3] for c in chunks),
+            rel_tol=1e-9, abs_tol=1e-6,
+        )
+        assert math.isclose(
+            sum(i.dram_accesses for i in intervals),
+            sum(c[4] for c in chunks),
+            rel_tol=1e-9, abs_tol=1e-6,
+        )
+        # Every closed interval is exactly full; only the final one
+        # (flushed by finish) may be short.
+        for interval in intervals[:-1]:
+            assert interval.instructions == interval_size
+
+    @_SETTINGS
+    @given(chunks=_fli_chunks)
+    def test_chunk_granularity_is_invisible(self, chunks):
+        """Splitting every chunk into single executions changes nothing
+        (instruction counts; cycles prorate identically by share)."""
+        coarse = FLITracker(1_000)
+        fine = FLITracker(1_000)
+        for block_id, execs, instructions, cycles, dram in chunks:
+            coarse.on_chunk(block_id, execs, instructions, cycles, dram)
+            # Same totals delivered in two halves.
+            lo = instructions // 2
+            fine.on_chunk(block_id, execs, lo, cycles / 2, dram / 2)
+            fine.on_chunk(
+                block_id, execs, instructions - lo, cycles / 2, dram / 2
+            )
+        coarse.finish()
+        fine.finish()
+        assert [i.instructions for i in coarse.intervals] == [
+            i.instructions for i in fine.intervals
+        ]
+
+
+@st.composite
+def _vli_streams(draw):
+    """A marker table plus a chunk stream and the boundary list.
+
+    Blocks 0-3 are plain blocks; blocks 10 and 11 anchor markers 0 and
+    1. Marker chunks are per-execution uniform and DRAM-free (marker
+    anchors are overhead blocks), matching the tracker's contract.
+    """
+    anchors = {0: 10, 1: 11}
+    table = MarkerTable(binary_name="prop/32u", anchor_blocks=anchors)
+    events = draw(st.lists(
+        st.tuples(
+            st.sampled_from([0, 1, 2, 3, 10, 11]),
+            st.integers(min_value=1, max_value=30),
+            st.integers(min_value=0, max_value=200),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    ))
+    marker_blocks = {block for block in anchors.values()}
+    chunks = []
+    firings = []
+    counts = {}
+    for block_id, execs, per_instr, cycles, dram in events:
+        if block_id in marker_blocks:
+            marker_id = 0 if block_id == 10 else 1
+            for _ in range(execs):
+                counts[marker_id] = counts.get(marker_id, 0) + 1
+                firings.append((marker_id, counts[marker_id]))
+            chunks.append(
+                (block_id, execs, per_instr * execs, cycles, 0.0)
+            )
+        else:
+            chunks.append((block_id, execs, per_instr, cycles, dram))
+    n_boundaries = (
+        draw(st.integers(min_value=0, max_value=min(4, len(firings))))
+        if firings else 0
+    )
+    if n_boundaries:
+        indices = sorted(draw(st.permutations(
+            range(len(firings))
+        ))[:n_boundaries])
+        boundaries = [firings[i] for i in indices]
+    else:
+        boundaries = []
+    return table, chunks, boundaries
+
+
+class TestVLIConservation:
+    @_SETTINGS
+    @given(stream=_vli_streams())
+    def test_arbitrary_chunkings_conserve_everything(self, stream):
+        table, chunks, boundaries = stream
+        tracker = VLITracker(table, boundaries)
+        for chunk in chunks:
+            tracker.on_chunk(*chunk)
+        tracker.finish()
+        intervals = tracker.intervals
+        assert len(intervals) == len(boundaries) + 1
+        assert sum(i.instructions for i in intervals) == sum(
+            c[2] for c in chunks
+        )
+        assert math.isclose(
+            sum(i.cycles for i in intervals),
+            sum(c[3] for c in chunks),
+            rel_tol=1e-9, abs_tol=1e-6,
+        )
+        assert math.isclose(
+            sum(i.dram_accesses for i in intervals),
+            sum(c[4] for c in chunks),
+            rel_tol=1e-9, abs_tol=1e-6,
+        )
+
+
+class TestPhaseWeightProperties:
+    @_SETTINGS
+    @given(data=st.data(),
+           n=st.integers(min_value=1, max_value=40))
+    def test_weights_sum_to_one(self, data, n):
+        counts = data.draw(st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=n, max_size=n,
+        ))
+        if sum(counts) == 0:
+            with pytest.raises(MappingError):
+                phase_weights(counts, [0] * n)
+            return
+        labels = data.draw(st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=n, max_size=n,
+        ))
+        weights = phase_weights(counts, labels)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0.0 for w in weights.values())
+        assert set(weights) == {
+            label for label, count in zip(labels, counts)
+        }
+
+    @_SETTINGS
+    @given(data=st.data(),
+           n=st.integers(min_value=1, max_value=20))
+    def test_weights_roundtrip_through_cache(self, data, n, tmp_path_factory):
+        counts = data.draw(st.lists(
+            st.integers(min_value=1, max_value=10**6),
+            min_size=n, max_size=n,
+        ))
+        labels = data.draw(st.lists(
+            st.integers(min_value=0, max_value=5),
+            min_size=n, max_size=n,
+        ))
+        weights = phase_weights(counts, labels)
+        cache = ProfileCache(tmp_path_factory.mktemp("cache"))
+        stored = cache.get_or_compute(
+            "weights", (counts, labels), lambda: weights
+        )
+        reloaded = cache.get_or_compute(
+            "weights", (counts, labels), lambda: None
+        )
+        assert cache.stats.hits == 1
+        # Bit-exact: pickling through the cache must not perturb floats.
+        assert pickle.dumps(reloaded) == pickle.dumps(weights)
+        assert stored == reloaded == weights

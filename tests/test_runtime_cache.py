@@ -1,0 +1,253 @@
+"""Tests for the runtime profile cache and content fingerprints."""
+
+import dataclasses
+import pickle
+import time
+
+import pytest
+
+from repro.core.pipeline import (
+    CrossBinaryConfig,
+    run_cross_binary_simpoint,
+)
+from repro.core.weights import phase_weights
+from repro.errors import ReproError
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.inputs import ProgramInput, REF_INPUT, TEST_INPUT
+from repro.runtime import ProfileCache, fingerprint, runtime_session
+from repro.runtime.cache import cache_from_root, merge_stats
+from repro.runtime.config import active_cache, resolve_jobs
+from repro.runtime.fingerprint import FingerprintError
+from repro.simpoint.simpoint import SimPointConfig
+
+from tests.conftest import MICRO_INTERVAL
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint(REF_INPUT) == fingerprint(REF_INPUT)
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert fingerprint(REF_INPUT) != fingerprint(TEST_INPUT)
+        assert fingerprint(1) != fingerprint(2)
+        assert fingerprint(1.0) != fingerprint(1)
+        assert fingerprint((1, 2)) != fingerprint((2, 1))
+
+    def test_distinguishes_float_precision(self):
+        assert fingerprint(0.1) != fingerprint(
+            0.1 + 1e-17
+        ) or 0.1 == 0.1 + 1e-17
+        assert fingerprint(0.5) != fingerprint(0.25)
+
+    def test_binary_fingerprint_tracks_content(self, micro_binary_32u,
+                                               micro_binary_32o):
+        assert fingerprint(micro_binary_32u) == fingerprint(
+            micro_binary_32u
+        )
+        assert fingerprint(micro_binary_32u) != fingerprint(
+            micro_binary_32o
+        )
+
+    def test_sets_are_order_independent(self):
+        assert fingerprint(frozenset({"x", "y"})) == fingerprint(
+            frozenset({"y", "x"})
+        )
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(object())
+        assert isinstance(FingerprintError("x"), ReproError)
+
+
+class TestProfileCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        first = cache.get_or_compute("kind", ("key",), compute)
+        second = cache.get_or_compute("kind", ("key",), compute)
+        assert first == second == {"value": 42}
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.bytes_written > 0
+        assert cache.stats.bytes_read > 0
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        a = cache.get_or_compute("kind", (1,), lambda: "a")
+        b = cache.get_or_compute("kind", (2,), lambda: "b")
+        assert (a, b) == ("a", "b")
+        assert cache.stats.misses == 2
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute("kind", ("key",), lambda: "good")
+        entries = list(tmp_path.rglob("*.pkl"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"not a pickle")
+        value = cache.get_or_compute("kind", ("key",), lambda: "recomputed")
+        assert value == "recomputed"
+        # And the rewritten entry is usable again.
+        fresh = cache_from_root(tmp_path)
+        assert fresh.get_or_compute(
+            "kind", ("key",), lambda: "unused"
+        ) == "recomputed"
+
+    def test_shared_root_across_handles(self, tmp_path):
+        writer = ProfileCache(tmp_path)
+        writer.get_or_compute("kind", ("key",), lambda: [1, 2, 3])
+        reader = cache_from_root(tmp_path)
+        assert reader.get_or_compute(
+            "kind", ("key",), lambda: "unused"
+        ) == [1, 2, 3]
+        assert reader.stats.hits == 1
+
+    def test_merge_stats(self, tmp_path):
+        parent = ProfileCache(tmp_path)
+        worker = ProfileCache(tmp_path)
+        worker.get_or_compute("kind", ("key",), lambda: "x")
+        merge_stats(parent, [worker.stats, None])
+        assert parent.stats.misses == 1
+        merge_stats(None, [worker.stats])  # no-op without a cache
+
+    def test_cache_from_root_none(self):
+        assert cache_from_root(None) is None
+
+
+class TestRuntimeConfig:
+    def test_session_installs_and_restores(self, tmp_path, monkeypatch):
+        for var in ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_NO_CACHE"):
+            monkeypatch.delenv(var, raising=False)
+        assert active_cache() is None
+        cache = ProfileCache(tmp_path)
+        with runtime_session(jobs=3, cache=cache):
+            assert active_cache() is cache
+            assert resolve_jobs() == 3
+            assert resolve_jobs(1) == 1
+        assert active_cache() is None
+        assert resolve_jobs() == 1
+
+    def test_env_variables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert resolve_jobs() == 2
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        with pytest.raises(ReproError):
+            resolve_jobs()
+
+
+class TestCachedProfiles:
+    def test_callbranch_profile_roundtrip(self, micro_binary_32u,
+                                          tmp_path):
+        cache = ProfileCache(tmp_path)
+        direct = collect_call_branch_profile(micro_binary_32u)
+        cold = collect_call_branch_profile(
+            micro_binary_32u, cache=cache
+        )
+        warm = collect_call_branch_profile(
+            micro_binary_32u, cache=cache
+        )
+        assert direct == cold == warm
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_fli_profile_roundtrip(self, micro_binary_32u, tmp_path):
+        cache = ProfileCache(tmp_path)
+        direct = collect_fli_bbvs(micro_binary_32u, MICRO_INTERVAL)
+        cold = collect_fli_bbvs(
+            micro_binary_32u, MICRO_INTERVAL, cache=cache
+        )
+        warm = collect_fli_bbvs(
+            micro_binary_32u, MICRO_INTERVAL, cache=cache
+        )
+        assert direct == cold == warm
+
+    def test_global_cache_used_when_installed(self, micro_binary_32u,
+                                              tmp_path):
+        cache = ProfileCache(tmp_path)
+        with runtime_session(cache=cache):
+            collect_fli_bbvs(micro_binary_32u, MICRO_INTERVAL)
+            collect_fli_bbvs(micro_binary_32u, MICRO_INTERVAL)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_interval_size_changes_key(self, micro_binary_32u, tmp_path):
+        cache = ProfileCache(tmp_path)
+        collect_fli_bbvs(micro_binary_32u, MICRO_INTERVAL, cache=cache)
+        collect_fli_bbvs(
+            micro_binary_32u, MICRO_INTERVAL * 2, cache=cache
+        )
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+
+class TestCrossPipelineCaching:
+    def test_cached_run_bit_identical_and_faster(self, micro_binary_list,
+                                                 tmp_path):
+        # Scale the input (and the interval size with it, so the
+        # interval count stays put) until execution-engine work
+        # dominates, and shrink the k sweep — clustering is never
+        # cached, so it sets the warm-run floor.
+        config = CrossBinaryConfig(
+            interval_size=MICRO_INTERVAL * 40,
+            program_input=ProgramInput(name="speedup", scale=40.0),
+            simpoint=SimPointConfig(max_k=3, n_init=2),
+        )
+        baseline = run_cross_binary_simpoint(micro_binary_list, config)
+
+        cache = ProfileCache(tmp_path)
+        start = time.perf_counter()
+        cold = run_cross_binary_simpoint(
+            micro_binary_list, config, cache=cache
+        )
+        cold_elapsed = time.perf_counter() - start
+        assert cache.stats.misses > 0 and cache.stats.hits == 0
+
+        start = time.perf_counter()
+        warm = run_cross_binary_simpoint(
+            micro_binary_list, config, cache=cache
+        )
+        warm_elapsed = time.perf_counter() - start
+        assert cache.stats.hits == cache.stats.misses
+
+        assert baseline == cold == warm
+        # Warm runs skip every execution-engine pass; only clustering
+        # and unpickling remain (acceptance: >= 2x; typically far more).
+        assert cold_elapsed > 2 * warm_elapsed, (
+            f"warm cache run not faster: cold {cold_elapsed:.3f}s vs "
+            f"warm {warm_elapsed:.3f}s"
+        )
+
+    def test_phase_weights_roundtrip_through_cache(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        counts = [1000, 2500, 1500, 5000]
+        labels = [0, 1, 0, 2]
+        weights = phase_weights(counts, labels)
+        cached = cache.get_or_compute(
+            "weights", (counts, labels), lambda: weights
+        )
+        reloaded = cache.get_or_compute(
+            "weights", (counts, labels), lambda: None
+        )
+        assert cached == weights
+        assert reloaded == weights
+        # Bit-exact floats, not approximately equal.
+        assert pickle.dumps(reloaded) == pickle.dumps(weights)
+        assert sum(reloaded.values()) == pytest.approx(1.0)
+
+    def test_input_scale_invalidates(self, micro_binary_list, tmp_path):
+        cache = ProfileCache(tmp_path)
+        config = CrossBinaryConfig(interval_size=MICRO_INTERVAL)
+        run_cross_binary_simpoint(micro_binary_list, config, cache=cache)
+        scaled = dataclasses.replace(
+            config, program_input=ProgramInput(name="half", scale=0.5)
+        )
+        before = cache.stats.misses
+        run_cross_binary_simpoint(micro_binary_list, scaled, cache=cache)
+        assert cache.stats.misses > before

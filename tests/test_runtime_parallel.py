@@ -1,0 +1,158 @@
+"""Tests for process-pool fan-out: determinism, fallback, propagation."""
+
+import os
+
+import pytest
+
+from repro.core.pipeline import (
+    CrossBinaryConfig,
+    run_cross_binary_simpoint,
+    run_per_binary_simpoints,
+)
+from repro.errors import ReproError, SimulationError
+from repro.runtime import parallel_map, runtime_session
+from repro.simpoint.simpoint import SimPointConfig
+
+from tests.conftest import MICRO_INTERVAL
+
+#: Fast clustering settings for the pipeline-equivalence tests.
+_FAST_SIMPOINT = SimPointConfig(max_k=4, n_init=2)
+
+
+def _square(value):
+    return value * value
+
+
+def _worker_pid(_value):
+    return os.getpid()
+
+
+def _raise_repro_error(value):
+    raise SimulationError(f"worker failed on {value}")
+
+
+def _raise_value_error(value):
+    raise ValueError(f"worker failed on {value}")
+
+
+def _nested_fanout(value):
+    # A worker fanning out again must degrade to a serial loop rather
+    # than spawning a pool inside the pool.
+    return parallel_map(_square, [value, value + 1], jobs=4)
+
+
+class TestParallelMap:
+    def test_results_in_input_order(self):
+        items = list(range(32))
+        assert parallel_map(_square, items, jobs=4) == [
+            i * i for i in items
+        ]
+
+    def test_serial_when_jobs_is_one(self):
+        pids = parallel_map(_worker_pid, range(4), jobs=1)
+        assert set(pids) == {os.getpid()}
+
+    def test_parallel_uses_worker_processes(self):
+        pids = parallel_map(_worker_pid, range(16), jobs=4)
+        assert os.getpid() not in pids
+
+    def test_repro_jobs_env_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        pids = parallel_map(_worker_pid, range(4))
+        assert set(pids) == {os.getpid()}
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        pids = parallel_map(_worker_pid, range(4))
+        assert set(pids) == {os.getpid()}
+
+    def test_session_default_jobs_used(self):
+        with runtime_session(jobs=2):
+            pids = parallel_map(_worker_pid, range(8))
+        assert os.getpid() not in pids
+
+    def test_single_item_runs_in_process(self):
+        assert parallel_map(_worker_pid, [0], jobs=8) == [os.getpid()]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_repro_error_propagates_from_worker(self):
+        with pytest.raises(SimulationError, match="worker failed on"):
+            parallel_map(_raise_repro_error, range(4), jobs=2)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_other_exceptions_propagate_from_worker(self):
+        with pytest.raises(ValueError, match="worker failed on"):
+            parallel_map(_raise_value_error, range(4), jobs=2)
+
+    def test_exceptions_propagate_serially(self):
+        with pytest.raises(SimulationError):
+            parallel_map(_raise_repro_error, range(4), jobs=1)
+
+    def test_nested_fanout_degrades_to_serial(self):
+        results = parallel_map(_nested_fanout, [1, 10], jobs=2)
+        assert results == [[1, 4], [100, 121]]
+
+
+class TestPipelineParallelEquivalence:
+    def test_cross_pipeline_bit_identical(self, micro_binary_list):
+        config = CrossBinaryConfig(
+            interval_size=MICRO_INTERVAL, simpoint=_FAST_SIMPOINT
+        )
+        serial = run_cross_binary_simpoint(micro_binary_list, config)
+        fanned = run_cross_binary_simpoint(
+            micro_binary_list, config, jobs=2
+        )
+        assert serial == fanned
+
+    def test_cross_pipeline_env_jobs(self, micro_binary_list,
+                                     monkeypatch):
+        config = CrossBinaryConfig(
+            interval_size=MICRO_INTERVAL, simpoint=_FAST_SIMPOINT
+        )
+        serial = run_cross_binary_simpoint(micro_binary_list, config)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert run_cross_binary_simpoint(micro_binary_list, config) == serial
+
+    def test_per_binary_simpoints_bit_identical(self, micro_binary_list):
+        serial = run_per_binary_simpoints(
+            micro_binary_list, MICRO_INTERVAL, _FAST_SIMPOINT
+        )
+        fanned = run_per_binary_simpoints(
+            micro_binary_list, MICRO_INTERVAL, _FAST_SIMPOINT, jobs=2
+        )
+        assert list(serial) == [b.name for b in micro_binary_list]
+        assert list(fanned) == list(serial)
+        assert fanned == serial
+
+
+class TestExperimentRunnerParallel:
+    def test_run_benchmark_bit_identical(self):
+        from repro.experiments import runner
+
+        saved = dict(runner._CACHE)
+        try:
+            runner.clear_cache()
+            serial = runner.run_benchmark("art")
+            runner.clear_cache()
+            fanned = runner.run_benchmark("art", jobs=2)
+            assert serial == fanned
+        finally:
+            runner._CACHE.clear()
+            runner._CACHE.update(saved)
+
+    def test_run_suite_parallel_matches_serial(self):
+        from repro.experiments import runner
+
+        saved = dict(runner._CACHE)
+        try:
+            runner.clear_cache()
+            serial = runner.run_suite(["art"])
+            runner.clear_cache()
+            fanned = runner.run_suite(["art"], jobs=2)
+            assert list(fanned) == ["art"]
+            assert fanned == serial
+        finally:
+            runner._CACHE.clear()
+            runner._CACHE.update(saved)
