@@ -7,53 +7,78 @@ SimPoint pick the simulation points, and compares the weighted estimate
 against full detailed simulation — the workflow of the paper's
 Section 2 on a single binary.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace-out out/trace.json]
+
+With ``--trace-out`` (or ``REPRO_TRACE_OUT``) the run also writes a
+``manifest.json`` next to the trace — per-stage wall times, cache
+statistics, the chosen k with its BIC trace, and the final CPI error —
+which ``python -m repro inspect`` pretty-prints.
 """
+
+import argparse
 
 from repro import build_benchmark, compile_program
 from repro.analysis.estimate import estimate_from_points
 from repro.cmpsim.simulator import CMPSim, FLITracker, IntervalStats
 from repro.compilation.targets import TARGET_32U
+from repro.observability import observe, trace
 from repro.profiling.bbv import collect_fli_bbvs
 from repro.simpoint.simpoint import SimPointConfig, run_simpoint
 
 INTERVAL_SIZE = 100_000  # scaled stand-in for the paper's 100M
 
 
-def main() -> None:
+def run(session=None) -> None:
     print("== Cross Binary SimPoint quickstart ==\n")
 
-    program = build_benchmark("art")
-    binary, _ = compile_program(program, TARGET_32U)
+    config = SimPointConfig(max_k=10)
+    if session is not None:
+        session.record_config((("benchmark", "art"),
+                               ("interval_size", INTERVAL_SIZE), config))
+
+    with trace.span("build"):
+        program = build_benchmark("art")
+        binary, _ = compile_program(program, TARGET_32U)
     print(f"compiled {binary.name}: {len(binary.blocks)} basic blocks, "
           f"{len(binary.loops)} loops, {len(binary.symbols)} symbols")
 
     # 1. Profile into fixed-length intervals with BBVs.
-    intervals = collect_fli_bbvs(binary, INTERVAL_SIZE)
+    with trace.span("profile"):
+        intervals = collect_fli_bbvs(binary, INTERVAL_SIZE)
     print(f"profiled {len(intervals)} intervals of "
           f"{INTERVAL_SIZE:,} instructions")
 
     # 2. SimPoint: cluster, choose k by BIC, pick representatives.
-    simpoint = run_simpoint(intervals, SimPointConfig(max_k=10))
+    with trace.span("cluster"):
+        simpoint = run_simpoint(intervals, config)
     print(f"SimPoint chose k={simpoint.k} phases:")
     for point in simpoint.points:
         print(f"  phase {point.cluster}: interval {point.interval_index}, "
               f"weight {point.weight:.1%}")
+    if session is not None:
+        session.record_clustering(
+            binary.name, k=simpoint.k, bic_scores=simpoint.bic_scores,
+            n_points=simpoint.n_points,
+        )
 
     # 3. Detailed simulation: one full run, tracking per-interval CPI.
-    tracker = FLITracker(INTERVAL_SIZE)
-    stats = CMPSim(binary).run_full(trackers=(tracker,)).stats
+    with trace.span("simulate"):
+        tracker = FLITracker(INTERVAL_SIZE)
+        stats = CMPSim(binary).run_full(trackers=(tracker,)).stats
     print(f"\nfull simulation: {stats.instructions:,} instructions, "
           f"CPI {stats.cpi:.3f}")
 
     # 4. Weighted estimate from just the chosen simulation points.
-    estimate = estimate_from_points(
-        binary.name,
-        "fli",
-        [(p.interval_index, p.weight) for p in simpoint.points],
-        tracker.intervals,
-        IntervalStats(instructions=stats.instructions, cycles=stats.cycles),
-    )
+    with trace.span("estimate"):
+        estimate = estimate_from_points(
+            binary.name,
+            "fli",
+            [(p.interval_index, p.weight) for p in simpoint.points],
+            tracker.intervals,
+            IntervalStats(
+                instructions=stats.instructions, cycles=stats.cycles
+            ),
+        )
     sim_instr = sum(
         tracker.intervals[p.interval_index].instructions
         for p in simpoint.points
@@ -62,6 +87,31 @@ def main() -> None:
           f"(error {estimate.cpi_error:.2%}) from only "
           f"{sim_instr:,} simulated instructions "
           f"({sim_instr / stats.instructions:.1%} of the run)")
+    if session is not None:
+        session.record_errors(
+            binary.name, {"fli_cpi_error": estimate.cpi_error}
+        )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a JSON trace here plus manifest.json next to it "
+             "(default: REPRO_TRACE_OUT)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write metric counters here as JSON "
+             "(default: REPRO_METRICS_OUT)",
+    )
+    args = parser.parse_args(argv)
+    with observe(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        command=["examples/quickstart.py"],
+    ) as session:
+        run(session)
 
 
 if __name__ == "__main__":

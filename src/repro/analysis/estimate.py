@@ -100,21 +100,16 @@ def estimate_from_points(
     ``point_weights`` pairs each simulation point's interval index with
     its weight (per-binary weights for the VLI method; the profiled
     binary's own weights for FLI). Weights are renormalized defensively
-    (they should already sum to 1).
+    (they should already sum to 1). All bounds and weight validation
+    lives in :func:`estimate_weighted_metric`; failures are re-raised
+    with the binary name prefixed.
     """
-    if not point_weights:
-        raise SimulationError(f"{binary_name}: no simulation points")
-    total_weight = sum(weight for _, weight in point_weights)
-    if total_weight <= 0:
-        raise SimulationError(f"{binary_name}: weights sum to {total_weight}")
-    estimated = 0.0
-    for interval_index, weight in point_weights:
-        if not 0 <= interval_index < len(interval_stats):
-            raise SimulationError(
-                f"{binary_name}: simulation point interval {interval_index} "
-                f"out of range ({len(interval_stats)} intervals)"
-            )
-        estimated += (weight / total_weight) * interval_stats[interval_index].cpi
+    try:
+        estimated = estimate_weighted_metric(
+            point_weights, interval_stats, lambda s: s.cpi
+        )
+    except SimulationError as exc:
+        raise SimulationError(f"{binary_name}: {exc}") from None
     return MethodEstimate(
         binary_name=binary_name,
         method=method,

@@ -15,6 +15,17 @@ Commands
 ``figures [--benchmarks a,b,c]``
     Regenerate every figure and table of the paper (all 21 benchmarks
     by default; takes a couple of minutes).
+``inspect <manifest.json>``
+    Pretty-print a run manifest: stage timings, cache hit rates,
+    chosen clusterings, error tables.
+
+Observability
+-------------
+Every command accepts ``--trace-out FILE`` (env ``REPRO_TRACE_OUT``)
+and ``--metrics-out FILE`` (env ``REPRO_METRICS_OUT``). With
+``--trace-out`` the run also writes ``manifest.json`` next to the
+trace: config fingerprint, git describe, per-stage wall times, cache
+statistics, chosen k and BIC trace per binary, and final error tables.
 """
 
 from __future__ import annotations
@@ -183,6 +194,14 @@ def _cmd_regions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.observability.inspect import render_manifest
+    from repro.observability.manifest import load_manifest
+
+    print(render_manifest(load_manifest(args.manifest)))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     if args.benchmarks:
         names: Sequence[str] = tuple(args.benchmarks.split(","))
@@ -266,6 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk profile cache",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a structured JSON trace here and a run manifest "
+             "(manifest.json) next to it (default: REPRO_TRACE_OUT)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metric counters/histograms here as JSON "
+             "(default: REPRO_METRICS_OUT)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the benchmark suite")
@@ -321,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         help="comma-separated subset (default: all 21)",
     )
+
+    inspect = sub.add_parser(
+        "inspect", help="pretty-print a run manifest"
+    )
+    inspect.add_argument("manifest", help="path to a manifest.json")
     return parser
 
 
@@ -332,6 +366,7 @@ _COMMANDS = {
     "regions": _cmd_regions,
     "figures": _cmd_figures,
     "validate": _cmd_validate,
+    "inspect": _cmd_inspect,
 }
 
 
@@ -356,13 +391,25 @@ def _resolve_runtime(args: argparse.Namespace):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.observability import observe, record_config
     from repro.runtime import runtime_session
 
     args = build_parser().parse_args(argv)
     jobs, cache = _resolve_runtime(args)
     try:
         with runtime_session(jobs=jobs, cache=cache):
-            return _COMMANDS[args.command](args)
+            with observe(
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
+                command=list(argv) if argv is not None else sys.argv[1:],
+            ):
+                record_config(
+                    sorted(
+                        (key, repr(value))
+                        for key, value in vars(args).items()
+                    )
+                )
+                return _COMMANDS[args.command](args)
     finally:
         if cache is not None and cache.stats.lookups:
             from repro.experiments.reporting import render_cache_stats

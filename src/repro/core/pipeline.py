@@ -23,6 +23,7 @@ from repro.core.matching import MatchReport, find_mappable_points
 from repro.core.vli import collect_vli_bbvs
 from repro.core.weights import measure_interval_instructions, phase_weights
 from repro.errors import MatchingError
+from repro.observability import metrics, trace
 from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.callbranch import collect_call_branch_profile
 from repro.profiling.intervals import Interval
@@ -130,45 +131,53 @@ def run_cross_binary_simpoint(
     cache_root = cache.root if cache is not None else None
 
     # Step 1: call-and-branch profile for each binary (fan-out).
-    profile_results = parallel_map(
-        _callbranch_task,
-        [
-            (binary, config.program_input, cache_root)
-            for binary in binaries
-        ],
-        jobs=jobs,
-    )
+    with trace.span("profile", binaries=len(binaries)):
+        profile_results = parallel_map(
+            _callbranch_task,
+            [
+                (binary, config.program_input, cache_root)
+                for binary in binaries
+            ],
+            jobs=jobs,
+        )
     merge_stats(cache, [stats for _, stats in profile_results])
     profiles = [
         (binary, profile)
         for binary, (profile, _) in zip(binaries, profile_results)
     ]
     # Step 2: mappable points that exist in all binaries.
-    marker_set, match_report = find_mappable_points(
-        profiles,
-        enable_signature_recovery=config.enable_signature_recovery,
-    )
+    with trace.span("match"):
+        marker_set, match_report = find_mappable_points(
+            profiles,
+            enable_signature_recovery=config.enable_signature_recovery,
+        )
+    metrics.counter("pipeline.mappable_points").inc(marker_set.n_points)
     # Step 3: VLIs over the primary binary.
     primary = binaries[config.primary_index]
-    intervals = collect_vli_bbvs(
-        primary, marker_set, config.interval_size, config.program_input,
-        cache=cache,
-    )
+    with trace.span("vli_profile", primary=primary.name):
+        intervals = collect_vli_bbvs(
+            primary, marker_set, config.interval_size,
+            config.program_input, cache=cache,
+        )
+    metrics.counter("pipeline.intervals_profiled").inc(len(intervals))
     # Step 4: SimPoint on the primary binary's VLI BBVs.
-    simpoint_result = run_simpoint(intervals, config.simpoint)
+    with trace.span("simpoint", intervals=len(intervals)):
+        simpoint_result = run_simpoint(intervals, config.simpoint)
     # Step 5: map simulation points to all binaries (definitional).
-    mapped_points = map_simulation_points(intervals, simpoint_result)
-    boundaries = interval_boundaries(intervals)
+    with trace.span("map_points"):
+        mapped_points = map_simulation_points(intervals, simpoint_result)
+        boundaries = interval_boundaries(intervals)
     # Step 6: re-measure weights per binary (fan-out).
-    measure_results = parallel_map(
-        _measure_task,
-        [
-            (binary, marker_set, boundaries, config.program_input,
-             cache_root)
-            for binary in binaries
-        ],
-        jobs=jobs,
-    )
+    with trace.span("weights", binaries=len(binaries)):
+        measure_results = parallel_map(
+            _measure_task,
+            [
+                (binary, marker_set, boundaries, config.program_input,
+                 cache_root)
+                for binary in binaries
+            ],
+            jobs=jobs,
+        )
     merge_stats(cache, [stats for _, stats in measure_results])
     interval_instructions: Dict[str, Tuple[int, ...]] = {}
     weights: Dict[str, Dict[int, float]] = {}
@@ -197,10 +206,13 @@ def run_per_binary_simpoint(
     cache: Optional[ProfileCache] = None,
 ) -> Tuple[List[Interval], SimPointResult]:
     """The paper's baseline: FLI SimPoint on one binary in isolation."""
-    intervals = collect_fli_bbvs(
-        binary, interval_size, program_input, cache=cache
-    )
-    result = run_simpoint(intervals, config or SimPointConfig())
+    with trace.span("fli_profile", binary=binary.name):
+        intervals = collect_fli_bbvs(
+            binary, interval_size, program_input, cache=cache
+        )
+    metrics.counter("pipeline.intervals_profiled").inc(len(intervals))
+    with trace.span("fli_simpoint", binary=binary.name):
+        result = run_simpoint(intervals, config or SimPointConfig())
     return intervals, result
 
 

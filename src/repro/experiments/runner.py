@@ -40,6 +40,12 @@ from repro.core.pipeline import (
     run_cross_binary_simpoint,
 )
 from repro.errors import SimulationError
+from repro.observability import trace
+from repro.observability.session import (
+    record_clustering,
+    record_config,
+    record_errors,
+)
 from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
@@ -229,9 +235,36 @@ def _outcome_task(task):
     return outcome, (cache.stats if cache is not None else None)
 
 
+def _annotate_session(run: BenchmarkRun) -> None:
+    """Feed a finished run's provenance into the active observation
+    session (chosen k + BIC trace per clustering, final error tables).
+    No-ops when no session is active."""
+    record_clustering(
+        f"{run.name}/cross:{run.cross.primary_name}",
+        k=run.cross.simpoint.k,
+        bic_scores=run.cross.simpoint.bic_scores,
+        n_points=run.cross.simpoint.n_points,
+    )
+    for label, outcome in run.outcomes.items():
+        record_clustering(
+            f"{run.name}/fli:{outcome.binary_name}",
+            k=outcome.fli_simpoint.k,
+            bic_scores=outcome.fli_simpoint.bic_scores,
+            n_points=outcome.fli_simpoint.n_points,
+        )
+        record_errors(
+            f"{run.name}/{label}",
+            {
+                "fli_cpi_error": outcome.fli_estimate.cpi_error,
+                "vli_cpi_error": outcome.vli_estimate.cpi_error,
+            },
+        )
+
+
 def remember_run(run: BenchmarkRun) -> None:
     """Install a run (e.g. computed in a worker) in the in-process memo."""
     _CACHE[(run.name, run.config.cache_key())] = run
+    _annotate_session(run)
 
 
 def run_benchmark(
@@ -253,42 +286,47 @@ def run_benchmark(
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+    record_config(config.cache_key())
 
-    program = build_benchmark(name)
-    binaries = compile_standard_binaries(program, config.targets)
-    ordered = [binaries[target] for target in config.targets]
+    with trace.span("build", benchmark=name):
+        program = build_benchmark(name)
+        binaries = compile_standard_binaries(program, config.targets)
+        ordered = [binaries[target] for target in config.targets]
 
-    cross = run_cross_binary_simpoint(
-        ordered,
-        CrossBinaryConfig(
-            interval_size=config.interval_size,
-            simpoint=config.simpoint,
-            program_input=config.program_input,
-            primary_index=config.primary_index,
-            enable_signature_recovery=config.enable_signature_recovery,
-        ),
-        jobs=jobs,
-    )
+    with trace.span("cross_binary", benchmark=name):
+        cross = run_cross_binary_simpoint(
+            ordered,
+            CrossBinaryConfig(
+                interval_size=config.interval_size,
+                simpoint=config.simpoint,
+                program_input=config.program_input,
+                primary_index=config.primary_index,
+                enable_signature_recovery=config.enable_signature_recovery,
+            ),
+            jobs=jobs,
+        )
 
-    cache = active_cache()
-    cache_root = cache.root if cache is not None else None
-    results = parallel_map(
-        _outcome_task,
-        [
-            (target, binaries[target], cross, config, cache_root)
-            for target in config.targets
-        ],
-        jobs=jobs,
-    )
-    merge_stats(cache, [stats for _, stats in results])
-    outcomes: Dict[str, BinaryOutcome] = {
-        target.label: outcome
-        for target, (outcome, _) in zip(config.targets, results)
-    }
+    with trace.span("outcomes", benchmark=name):
+        cache = active_cache()
+        cache_root = cache.root if cache is not None else None
+        results = parallel_map(
+            _outcome_task,
+            [
+                (target, binaries[target], cross, config, cache_root)
+                for target in config.targets
+            ],
+            jobs=jobs,
+        )
+        merge_stats(cache, [stats for _, stats in results])
+        outcomes: Dict[str, BinaryOutcome] = {
+            target.label: outcome
+            for target, (outcome, _) in zip(config.targets, results)
+        }
 
     run = BenchmarkRun(
         name=name, config=config, cross=cross, outcomes=outcomes
     )
+    _annotate_session(run)
     _CACHE[key] = run
     return run
 

@@ -23,6 +23,7 @@ from repro.cmpsim.simulator import IntervalStats
 from repro.core.weights import phase_weights
 from repro.errors import SimulationError
 from repro.experiments.figures import pair_speedup_error
+from repro.observability import trace
 from repro.experiments.runner import (
     BenchmarkRun,
     ExperimentConfig,
@@ -70,37 +71,41 @@ def sweep_interval_sizes(
     results: Dict[int, IntervalSizeSweepPoint] = {}
     baseline, improved = speedup_pair
     runs_by_size: Dict[int, BenchmarkRun] = {}
-    if resolve_jobs(jobs) > 1 and len(sizes) > 1:
-        cache = active_cache()
-        cache_root = cache.root if cache is not None else None
-        task_results = parallel_map(
-            _benchmark_task,
-            [
-                (benchmark, replace(base_config, interval_size=size),
-                 cache_root)
-                for size in sizes
-            ],
-            jobs=jobs,
-        )
-        merge_stats(cache, [stats for _, stats in task_results])
-        for size, (run, _) in zip(sizes, task_results):
-            remember_run(run)
-            runs_by_size[size] = run
-    for size in sizes:
-        run = runs_by_size.get(size) or run_benchmark(
-            benchmark, replace(base_config, interval_size=size), jobs=jobs
-        )
-        fli = pair_speedup_error(run, "fli", baseline, improved)
-        vli = pair_speedup_error(run, "vli", baseline, improved)
-        results[size] = IntervalSizeSweepPoint(
-            interval_size=size,
-            n_intervals=len(run.cross.intervals),
-            k=run.cross.simpoint.k,
-            fli_cpi_error=run.average_cpi_error("fli"),
-            vli_cpi_error=run.average_cpi_error("vli"),
-            fli_speedup_error=fli.error,
-            vli_speedup_error=vli.error,
-        )
+    with trace.span(
+        "sweep_interval_sizes", benchmark=benchmark, settings=len(sizes)
+    ):
+        if resolve_jobs(jobs) > 1 and len(sizes) > 1:
+            cache = active_cache()
+            cache_root = cache.root if cache is not None else None
+            task_results = parallel_map(
+                _benchmark_task,
+                [
+                    (benchmark, replace(base_config, interval_size=size),
+                     cache_root)
+                    for size in sizes
+                ],
+                jobs=jobs,
+            )
+            merge_stats(cache, [stats for _, stats in task_results])
+            for size, (run, _) in zip(sizes, task_results):
+                remember_run(run)
+                runs_by_size[size] = run
+        for size in sizes:
+            run = runs_by_size.get(size) or run_benchmark(
+                benchmark, replace(base_config, interval_size=size),
+                jobs=jobs,
+            )
+            fli = pair_speedup_error(run, "fli", baseline, improved)
+            vli = pair_speedup_error(run, "vli", baseline, improved)
+            results[size] = IntervalSizeSweepPoint(
+                interval_size=size,
+                n_intervals=len(run.cross.intervals),
+                k=run.cross.simpoint.k,
+                fli_cpi_error=run.average_cpi_error("fli"),
+                vli_cpi_error=run.average_cpi_error("vli"),
+                fli_speedup_error=fli.error,
+                vli_speedup_error=vli.error,
+            )
     return results
 
 
@@ -179,14 +184,15 @@ def sweep_max_k(
     if not budgets:
         raise SimulationError("no budgets given")
     results: Dict[int, MaxKSweepPoint] = {}
-    simpoint_results = parallel_map(
-        _recluster_task,
-        [
-            (run.cross.intervals, SimPointConfig(max_k=budget))
-            for budget in budgets
-        ],
-        jobs=jobs,
-    )
+    with trace.span("sweep_max_k", settings=len(budgets)):
+        simpoint_results = parallel_map(
+            _recluster_task,
+            [
+                (run.cross.intervals, SimPointConfig(max_k=budget))
+                for budget in budgets
+            ],
+            jobs=jobs,
+        )
     for budget, simpoint_result in zip(budgets, simpoint_results):
         results[budget] = MaxKSweepPoint(
             max_k=budget,
@@ -216,13 +222,14 @@ def sweep_early_tolerance(
         raise SimulationError("no tolerances given")
     intervals = list(run.cross.intervals)
     results: Dict[float, EarlySweepPoint] = {}
-    for tolerance in tolerances:
-        early = run_early_simpoint(
-            intervals, SimPointConfig(), tolerance=tolerance
-        )
-        results[tolerance] = EarlySweepPoint(
-            tolerance=tolerance,
-            last_point_index=early.last_point_index,
-            cpi_error=_reestimate_vli(run, early.result),
-        )
+    with trace.span("sweep_early_tolerance", settings=len(tolerances)):
+        for tolerance in tolerances:
+            early = run_early_simpoint(
+                intervals, SimPointConfig(), tolerance=tolerance
+            )
+            results[tolerance] = EarlySweepPoint(
+                tolerance=tolerance,
+                last_point_index=early.last_point_index,
+                cpi_error=_reestimate_vli(run, early.result),
+            )
     return results

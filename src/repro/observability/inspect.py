@@ -1,0 +1,80 @@
+"""Pretty-printing manifests for ``repro inspect``."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_manifest(manifest: Mapping[str, Any]) -> str:
+    """Human-readable summary: stage timings, cache, clusterings."""
+    lines: List[str] = []
+    command = " ".join(manifest.get("command") or []) or "(unknown command)"
+    lines.append(f"run: {command}")
+    lines.append(
+        f"git {manifest.get('git_describe', 'unknown')} | "
+        f"python {manifest.get('python', '?')} | "
+        f"config {str(manifest.get('config_fingerprint'))[:12]}"
+    )
+    total = float(manifest.get("total_seconds", 0.0))
+    lines.append(f"total wall time: {_format_seconds(total)}")
+
+    stages = manifest.get("stages") or []
+    if stages:
+        lines.append("")
+        lines.append(f"{'stage':<24} {'seconds':>10} {'share':>7}")
+        lines.append("-" * 43)
+        accounted = 0.0
+        for stage in stages:
+            seconds = float(stage["seconds"])
+            accounted += seconds
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{stage['name']:<24} {seconds:>10.4f} {share:>7.1%}"
+            )
+        lines.append("-" * 43)
+        share = accounted / total if total > 0 else 0.0
+        lines.append(f"{'(accounted)':<24} {accounted:>10.4f} {share:>7.1%}")
+
+    cache = manifest.get("cache") or {}
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    lines.append("")
+    if lookups:
+        lines.append(
+            f"cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"({cache.get('hit_rate', 0.0):.1%} hit rate), "
+            f"{cache.get('bytes_read', 0):,} B read, "
+            f"{cache.get('bytes_written', 0):,} B written"
+        )
+    else:
+        lines.append("cache: no lookups (cache disabled or unused)")
+
+    clusterings: Dict[str, Any] = manifest.get("clusterings") or {}
+    if clusterings:
+        lines.append("")
+        lines.append("clusterings:")
+        for name in sorted(clusterings):
+            entry = clusterings[name]
+            scores = entry.get("bic_scores") or []
+            lines.append(
+                f"  {name}: k={entry.get('k')} "
+                f"({len(scores)} BIC evaluations)"
+            )
+
+    errors: Dict[str, Any] = manifest.get("errors") or {}
+    if errors:
+        lines.append("")
+        lines.append("errors:")
+        for name in sorted(errors):
+            cells = ", ".join(
+                f"{key}={value:.4f}"
+                for key, value in sorted(errors[name].items())
+            )
+            lines.append(f"  {name}: {cells}")
+    return "\n".join(lines)

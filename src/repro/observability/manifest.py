@@ -1,0 +1,178 @@
+"""Per-run manifests: provenance + validation artifacts.
+
+A manifest is the one JSON document that makes a run auditable after
+the fact: what code produced it (git describe), under which
+configuration (content fingerprint), where the time went (per-stage
+wall times from the tracer), what the cache did (hit/miss/traffic
+counters), what SimPoint decided (chosen k and the BIC trace per
+binary), and how good the result was (final error tables). It is
+written as ``manifest.json`` next to the trace output.
+
+The schema is flat and versioned; :func:`validate_manifest` is the
+single authority on required keys and is used by tests and the CI
+quickstart check alike.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.errors import FileFormatError
+
+MANIFEST_SCHEMA = "repro.manifest/v1"
+
+#: Every manifest has exactly these top-level keys (stable schema —
+#: tests pin the set, so additions require a version bump or a test
+#: update in the same change).
+MANIFEST_KEYS = (
+    "schema",
+    "created_at",
+    "command",
+    "git_describe",
+    "python",
+    "config_fingerprint",
+    "total_seconds",
+    "stages",
+    "cache",
+    "metrics",
+    "clusterings",
+    "errors",
+)
+
+_CACHE_KEYS = ("hits", "misses", "hit_rate", "bytes_read", "bytes_written")
+
+PathLike = Union[str, Path]
+
+
+def git_describe() -> str:
+    """``git describe`` of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = proc.stdout.strip()
+    return described if proc.returncode == 0 and described else "unknown"
+
+
+def build_manifest(
+    *,
+    total_seconds: float,
+    stages: Mapping[str, float],
+    metrics_snapshot: Mapping[str, Any],
+    cache_stats: Optional[Any] = None,
+    clusterings: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    errors: Optional[Mapping[str, Mapping[str, float]]] = None,
+    config_fingerprint: Optional[str] = None,
+    command: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-complete manifest dict.
+
+    ``cache_stats`` is a :class:`repro.runtime.cache.CacheStats` (or
+    ``None`` for a cache-less run, which records all-zero counters).
+    """
+    if cache_stats is not None:
+        cache_block = {
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "hit_rate": cache_stats.hit_rate,
+            "bytes_read": cache_stats.bytes_read,
+            "bytes_written": cache_stats.bytes_written,
+        }
+    else:
+        cache_block = {key: 0 for key in _CACHE_KEYS}
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_at": time.time(),
+        "command": list(command) if command is not None else [],
+        "git_describe": git_describe(),
+        "python": sys.version.split()[0],
+        "config_fingerprint": config_fingerprint,
+        "total_seconds": float(total_seconds),
+        "stages": [
+            {"name": name, "seconds": float(seconds)}
+            for name, seconds in stages.items()
+        ],
+        "cache": cache_block,
+        "metrics": dict(metrics_snapshot),
+        "clusterings": {
+            name: dict(entry) for name, entry in (clusterings or {}).items()
+        },
+        "errors": {
+            name: dict(table) for name, table in (errors or {}).items()
+        },
+    }
+
+
+def validate_manifest(data: Any) -> Dict[str, Any]:
+    """Check a manifest's schema; returns it on success.
+
+    Raises :class:`FileFormatError` naming the first problem found.
+    """
+    if not isinstance(data, dict):
+        raise FileFormatError(
+            f"manifest must be a JSON object, got {type(data).__name__}"
+        )
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise FileFormatError(
+            f"manifest schema {data.get('schema')!r}, "
+            f"expected {MANIFEST_SCHEMA!r}"
+        )
+    missing = [key for key in MANIFEST_KEYS if key not in data]
+    if missing:
+        raise FileFormatError(f"manifest missing keys: {missing}")
+    unknown = [key for key in data if key not in MANIFEST_KEYS]
+    if unknown:
+        raise FileFormatError(f"manifest has unknown keys: {unknown}")
+    if not isinstance(data["stages"], list):
+        raise FileFormatError("manifest stages must be a list")
+    for stage in data["stages"]:
+        if (
+            not isinstance(stage, dict)
+            or not isinstance(stage.get("name"), str)
+            or not isinstance(stage.get("seconds"), (int, float))
+        ):
+            raise FileFormatError(f"malformed manifest stage: {stage!r}")
+    cache = data["cache"]
+    if not isinstance(cache, dict):
+        raise FileFormatError("manifest cache must be an object")
+    for key in _CACHE_KEYS:
+        if not isinstance(cache.get(key), (int, float)):
+            raise FileFormatError(f"manifest cache missing counter {key!r}")
+    for section in ("clusterings", "errors", "metrics"):
+        if not isinstance(data[section], dict):
+            raise FileFormatError(f"manifest {section} must be an object")
+    if not isinstance(data["total_seconds"], (int, float)):
+        raise FileFormatError("manifest total_seconds must be a number")
+    return data
+
+
+def write_manifest(path: PathLike, manifest: Mapping[str, Any]) -> Path:
+    """Validate and write a manifest; returns the path written."""
+    validate_manifest(dict(manifest))
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read and validate a manifest file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FileFormatError(f"{path}: cannot read manifest: {exc}") from exc
+    try:
+        return validate_manifest(data)
+    except FileFormatError as exc:
+        raise FileFormatError(f"{path}: {exc}") from None

@@ -1,0 +1,199 @@
+"""Named counters, gauges, and histograms.
+
+All metrics live in a process-local :class:`Registry`; the module-level
+:func:`counter`/:func:`gauge`/:func:`histogram` accessors route through
+the currently active registry so instrumented code never holds a
+reference. Metrics are always on — recording is a dict lookup plus an
+add, cheap enough for hot paths — and are reset at the start of each
+:func:`repro.observability.session.observe` session.
+
+Cross-process aggregation: :func:`repro.runtime.parallel.parallel_map`
+wraps each pool task in :func:`scoped_registry`, ships the resulting
+:meth:`Registry.snapshot` back with the task result, and merges it into
+the parent registry. Snapshots are plain JSON-able dicts, so they
+pickle across process boundaries and serialize into the manifest
+unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Summary statistics (count/sum/min/max) of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Registry:
+    """One process's (or one scoped task's) metric instruments."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy, stable under JSON and pickle round-trips."""
+        return {
+            "counters": {
+                name: instrument.value
+                for name, instrument in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: instrument.value
+                for name, instrument in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: instrument.to_dict()
+                for name, instrument in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot (e.g. a worker task's delta) into this."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            instrument = self.histogram(name)
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            instrument.count += count
+            instrument.total += summary.get("sum", 0.0)
+            for extreme, pick in (("min", min), ("max", max)):
+                value = summary.get(extreme)
+                if value is None:
+                    continue
+                current = getattr(instrument, extreme)
+                setattr(
+                    instrument,
+                    extreme,
+                    value if current is None else pick(current, value),
+                )
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_registry = Registry()
+
+
+def registry() -> Registry:
+    """The currently active registry."""
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _registry.histogram(name)
+
+
+def snapshot() -> Dict[str, Any]:
+    return _registry.snapshot()
+
+
+def merge(snap: Dict[str, Any]) -> None:
+    _registry.merge(snap)
+
+
+def reset() -> None:
+    _registry.reset()
+
+
+@contextmanager
+def scoped_registry() -> Iterator[Registry]:
+    """Route all metric recording into a fresh registry for the block.
+
+    Pool workers wrap each task in this so the task's metrics can be
+    snapshotted and shipped back to the parent as a delta (workers are
+    reused across tasks, so absolute worker totals would double-count).
+    """
+    global _registry
+    saved = _registry
+    fresh = Registry()
+    _registry = fresh
+    try:
+        yield fresh
+    finally:
+        _registry = saved

@@ -1,0 +1,188 @@
+"""One run's observation session: tracer + metrics + manifest output.
+
+:func:`observe` is the single entry point the CLI and examples use:
+
+    with observe(trace_out="out/trace.json") as session:
+        ...  # spans and metrics record as usual
+        session.record_clustering("art/32u", k=4, bic_scores=[...])
+
+On exit it writes the trace JSON to ``trace_out``, a metrics dump to
+``metrics_out`` (when given), and the run manifest to ``manifest.json``
+next to the trace. When neither output is requested (and neither
+``REPRO_TRACE_OUT`` nor ``REPRO_METRICS_OUT`` is set) it yields
+``None`` and records nothing, so instrumented entry points can wrap
+themselves unconditionally.
+
+Annotations (clusterings, error tables, config fingerprint) are
+collected parent-side only; worker processes contribute through the
+metrics layer instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Union
+from contextlib import contextmanager
+
+from repro.observability import metrics, trace
+from repro.observability.manifest import build_manifest, write_manifest
+from repro.runtime.fingerprint import fingerprint
+
+PathLike = Union[str, Path]
+
+
+class ObservationSession:
+    """Collects one run's observability state and writes its artifacts."""
+
+    def __init__(
+        self,
+        trace_out: Optional[PathLike] = None,
+        metrics_out: Optional[PathLike] = None,
+        manifest_out: Optional[PathLike] = None,
+        command: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.trace_out = Path(trace_out) if trace_out is not None else None
+        self.metrics_out = (
+            Path(metrics_out) if metrics_out is not None else None
+        )
+        if manifest_out is not None:
+            self.manifest_out: Optional[Path] = Path(manifest_out)
+        elif self.trace_out is not None:
+            self.manifest_out = self.trace_out.parent / "manifest.json"
+        else:
+            self.manifest_out = None
+        self.command = list(command) if command is not None else []
+        self.tracer = trace.Tracer()
+        self.clusterings: Dict[str, Dict[str, Any]] = {}
+        self.errors: Dict[str, Dict[str, float]] = {}
+        self.config_fingerprint: Optional[str] = None
+        self.manifest: Optional[Dict[str, Any]] = None
+
+    def record_config(self, material: Any) -> None:
+        """Fingerprint the run's configuration for the manifest."""
+        self.config_fingerprint = fingerprint("config", material)
+
+    def record_clustering(
+        self,
+        name: str,
+        k: int,
+        bic_scores: Sequence[float],
+        n_points: Optional[int] = None,
+    ) -> None:
+        """Record one binary's chosen k and BIC trace."""
+        entry: Dict[str, Any] = {
+            "k": int(k),
+            "bic_scores": [float(score) for score in bic_scores],
+        }
+        if n_points is not None:
+            entry["n_points"] = int(n_points)
+        self.clusterings[name] = entry
+
+    def record_errors(self, name: str, table: Mapping[str, float]) -> None:
+        """Record one binary's (or method's) final error table."""
+        self.errors[name] = {
+            key: float(value) for key, value in table.items()
+        }
+
+    def finish(self) -> Dict[str, Any]:
+        """Freeze timings, build the manifest, write all artifacts."""
+        # Imported here: runtime.cache pulls in the metrics module, so
+        # a top-level import would be circular through the package.
+        from repro.runtime.config import active_cache
+
+        self.tracer.finish()
+        cache = active_cache()
+        self.manifest = build_manifest(
+            total_seconds=self.tracer.total_seconds(),
+            stages=self.tracer.stage_seconds(),
+            metrics_snapshot=metrics.snapshot(),
+            cache_stats=cache.stats if cache is not None else None,
+            clusterings=self.clusterings,
+            errors=self.errors,
+            config_fingerprint=self.config_fingerprint,
+            command=self.command,
+        )
+        if self.trace_out is not None:
+            self.trace_out.parent.mkdir(parents=True, exist_ok=True)
+            self.trace_out.write_text(
+                json.dumps(self.tracer.to_payload(), indent=2) + "\n"
+            )
+        if self.metrics_out is not None:
+            self.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            self.metrics_out.write_text(
+                json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
+                + "\n"
+            )
+        if self.manifest_out is not None:
+            write_manifest(self.manifest_out, self.manifest)
+        return self.manifest
+
+
+_current: Optional[ObservationSession] = None
+
+
+def current_session() -> Optional[ObservationSession]:
+    return _current
+
+
+def record_clustering(
+    name: str,
+    k: int,
+    bic_scores: Sequence[float],
+    n_points: Optional[int] = None,
+) -> None:
+    """Annotate the active session, if any (no-op otherwise)."""
+    if _current is not None:
+        _current.record_clustering(name, k, bic_scores, n_points)
+
+
+def record_errors(name: str, table: Mapping[str, float]) -> None:
+    if _current is not None:
+        _current.record_errors(name, table)
+
+
+def record_config(material: Any) -> None:
+    if _current is not None and _current.config_fingerprint is None:
+        _current.record_config(material)
+
+
+@contextmanager
+def observe(
+    trace_out: Optional[PathLike] = None,
+    metrics_out: Optional[PathLike] = None,
+    manifest_out: Optional[PathLike] = None,
+    command: Optional[Sequence[str]] = None,
+) -> Iterator[Optional[ObservationSession]]:
+    """Run one observed block; write artifacts on exit.
+
+    Output paths fall back to ``REPRO_TRACE_OUT``/``REPRO_METRICS_OUT``;
+    with no output configured at all this is a transparent no-op that
+    yields ``None``. Nested calls reuse the outer session.
+    """
+    global _current
+    if trace_out is None:
+        trace_out = os.environ.get("REPRO_TRACE_OUT") or None
+    if metrics_out is None:
+        metrics_out = os.environ.get("REPRO_METRICS_OUT") or None
+    if _current is not None or (
+        trace_out is None and metrics_out is None and manifest_out is None
+    ):
+        yield _current
+        return
+    session = ObservationSession(
+        trace_out=trace_out,
+        metrics_out=metrics_out,
+        manifest_out=manifest_out,
+        command=command,
+    )
+    metrics.reset()
+    trace.install(session.tracer)
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = None
+        trace.uninstall()
+        session.finish()

@@ -1,0 +1,172 @@
+"""Hierarchical timed spans.
+
+A :class:`Tracer` records a tree of named spans with wall-clock
+durations and arbitrary JSON-able attributes. Instrumented code calls
+the module-level :func:`span`; with no tracer installed that returns a
+shared no-op context manager, so always-on instrumentation in hot
+paths stays cheap (one global read and one ``is None`` test).
+
+Spans nest by runtime context: a span opened while another is open
+becomes its child. Worker processes never inherit the parent's tracer
+(it is process-local and deliberately not pickled), so spans inside
+pool workers are silently skipped — cross-process aggregation happens
+through :mod:`repro.observability.metrics` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _NullSpan:
+    """Shared do-nothing span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanNode:
+    """One recorded span: name, attributes, timing, children."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], start: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: List["SpanNode"] = []
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+class _SpanContext:
+    """Context manager opening/closing one :class:`SpanNode`."""
+
+    __slots__ = ("_tracer", "_node")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._node = SpanNode(name, attrs, 0.0)
+
+    def __enter__(self) -> SpanNode:
+        self._tracer._open(self._node)
+        return self._node
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._close(self._node)
+        return False
+
+
+class Tracer:
+    """Collects a tree of spans for one run."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self._origin = time.perf_counter()
+        self.roots: List[SpanNode] = []
+        self._stack: List[SpanNode] = []
+        self._finished: Optional[float] = None
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def _open(self, node: SpanNode) -> None:
+        node.start = self._now()
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+
+    def _close(self, node: SpanNode) -> None:
+        node.end = self._now()
+        # Tolerate out-of-order exits (generators, exceptions): pop
+        # back to the node rather than asserting strict nesting.
+        while self._stack:
+            top = self._stack.pop()
+            if top is node:
+                break
+
+    def finish(self) -> float:
+        """Freeze the total; spans still open are closed at the end."""
+        if self._finished is None:
+            while self._stack:
+                self._stack.pop().end = self._now()
+            self._finished = self._now()
+        return self._finished
+
+    def total_seconds(self) -> float:
+        return self._finished if self._finished is not None else self._now()
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Top-level span durations aggregated by name, in first-seen
+        order — the manifest's per-stage wall-time table."""
+        stages: Dict[str, float] = {}
+        for root in self.roots:
+            stages[root.name] = stages.get(root.name, 0.0) + root.seconds
+        return stages
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.trace/v1",
+            "started_at": self.started_at,
+            "total_seconds": self.total_seconds(),
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+
+_tracer: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-wide span collector."""
+    global _tracer
+    _tracer = tracer
+
+
+def uninstall() -> None:
+    global _tracer
+    _tracer = None
+
+
+def active() -> Optional[Tracer]:
+    return _tracer
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, **attrs: Any):
+    """A timed span under the active tracer, or a no-op without one."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -34,8 +34,21 @@ PathLike = Union[str, Path]
 
 
 def write_marker_set(path: PathLike, marker_set: MarkerSet) -> None:
-    """Write a marker set (points + per-binary anchors) to disk."""
+    """Write a marker set (points + per-binary anchors) to disk.
+
+    Binary names are space-separated on the ``binaries`` header line,
+    so a name containing whitespace (or an empty name) would produce a
+    file :func:`read_marker_set` silently mis-parses — such names are
+    rejected up front instead of corrupting the archive.
+    """
     names = sorted(marker_set.tables)
+    for name in names:
+        if not name or name.split() != [name]:
+            raise FileFormatError(
+                f"binary name {name!r} cannot be archived: names are "
+                f"space-separated in the marker-set format and must be "
+                f"non-empty and whitespace-free"
+            )
     lines = [_HEADER, "binaries " + " ".join(names)]
     for point in marker_set.points:
         key_json = json.dumps(list(point.key), separators=(",", ":"))
@@ -98,6 +111,10 @@ def read_marker_set(path: PathLike) -> MarkerSet:
                 block_id = int(fields[3])
             except ValueError as exc:
                 raise FileFormatError(f"{context}: {exc}") from None
+            if not names:
+                raise FileFormatError(
+                    f"{context}: anchor line before the binaries line"
+                )
             if not 0 <= binary_index < len(names):
                 raise FileFormatError(
                     f"{context}: binary index {binary_index} out of range"

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import CacheError
+from repro.observability import metrics
 from repro.runtime.fingerprint import fingerprint
 
 
@@ -79,9 +80,12 @@ class ProfileCache:
         else:
             self.stats.hits += 1
             self.stats.bytes_read += len(payload)
+            metrics.counter("cache.hits").inc()
+            metrics.counter("cache.bytes_read").inc(len(payload))
             return value
         value = compute()
         self.stats.misses += 1
+        metrics.counter("cache.misses").inc()
         self._write(path, value)
         return value
 
@@ -107,6 +111,7 @@ class ProfileCache:
                 f"cannot write cache entry {path}: {exc}"
             ) from exc
         self.stats.bytes_written += len(payload)
+        metrics.counter("cache.bytes_written").inc(len(payload))
 
 
 def merge_stats(

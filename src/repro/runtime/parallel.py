@@ -12,6 +12,13 @@ three guarantees:
 * **exception transparency** — an exception raised by ``fn`` for any
   item propagates to the caller, as in the serial loop.
 
+It is also the pipeline's cross-process metrics seam: each pool task
+runs inside a scoped :mod:`repro.observability.metrics` registry whose
+snapshot ships back with the result and is merged into the parent, and
+every task's latency lands in the ``parallel.task_seconds`` histogram.
+Observability never changes results — payloads are unwrapped before
+they are returned.
+
 Worker functions must be module-level (picklable); keyword arguments
 can be bound with :func:`functools.partial`.
 """
@@ -19,9 +26,12 @@ can be bound with :func:`functools.partial`.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
+import time
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.errors import ReproError
+from repro.observability import metrics, trace
 from repro.runtime.config import resolve_jobs
 
 _T = TypeVar("_T")
@@ -37,6 +47,30 @@ def _mark_worker() -> None:
     _in_worker = True
 
 
+def _observed_call(fn, item):
+    """Worker shim: run one task inside a scoped metrics registry.
+
+    Returns ``(result, metrics_delta, seconds)`` so the parent can fold
+    the task's metrics and latency into its own registry. Per-task
+    scoping matters because pool workers are reused: absolute worker
+    totals would double-count across tasks.
+    """
+    start = time.perf_counter()
+    with metrics.scoped_registry() as local:
+        result = fn(item)
+    return result, local.snapshot(), time.perf_counter() - start
+
+
+def _serial_map(fn: Callable[[_T], _R], work: List[_T]) -> List[_R]:
+    latencies = metrics.histogram("parallel.task_seconds")
+    results: List[_R] = []
+    for item in work:
+        start = time.perf_counter()
+        results.append(fn(item))
+        latencies.observe(time.perf_counter() - start)
+    return results
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -46,15 +80,25 @@ def parallel_map(
     work = list(items)
     n_jobs = min(resolve_jobs(jobs), len(work))
     if n_jobs <= 1 or _in_worker:
-        return [fn(item) for item in work]
+        return _serial_map(fn, work)
     try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_mark_worker
-        ) as pool:
-            return list(pool.map(fn, work))
+        with trace.span("parallel_map", items=len(work), jobs=n_jobs):
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_jobs, initializer=_mark_worker
+            ) as pool:
+                observed = list(
+                    pool.map(functools.partial(_observed_call, fn), work)
+                )
     except ReproError:
         raise  # a worker failed with a real library error
     except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
         # The pool itself could not run (restricted environment);
         # results are identical either way, so fall back to serial.
-        return [fn(item) for item in work]
+        return _serial_map(fn, work)
+    latencies = metrics.histogram("parallel.task_seconds")
+    results: List[_R] = []
+    for result, delta, seconds in observed:
+        metrics.merge(delta)
+        latencies.observe(seconds)
+        results.append(result)
+    return results

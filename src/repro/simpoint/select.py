@@ -18,8 +18,29 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.observability import metrics, trace
 from repro.simpoint.bic import bic_score
 from repro.simpoint.kmeans import KMeansResult, weighted_kmeans
+
+
+def _cluster_and_score(
+    points: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    n_init: int,
+    max_iter: int,
+    seed: int,
+) -> Tuple[KMeansResult, float]:
+    """One instrumented clustering: k-means at ``k`` plus its BIC."""
+    with trace.span("cluster", k=k):
+        result = weighted_kmeans(
+            points, k, weights, n_init=n_init, max_iter=max_iter,
+            seed=seed + k,
+        )
+        score = bic_score(points, result, weights)
+    metrics.counter("simpoint.kmeans_runs").inc()
+    metrics.counter("simpoint.kmeans_iterations").inc(result.iterations)
+    return result, score
 
 
 @dataclass(frozen=True)
@@ -53,12 +74,11 @@ def choose_clustering(
     results: List[KMeansResult] = []
     scores: List[float] = []
     for k in range(1, k_max + 1):
-        result = weighted_kmeans(
-            points, k, weights, n_init=n_init, max_iter=max_iter,
-            seed=seed + k,
+        result, score = _cluster_and_score(
+            points, weights, k, n_init, max_iter, seed
         )
         results.append(result)
-        scores.append(bic_score(points, result, weights))
+        scores.append(score)
     best = max(scores)
     worst = min(scores)
     spread = best - worst
@@ -91,10 +111,15 @@ def choose_clustering_binary_search(
 
     Instead of clustering at every k, evaluate k=1 and k=maxK, then
     bisect for the smallest k whose min-max-normalized BIC reaches the
-    threshold — O(log maxK) clusterings. The BIC curve is assumed
-    roughly monotone in k (SimPoint 3.0's assumption); when it is not,
-    the result may be slightly larger than the exhaustive answer, but
-    it always satisfies the threshold under the scores actually seen.
+    threshold — O(log maxK) clusterings. Normalization uses the two
+    *endpoint* scores (k=1 and k=maxK), fixed up front: on a monotone
+    BIC curve they are the extremes, so this matches the exhaustive
+    rule exactly, and — unlike normalizing against whichever scores the
+    bisection happened to evaluate so far — a k's qualification cannot
+    change as the search proceeds. When the curve is not monotone the
+    chosen k is re-validated at the end and, if it fails the threshold
+    under the endpoint normalization, replaced by the smallest
+    evaluated k that passes (the best-scoring evaluated k always does).
     """
     if not 0.0 < bic_threshold <= 1.0:
         raise ClusteringError(
@@ -109,24 +134,22 @@ def choose_clustering_binary_search(
 
     def evaluate(k: int) -> float:
         if k not in evaluated:
-            result = weighted_kmeans(
-                points, k, weights, n_init=n_init, max_iter=max_iter,
-                seed=seed + k,
+            evaluated[k] = _cluster_and_score(
+                points, weights, k, n_init, max_iter, seed
             )
-            evaluated[k] = (result, bic_score(points, result, weights))
         return evaluated[k][1]
 
+    # Fixed normalization endpoints — evaluated up front so every
+    # qualification test uses the same scale.
+    worst = min(evaluate(1), evaluate(k_max))
+    best = max(evaluate(1), evaluate(k_max))
+    spread = best - worst
+
     def qualifies(k: int) -> bool:
-        score = evaluate(k)
-        scores = [entry[1] for entry in evaluated.values()]
-        worst, best = min(scores), max(scores)
-        spread = best - worst
         if spread <= 0:
             return True
-        return (score - worst) / spread >= bic_threshold
+        return (evaluate(k) - worst) / spread >= bic_threshold
 
-    evaluate(1)
-    evaluate(k_max)
     low, high = 1, k_max
     if qualifies(1):
         high = 1
@@ -138,6 +161,14 @@ def choose_clustering_binary_search(
             low = mid + 1
     chosen_k = low
     evaluate(chosen_k)
+    if not qualifies(chosen_k):
+        # Non-monotone curve: bisection landed on a k that fails the
+        # threshold (e.g. the never-tested k_max after every midpoint
+        # failed). Fall back to the smallest evaluated k that passes;
+        # at least the argmax of the evaluated scores always does.
+        chosen_k = min(
+            k for k in evaluated if qualifies(k)
+        )
     # Report the evaluated scores in k order (sparse trace).
     trace = tuple(
         evaluated[k][1] for k in sorted(evaluated)
@@ -171,6 +202,14 @@ def pick_simulation_points(
     up empty (possible only in degenerate inputs) are skipped.
     """
     total_weight = float(weights.sum())
+    if not total_weight > 0:
+        # An all-zero (or negative, or NaN) weight vector would divide
+        # through to NaN weights that silently poison every downstream
+        # CPI estimate — refuse instead.
+        raise ClusteringError(
+            f"interval weights must sum to a positive value, got "
+            f"{total_weight}"
+        )
     picks: List[RepresentativePick] = []
     for cluster in range(result.k):
         members = np.flatnonzero(result.labels == cluster)

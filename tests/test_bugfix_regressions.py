@@ -21,6 +21,7 @@ from repro.cmpsim.simulator import FLITracker
 from repro.compilation.binary import BlockKind, LoweredBlock
 from repro.core.markers import MarkerSet, MarkerTable
 from repro.core.weights import IntervalInstructionCounter
+from repro.errors import ClusteringError
 from repro.simpoint.kmeans import _lloyd, weighted_kmeans
 
 
@@ -242,3 +243,99 @@ class TestIntervalCounterBulkEquivalence:
         counter.on_block(0, 12)
         counter.finish()
         assert counter.interval_instructions == [20, 30, 40, 30]
+
+
+class TestBinarySearchNormalization:
+    """``choose_clustering_binary_search`` must normalize BIC scores
+    against the fixed k=1/k=maxK endpoints, not against whichever
+    scores the bisection happened to evaluate so far.
+
+    On the pre-fix code a k's qualification drifted as more points were
+    evaluated, and the returned k could fail the 0.9 threshold under
+    the endpoint normalization (here: old code returns k=6 with a
+    normalized score of 0.5)."""
+
+    #: A non-monotone BIC curve, indexed by k-1. Endpoints are 0 and
+    #: 100, so the 0.9-threshold qualification bar is a score of 90.
+    SCORES = (0.0, 10.0, 20.0, -500.0, 30.0, 50.0, 95.0, 100.0)
+
+    def _choose(self, monkeypatch):
+        from repro.simpoint import select
+
+        monkeypatch.setattr(
+            select,
+            "bic_score",
+            lambda points, result, weights: self.SCORES[result.k - 1],
+        )
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(12, 2))
+        weights = np.ones(12)
+        return select.choose_clustering_binary_search(
+            points, weights, max_k=8, bic_threshold=0.9, n_init=1,
+            max_iter=20, seed=0,
+        )
+
+    def test_chosen_k_meets_threshold_under_endpoint_normalization(
+        self, monkeypatch
+    ):
+        choice = self._choose(monkeypatch)
+        worst = min(self.SCORES[0], self.SCORES[-1])
+        spread = max(self.SCORES[0], self.SCORES[-1]) - worst
+        normalized = (self.SCORES[choice.k - 1] - worst) / spread
+        assert normalized >= 0.9, (
+            f"binary search chose k={choice.k} whose normalized BIC "
+            f"{normalized:.2f} fails the 0.9 threshold"
+        )
+
+    def test_chosen_k_is_smallest_qualifying_evaluated_k(
+        self, monkeypatch
+    ):
+        choice = self._choose(monkeypatch)
+        assert choice.k == 7
+
+    def test_flat_curve_still_picks_smallest_k(self, monkeypatch):
+        from repro.simpoint import select
+
+        monkeypatch.setattr(
+            select, "bic_score", lambda points, result, weights: 42.0
+        )
+        points = np.arange(10.0).reshape(-1, 1)
+        choice = select.choose_clustering_binary_search(
+            points, np.ones(10), max_k=6, n_init=1, max_iter=20
+        )
+        assert choice.k == 1
+
+
+class TestPickSimulationPointsZeroWeights:
+    """An all-zero weight vector used to divide through to NaN weights
+    that silently poisoned every downstream CPI estimate."""
+
+    def test_zero_weights_raise_instead_of_nan(self):
+        from repro.simpoint.kmeans import KMeansResult
+        from repro.simpoint.select import pick_simulation_points
+
+        points = np.arange(8.0).reshape(-1, 2)
+        result = KMeansResult(
+            centroids=points[:1].copy(),
+            labels=np.zeros(4, dtype=int),
+            inertia=0.0,
+            iterations=1,
+        )
+        with pytest.raises(ClusteringError, match="positive"):
+            pick_simulation_points(points, np.zeros(4), result)
+
+    def test_positive_weights_still_normalize(self):
+        from repro.simpoint.kmeans import KMeansResult
+        from repro.simpoint.select import pick_simulation_points
+
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [4.0, 4.0], [5.0, 5.0]])
+        result = KMeansResult(
+            centroids=np.array([[0.5, 0.5], [4.5, 4.5]]),
+            labels=np.array([0, 0, 1, 1]),
+            inertia=0.0,
+            iterations=1,
+        )
+        picks = pick_simulation_points(
+            points, np.array([1.0, 1.0, 3.0, 1.0]), result
+        )
+        assert sum(pick.weight for pick in picks) == pytest.approx(1.0)

@@ -28,7 +28,7 @@ def _load_example(name):
 class TestQuickstart:
     def test_runs_and_reports_estimate(self, capsys):
         module = _load_example("quickstart")
-        module.main()
+        module.main([])  # quickstart parses sys.argv when run as a script
         out = capsys.readouterr().out
         assert "SimPoint chose k=" in out
         assert "sampled estimate" in out

@@ -107,3 +107,77 @@ class TestInputMismatch:
                 micro_binary_32u, marker_set, boundaries,
                 program_input=smaller,
             )
+
+
+def _tiny_marker_set(names):
+    """A one-point marker set over the given binary names."""
+    from repro.core.markers import (
+        MappablePoint,
+        MarkerKind,
+        MarkerSet,
+        MarkerTable,
+    )
+
+    point = MappablePoint(
+        marker_id=0, kind=MarkerKind.PROCEDURE, key=("proc", "main"),
+        total_count=4,
+    )
+    tables = {
+        name: MarkerTable(binary_name=name, anchor_blocks={0: 7})
+        for name in names
+    }
+    return MarkerSet(points=(point,), tables=tables)
+
+
+class TestMarkerSetNameValidation:
+    """Names are space-separated on the ``binaries`` line, so names
+    containing whitespace used to write archives that silently
+    mis-parsed on read (one binary became two)."""
+
+    @pytest.mark.parametrize(
+        "bad_name", ["has space/32u", "tab\there", "new\nline", ""]
+    )
+    def test_unarchivable_names_rejected_on_write(self, bad_name, tmp_path):
+        path = tmp_path / "bad.markers"
+        with pytest.raises(FileFormatError, match="name"):
+            write_marker_set(path, _tiny_marker_set([bad_name]))
+        assert not path.exists(), "rejected archive must not be written"
+
+    def test_clean_names_still_roundtrip(self, tmp_path):
+        path = tmp_path / "ok.markers"
+        original = _tiny_marker_set(["app/32u", "app/64o"])
+        write_marker_set(path, original)
+        loaded = read_marker_set(path)
+        assert loaded.points == original.points
+        assert set(loaded.tables) == {"app/32u", "app/64o"}
+        assert dict(loaded.tables["app/32u"].anchor_blocks) == {0: 7}
+
+
+class TestMarkerSetRecordOrdering:
+    """An anchor record before the binaries line used to surface as an
+    unrelated 'binary index out of range' complaint instead of naming
+    the actual problem."""
+
+    def test_anchor_before_binaries_is_diagnosed(self, tmp_path):
+        path = tmp_path / "ooo.markers"
+        path.write_text(
+            "# repro marker set v1\n"
+            "anchor 0 0 7\n"
+            "binaries app/32u\n"
+        )
+        with pytest.raises(
+            FileFormatError, match="before the binaries line"
+        ):
+            read_marker_set(path)
+
+    def test_points_before_binaries_still_parse(self, tmp_path):
+        path = tmp_path / "points-first.markers"
+        original = _tiny_marker_set(["app/32u"])
+        write_marker_set(path, original)
+        lines = path.read_text().splitlines()
+        # header, binaries, point, anchor -> header, point, binaries, anchor
+        reordered = [lines[0], lines[2], lines[1], lines[3]]
+        path.write_text("\n".join(reordered) + "\n")
+        loaded = read_marker_set(path)
+        assert loaded.points == original.points
+        assert dict(loaded.tables["app/32u"].anchor_blocks) == {0: 7}

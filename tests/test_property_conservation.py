@@ -25,13 +25,23 @@ _SETTINGS = settings(deadline=None, max_examples=75)
 #: One FLI chunk: (block_id, execs, instructions, cycles, dram).
 #: Zero-instruction chunks with nonzero cycles/DRAM are deliberately
 #: common — they model stall-only events and used to be dropped.
+#: Subnormal floats are excluded: the granularity test splits chunks by
+#: halving, and halving the smallest subnormal underflows to exactly
+#: 0.0, which destroys the quantity being conserved in the test
+#: harness itself (real simulators never emit subnormal cycle counts).
 _fli_chunks = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=7),
         st.integers(min_value=1, max_value=50),
         st.integers(min_value=0, max_value=5_000),
-        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
-        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False,
+            allow_subnormal=False,
+        ),
+        st.floats(
+            min_value=0.0, max_value=1e4, allow_nan=False,
+            allow_subnormal=False,
+        ),
     ),
     min_size=1,
     max_size=60,

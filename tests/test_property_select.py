@@ -1,0 +1,69 @@
+"""Property tests for the BIC k-selection rules.
+
+SimPoint 3.0's binary search is only a shortcut: on a monotone
+(non-decreasing) BIC curve it must agree *exactly* with the exhaustive
+rule, because both normalize against the same extremes (k=1 and k=maxK)
+and the qualification predicate is monotone in k. Hypothesis drives
+both choosers over arbitrary monotone curves with the BIC scorer
+stubbed to the generated curve.
+"""
+
+from unittest import mock
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simpoint import select
+
+_SETTINGS = settings(deadline=None, max_examples=50)
+
+#: Monotone non-decreasing BIC curves: a base score plus cumulative
+#: non-negative increments. Length doubles as maxK (and point count).
+_monotone_curves = st.builds(
+    lambda base, deltas: tuple(
+        base + sum(deltas[:i]) for i in range(len(deltas) + 1)
+    ),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=0,
+        max_size=7,
+    ),
+)
+
+
+class TestBinarySearchMatchesExhaustive:
+    @_SETTINGS
+    @given(
+        curve=_monotone_curves,
+        threshold=st.sampled_from([0.3, 0.9, 1.0]),
+    )
+    def test_agreement_on_monotone_curves(self, curve, threshold):
+        n = len(curve)
+        points = np.arange(float(n)).reshape(-1, 1)
+        weights = np.ones(n)
+        fake_bic = lambda points, result, weights: curve[result.k - 1]
+        with mock.patch.object(select, "bic_score", fake_bic):
+            exhaustive = select.choose_clustering(
+                points, weights, max_k=n, bic_threshold=threshold,
+                n_init=1, max_iter=10,
+            )
+            bisected = select.choose_clustering_binary_search(
+                points, weights, max_k=n, bic_threshold=threshold,
+                n_init=1, max_iter=10,
+            )
+        assert bisected.k == exhaustive.k
+
+    @_SETTINGS
+    @given(curve=_monotone_curves)
+    def test_binary_search_trace_is_k_ordered(self, curve):
+        n = len(curve)
+        points = np.arange(float(n)).reshape(-1, 1)
+        fake_bic = lambda points, result, weights: curve[result.k - 1]
+        with mock.patch.object(select, "bic_score", fake_bic):
+            choice = select.choose_clustering_binary_search(
+                points, np.ones(n), max_k=n, n_init=1, max_iter=10
+            )
+        # The sparse trace reports evaluated scores in k order, and the
+        # chosen index points at the chosen k's score.
+        assert choice.bic_scores[choice.chosen_index] == curve[choice.k - 1]
