@@ -11,7 +11,8 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json BENCH_PR3.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -46,7 +46,20 @@ def test_perf_call_branch_profile(benchmark, art_32u):
 
 
 def test_perf_cache_hierarchy(benchmark):
-    """Demand-access throughput of the three-level hierarchy."""
+    """Demand-access throughput of the three-level hierarchy
+    (batched replay through ``access_many``)."""
+    hierarchy = MemoryHierarchy()
+    lines = np.arange(20_000, dtype=np.int64) * 131 % 65_536
+    writes = np.zeros(20_000, dtype=np.bool_)
+
+    def access_all():
+        hierarchy.access_many(lines, writes)
+
+    benchmark(access_all)
+
+
+def test_perf_cache_hierarchy_scalar(benchmark):
+    """Reference-at-a-time hierarchy throughput (the oracle path)."""
     hierarchy = MemoryHierarchy()
     lines = [(line * 131) % 65_536 for line in range(20_000)]
 
@@ -56,6 +69,28 @@ def test_perf_cache_hierarchy(benchmark):
             access(line, False)
 
     benchmark(access_all)
+
+
+def test_perf_bulk_reference_generation(benchmark, art_32u):
+    """Closed-form address-stream generation for the hottest loop."""
+    from repro.cmpsim.memory import AddressStreamState, bulk_pattern
+
+    specs = max(
+        (
+            block.accesses
+            for block in art_32u.blocks.values()
+            if block.accesses
+        ),
+        key=lambda accesses: sum(s.refs_per_exec for s in accesses),
+    )
+    pattern = bulk_pattern(tuple(specs))
+
+    def generate():
+        state = AddressStreamState()
+        return pattern.generate(state, 50_000)
+
+    lines, _ = benchmark(generate)
+    assert lines.size >= 50_000
 
 
 def test_perf_weighted_kmeans(benchmark):
@@ -73,5 +108,15 @@ def test_perf_detailed_simulation(benchmark, art_32u):
     """One full CMP$im run (the dominant cost of the harness)."""
     result = benchmark.pedantic(
         lambda: CMPSim(art_32u).run_full(), rounds=1, iterations=2
+    )
+    assert result.stats.cpi > 0.5
+
+
+def test_perf_detailed_simulation_scalar(benchmark, art_32u):
+    """Full run on the scalar oracle path (``batched=False``)."""
+    result = benchmark.pedantic(
+        lambda: CMPSim(art_32u).run_full(batched=False),
+        rounds=1,
+        iterations=1,
     )
     assert result.stats.cpi > 0.5

@@ -22,8 +22,15 @@ from repro.cmpsim.config import (
     TABLE1_CONFIG,
 )
 from repro.cmpsim.cache import CacheStats, SetAssociativeCache
-from repro.cmpsim.hierarchy import AccessResult, MemoryHierarchy
-from repro.cmpsim.memory import AddressStreamState, advance_stream, generate_refs
+from repro.cmpsim.hierarchy import AccessResult, HierarchyStats, MemoryHierarchy
+from repro.cmpsim.memory import (
+    AddressStreamState,
+    BulkAccessPattern,
+    advance_stream,
+    bulk_pattern,
+    generate_refs,
+    generate_refs_bulk,
+)
 from repro.cmpsim.cpu import CPIModel
 from repro.cmpsim.simulator import (
     CMPSim,
@@ -45,10 +52,14 @@ __all__ = [
     "CacheStats",
     "SetAssociativeCache",
     "AccessResult",
+    "HierarchyStats",
     "MemoryHierarchy",
     "AddressStreamState",
+    "BulkAccessPattern",
     "advance_stream",
+    "bulk_pattern",
     "generate_refs",
+    "generate_refs_bulk",
     "CPIModel",
     "CMPSim",
     "FLITracker",

@@ -1,9 +1,35 @@
-"""Set-associative LRU write-back cache.
+"""Array-backed set-associative LRU write-back cache.
 
 Lines are identified by integer line ids (byte address divided by line
-size); the cache stores full line ids per set with true LRU ordering
-(most recent first). A write marks the line dirty; evicting a dirty
-line reports it so the hierarchy can write it back to the next level.
+size). Storage is three flat preallocated arrays of ``n_sets *
+associativity`` entries — line tags (``-1`` empty), dirty flags, and
+recency stamps from a monotone clock — instead of per-set Python
+lists. The stamp order of a set is a bijection of the old MRU-list
+order: every access and fill touches the stamp, ``contains`` does not,
+so "evict the minimum stamp" is exactly "evict the list tail".
+Empty ways keep stamp ``0`` and the clock starts at ``1``, so the
+minimum-stamp way is the first empty way while a set is filling and
+the true LRU way afterwards — matching the list semantics (append
+while not full, evict the tail when full).
+
+A write marks the line dirty; evicting a dirty line reports it so the
+hierarchy can write it back to the next level.
+
+Two batch entry points complement the scalar ``access``/``fill``:
+
+* :meth:`SetAssociativeCache.access_many` replays a batch of demand
+  accesses in submission order;
+* the private ``_replay`` engine additionally understands fill and
+  prefetch operations — the per-level op streams
+  :meth:`repro.cmpsim.hierarchy.MemoryHierarchy.access_many` builds.
+
+Small batches run through a tight Python loop over the flat arrays.
+Large batches run through a vectorized *lane* engine: the batch is
+grouped by set index (stable argsort, so each set's substream keeps
+its order — the only order that matters, because sets are
+independent), each touched set becomes one lane, and numpy processes
+one operation per lane per step. Both engines leave bit-identical
+state, statistics, and outputs; the scalar path is their oracle.
 """
 
 from __future__ import annotations
@@ -11,8 +37,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.cmpsim.config import CacheLevelConfig
-from repro.errors import SimulationError
+from repro.observability import metrics
+
+#: ``_replay`` op kinds (also used by the hierarchy's batch pipeline).
+OP_ACCESS = 0  # demand access; flag = write
+OP_FILL = 1  # install from an upper level; flag = dirty
+OP_PREFETCH = 2  # install when absent; no LRU touch when present
+
+#: Batches at least this large use the vectorized lane engine.
+_LANE_MIN_OPS = 1024
 
 
 @dataclass
@@ -55,89 +91,599 @@ class SetAssociativeCache:
         self.config = config
         self._n_sets = config.n_sets
         self._assoc = config.associativity
-        # Per set: parallel MRU-ordered lists of line ids and dirty bits.
-        self._tags: List[List[int]] = [[] for _ in range(self._n_sets)]
-        self._dirty: List[List[bool]] = [[] for _ in range(self._n_sets)]
+        size = self._n_sets * self._assoc
+        self._tags: List[int] = [-1] * size
+        self._dirty: List[bool] = [False] * size
+        self._stamp: List[int] = [0] * size
+        self._clock = 1
         self.stats = CacheStats()
 
-    def access(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+
+    def access(
+        self, line: int, write: bool, count: bool = True
+    ) -> Tuple[bool, Optional[int]]:
         """Access a line; returns ``(hit, evicted dirty line or None)``.
 
         On a miss the line is allocated (fetch-on-write for write
         misses, as a write-back write-allocate cache does); if the set
-        overflows, the LRU entry is evicted and returned when dirty.
+        is full, the LRU entry is evicted and returned when dirty.
+        With ``count=False`` the state transition happens but no
+        statistics are recorded (functional warmup).
         """
-        index = line % self._n_sets
-        tags = self._tags[index]
-        dirty = self._dirty[index]
-        stats = self.stats
-        try:
-            position = tags.index(line)
-        except ValueError:
-            position = -1
-        if position >= 0:
-            if position != 0:
-                tags.insert(0, tags.pop(position))
-                dirty.insert(0, dirty.pop(position))
+        assoc = self._assoc
+        base = (line % self._n_sets) * assoc
+        seg = self._tags[base : base + assoc]
+        if line in seg:
+            way = base + seg.index(line)
+            self._stamp[way] = self._clock
+            self._clock += 1
             if write:
-                dirty[0] = True
-                stats.write_hits += 1
-            else:
-                stats.read_hits += 1
+                self._dirty[way] = True
+                if count:
+                    self.stats.write_hits += 1
+            elif count:
+                self.stats.read_hits += 1
             return True, None
-        if write:
-            stats.write_misses += 1
-        else:
-            stats.read_misses += 1
-        tags.insert(0, line)
-        dirty.insert(0, write)
-        victim: Optional[int] = None
-        if len(tags) > self._assoc:
-            victim_line = tags.pop()
-            victim_dirty = dirty.pop()
-            if victim_dirty:
-                stats.writebacks_out += 1
-                victim = victim_line
-        return False, victim
+        if count:
+            if write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+        return False, self._insert(base, line, write, count)
 
-    def fill(self, line: int, dirty: bool) -> Optional[int]:
+    def fill(self, line: int, dirty: bool, count: bool = True) -> Optional[int]:
         """Install a line without counting a demand access (writebacks
         arriving from an upper level). Returns an evicted dirty line."""
-        index = line % self._n_sets
-        tags = self._tags[index]
-        dirty_bits = self._dirty[index]
-        try:
-            position = tags.index(line)
-        except ValueError:
-            position = -1
-        if position >= 0:
-            if position != 0:
-                tags.insert(0, tags.pop(position))
-                dirty_bits.insert(0, dirty_bits.pop(position))
-            dirty_bits[0] = dirty_bits[0] or dirty
+        assoc = self._assoc
+        base = (line % self._n_sets) * assoc
+        seg = self._tags[base : base + assoc]
+        if line in seg:
+            way = base + seg.index(line)
+            self._stamp[way] = self._clock
+            self._clock += 1
+            if dirty:
+                self._dirty[way] = True
             return None
-        tags.insert(0, line)
-        dirty_bits.insert(0, dirty)
-        if len(tags) > self._assoc:
-            victim_line = tags.pop()
-            victim_dirty = dirty_bits.pop()
-            if victim_dirty:
+        return self._insert(base, line, dirty, count)
+
+    def _insert(
+        self, base: int, line: int, dirty: bool, count: bool
+    ) -> Optional[int]:
+        """Install into the empty-or-LRU way; returns an evicted dirty
+        line (always returned so state cascades even when uncounted)."""
+        stamp = self._stamp
+        seg = stamp[base : base + self._assoc]
+        way = base + seg.index(min(seg))
+        tags = self._tags
+        dirty_bits = self._dirty
+        victim_line = tags[way]
+        victim: Optional[int] = None
+        if victim_line >= 0 and dirty_bits[way]:
+            if count:
                 self.stats.writebacks_out += 1
-                return victim_line
-        return None
+            victim = victim_line
+        tags[way] = line
+        dirty_bits[way] = dirty
+        stamp[way] = self._clock
+        self._clock += 1
+        return victim
 
     def contains(self, line: int) -> bool:
         """Presence check without touching LRU state (tests/inspection)."""
-        return line in self._tags[line % self._n_sets]
+        base = (line % self._n_sets) * self._assoc
+        return line in self._tags[base : base + self._assoc]
 
     def resident_lines(self) -> int:
         """Number of lines currently cached."""
-        return sum(len(tags) for tags in self._tags)
+        return sum(1 for tag in self._tags if tag >= 0)
+
+    def set_lines(self, index: int) -> List[int]:
+        """Resident lines of one set, most recently used first."""
+        return [line for line, _ in self.set_state(index)]
+
+    def set_state(self, index: int) -> List[Tuple[int, bool]]:
+        """``(line, dirty)`` pairs of one set, most recently used first.
+
+        This is the cache's full observable state: way placement and
+        raw stamp values are internal bookkeeping the batch engines
+        are free to permute, recency *order* and dirty bits are not.
+        """
+        base = index * self._assoc
+        ways = [
+            (self._stamp[way], self._tags[way], self._dirty[way])
+            for way in range(base, base + self._assoc)
+            if self._tags[way] >= 0
+        ]
+        ways.sort(reverse=True)
+        return [(line, dirty) for _, line, dirty in ways]
 
     def reset(self) -> None:
         """Drop all contents and statistics (cold restart)."""
-        for tags in self._tags:
-            tags.clear()
-        for dirty in self._dirty:
-            dirty.clear()
+        size = self._n_sets * self._assoc
+        self._tags = [-1] * size
+        self._dirty = [False] * size
+        self._stamp = [0] * size
+        self._clock = 1
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+
+    def access_many(
+        self, lines: np.ndarray, writes: np.ndarray
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Replay a batch of demand accesses in submission order.
+
+        Returns ``(miss_positions, victims)``: the positions (into the
+        batch) of demand misses as an ascending int64 array, and the
+        dirty victims as an ascending list of ``(position, line)``
+        pairs. State and statistics end bit-identical to the same
+        sequence of scalar :meth:`access` calls.
+        """
+        return self._replay(
+            np.asarray(lines, dtype=np.int64),
+            np.asarray(writes, dtype=np.bool_),
+            None,
+        )
+
+    def _replay(
+        self,
+        lines: np.ndarray,
+        flags: np.ndarray,
+        kinds: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Replay a mixed op stream (``kinds=None`` means all demand)."""
+        if lines.size >= _LANE_MIN_OPS:
+            if kinds is None and self._assoc == 2:
+                return self._replay_demand_2way(lines, flags)
+            return self._replay_lanes(lines, flags, kinds)
+        return self._replay_python(
+            lines.tolist(),
+            flags.tolist(),
+            None if kinds is None else kinds.tolist(),
+        )
+
+    def _replay_python(
+        self,
+        lines: List[int],
+        flags: List[bool],
+        kinds: Optional[List[int]],
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """In-order replay through a tight loop over the flat arrays."""
+        metrics.counter("cmpsim.cache_python_ops").inc(len(lines))
+        tags = self._tags
+        dirty = self._dirty
+        stamp = self._stamp
+        n_sets = self._n_sets
+        assoc = self._assoc
+        clock = self._clock
+        read_hits = read_misses = write_hits = write_misses = 0
+        writebacks = 0
+        miss: List[int] = []
+        victims: List[Tuple[int, int]] = []
+        for position in range(len(lines)):
+            line = lines[position]
+            base = (line % n_sets) * assoc
+            end = base + assoc
+            seg = tags[base:end]
+            kind = OP_ACCESS if kinds is None else kinds[position]
+            flag = flags[position]
+            if line in seg:
+                if kind == OP_PREFETCH:
+                    continue  # present: no LRU touch (contains + skip)
+                way = base + seg.index(line)
+                stamp[way] = clock
+                clock += 1
+                if flag:
+                    dirty[way] = True
+                if kind == OP_ACCESS:
+                    if flag:
+                        write_hits += 1
+                    else:
+                        read_hits += 1
+                continue
+            if kind == OP_ACCESS:
+                miss.append(position)
+                if flag:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+                new_dirty = flag
+            elif kind == OP_FILL:
+                new_dirty = flag
+            else:
+                new_dirty = False
+            seg = stamp[base:end]
+            way = base + seg.index(min(seg))
+            if tags[way] >= 0 and dirty[way]:
+                writebacks += 1
+                victims.append((position, tags[way]))
+            tags[way] = line
+            dirty[way] = new_dirty
+            stamp[way] = clock
+            clock += 1
+        self._clock = clock
+        stats = self.stats
+        stats.read_hits += read_hits
+        stats.read_misses += read_misses
+        stats.write_hits += write_hits
+        stats.write_misses += write_misses
+        stats.writebacks_out += writebacks
+        return np.array(miss, dtype=np.int64), victims
+
+    def _replay_demand_2way(
+        self, lines: np.ndarray, flags: np.ndarray
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Closed-form replay for pure-demand batches at 2-way.
+
+        Every demand op promotes its line to MRU (hits refresh, misses
+        insert), so a 2-way LRU set always holds exactly the last two
+        *distinct* lines referenced. After run collapse a set's
+        substream ``y`` has no equal neighbours, hence for ``j >= 2``
+        the set's contents before op ``j`` are ``{y[j-1], y[j-2]}``
+        and ``hit(j) <=> y[j] == y[j-2]`` — no step loop at all. A
+        hit chains ``j`` to ``j-2``, so a line's continuous residency
+        is a run of equal values at one *parity* of the substream;
+        dirty bits at eviction are OR-reductions over those runs. The
+        first two ops of each set splice against the pre-batch
+        MRU/LRU pair (including inherited dirty bits); the final
+        state is ``{y[last], y[last-1]}`` with the parity-run dirty
+        bits written back.
+        """
+        n = lines.size
+        metrics.counter("cmpsim.cache_2way_ops").inc(n)
+        n_sets = self._n_sets
+        set_index = lines % n_sets
+        order = np.argsort(set_index, kind="stable")
+        s_sets = set_index[order]
+        s_lines = lines[order]
+        s_flags = flags[order]
+        s_pos = order
+
+        # Run collapse (see _replay_lanes): followers are guaranteed
+        # MRU hits; heads carry the run's OR-ed flag for state.
+        foll_read_hits = 0
+        foll_write_hits = 0
+        keep = np.empty(n, dtype=np.bool_)
+        keep[0] = True
+        np.not_equal(s_lines[1:], s_lines[:-1], out=keep[1:])
+        if keep.all():
+            eff = s_flags.copy()  # mutated by boundary inheritance
+        else:
+            head_idx = np.flatnonzero(keep)
+            eff = np.logical_or.reduceat(s_flags, head_idx)
+            foll_flags = s_flags[~keep]
+            foll_write_hits = int(foll_flags.sum())
+            foll_read_hits = foll_flags.size - foll_write_hits
+            s_sets = s_sets[head_idx]
+            s_lines = s_lines[head_idx]
+            s_flags = s_flags[head_idx]
+            s_pos = s_pos[head_idx]
+        m = s_lines.size
+
+        uniq, starts, counts = np.unique(
+            s_sets, return_index=True, return_counts=True
+        )
+        col = np.arange(m, dtype=np.int64) - np.repeat(starts, counts)
+
+        # Pre-batch state of each touched set as an (MRU, LRU) pair;
+        # empty ways have stamp 0 so they sort to the LRU side.
+        tags2 = np.array(self._tags, dtype=np.int64).reshape(n_sets, 2)
+        dirty2 = np.array(self._dirty, dtype=np.bool_).reshape(n_sets, 2)
+        stamp2 = np.array(self._stamp, dtype=np.int64).reshape(n_sets, 2)
+        g_stamp = stamp2[uniq]
+        g_tags = tags2[uniq]
+        g_dirty = dirty2[uniq]
+        mru_is_0 = g_stamp[:, 0] >= g_stamp[:, 1]
+        t0 = np.where(mru_is_0, g_tags[:, 0], g_tags[:, 1])
+        t1 = np.where(mru_is_0, g_tags[:, 1], g_tags[:, 0])
+        d0 = np.where(mru_is_0, g_dirty[:, 0], g_dirty[:, 1])
+        d1 = np.where(mru_is_0, g_dirty[:, 1], g_dirty[:, 0])
+
+        # Boundary ops: col 0 probes {t0, t1}; whichever of the pair
+        # op 0 does not reference (the batch LRU seed) is o0.
+        q0 = starts
+        y0 = s_lines[q0]
+        hit0 = (y0 == t0) | (y0 == t1)
+        o0 = np.where(y0 == t0, t1, t0)
+        od = np.where(y0 == t0, d1, d0)
+        eff[q0] |= hit0 & np.where(y0 == t0, d0, d1)
+        has2 = counts >= 2
+        q1 = (starts + 1)[has2]
+        hit1 = s_lines[q1] == o0[has2]
+        eff[q1] |= hit1 & od[has2]
+
+        # Parity classes: stable-sort by (set, col parity) keeps col
+        # order inside each class; residency runs are equal-value runs
+        # there, and hit(j >= 2) is exactly "not a run head".
+        pkey = s_sets * 2 + (col & 1)
+        porder = np.argsort(pkey, kind="stable")
+        py = s_lines[porder]
+        pkey_s = pkey[porder]
+        class_head = np.empty(m, dtype=np.bool_)
+        class_head[0] = True
+        np.not_equal(pkey_s[1:], pkey_s[:-1], out=class_head[1:])
+        ph = np.empty(m, dtype=np.bool_)
+        ph[0] = True
+        np.not_equal(py[1:], py[:-1], out=ph[1:])
+        ph |= class_head
+
+        hit = np.empty(m, dtype=np.bool_)
+        hit[porder] = ~ph
+        hit[q0] = hit0
+        hit[q1] = hit1
+
+        run_start = np.flatnonzero(ph)
+        run_or = np.logical_or.reduceat(eff[porder], run_start)
+        run_id = np.cumsum(ph) - 1
+
+        # Standard victims: a run head that is not a class head is a
+        # miss at col >= 2 evicting y[j-2] — the final element of the
+        # previous run in the same class, dirty iff that run's OR.
+        sel = np.flatnonzero(ph & ~class_head)
+        vic_dirty = run_or[run_id[sel] - 1]
+        sel = sel[vic_dirty]
+        ppos = s_pos[porder]
+        victim_pos_parts = [ppos[sel]]
+        victim_line_parts = [py[sel - 1]]
+        # Boundary victims evict pre-batch lines with pre-batch dirty.
+        mask0 = ~hit0 & (t1 >= 0) & d1
+        victim_pos_parts.append(s_pos[q0][mask0])
+        victim_line_parts.append(t1[mask0])
+        mask1 = ~hit1 & (o0[has2] >= 0) & od[has2]
+        victim_pos_parts.append(s_pos[q1][mask1])
+        victim_line_parts.append(o0[has2][mask1])
+
+        # Final state: {y[last], y[last-1]} (or the op-0 splice for
+        # single-op sets); dirty bits are the final parity-run ORs.
+        inv = np.empty(m, dtype=np.int64)
+        inv[porder] = np.arange(m, dtype=np.int64)
+        q_last = starts + counts - 1
+        mru_tag = s_lines[q_last]
+        mru_dirty = run_or[run_id[inv[q_last]]]
+        q_prev = np.maximum(q_last - 1, starts)
+        lru_tag = np.where(has2, s_lines[q_prev], o0)
+        lru_dirty = np.where(has2, run_or[run_id[inv[q_prev]]], od)
+        lru_real = lru_tag >= 0
+        lru_dirty &= lru_real
+        clock = self._clock
+        tags2[uniq, 0] = mru_tag
+        tags2[uniq, 1] = lru_tag
+        dirty2[uniq, 0] = mru_dirty
+        dirty2[uniq, 1] = lru_dirty
+        stamp2[uniq, 0] = clock + 1
+        stamp2[uniq, 1] = np.where(lru_real, clock, 0)
+        self._tags = tags2.reshape(-1).tolist()
+        self._dirty = dirty2.reshape(-1).tolist()
+        self._stamp = stamp2.reshape(-1).tolist()
+        self._clock = clock + 2
+
+        hits_total = int(hit.sum())
+        write_hits = int((hit & s_flags).sum())
+        write_misses = int((~hit & s_flags).sum())
+        stats = self.stats
+        stats.read_hits += hits_total - write_hits + foll_read_hits
+        stats.write_hits += write_hits + foll_write_hits
+        stats.read_misses += m - hits_total - write_misses
+        stats.write_misses += write_misses
+
+        miss = s_pos[~hit]
+        miss.sort()
+        victim_pos = np.concatenate(victim_pos_parts)
+        victims: List[Tuple[int, int]] = []
+        if victim_pos.size:
+            victim_line = np.concatenate(victim_line_parts)
+            stats.writebacks_out += int(victim_pos.size)
+            resort = np.argsort(victim_pos)
+            victims = list(
+                zip(
+                    victim_pos[resort].tolist(),
+                    victim_line[resort].tolist(),
+                )
+            )
+        return miss, victims
+
+    def _replay_lanes(
+        self,
+        lines: np.ndarray,
+        flags: np.ndarray,
+        kinds: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Set-grouped vectorized replay.
+
+        The batch is stable-sorted by set index, so each set's
+        substream keeps its order — the only order that matters,
+        because sets are independent. Each touched set becomes one
+        *lane*; numpy then processes one op per lane per step, with
+        lanes sorted longest-first so the lanes active at step ``s``
+        are a contiguous prefix. Per-step stamps are ``clock + s``:
+        within any one set that preserves the exact scalar stamp
+        *order*, which is all LRU replacement ever observes.
+
+        For pure-demand batches, consecutive same-line ops within a
+        set's substream are collapsed first: once the head op runs,
+        the line is resident and most-recently-used, so every
+        follower is a guaranteed hit whose entire effect is hit
+        statistics, a dirty-bit OR, and an MRU refresh that cannot
+        change the set's recency order. The head op carries the run's
+        OR-ed write flag for state (``eff``) while keeping its own
+        flag for hit/miss classification — exactly the scalar
+        outcome.
+        """
+        n = lines.size
+        metrics.counter("cmpsim.cache_lane_ops").inc(n)
+        n_sets = self._n_sets
+        assoc = self._assoc
+        set_index = lines % n_sets
+        order = np.argsort(set_index, kind="stable")
+        s_sets = set_index[order]
+        s_lines = lines[order]
+        s_flags = flags[order]
+        s_pos = order
+
+        foll_read_hits = 0
+        foll_write_hits = 0
+        if kinds is None:
+            # Run collapse (same line implies same set, so equal
+            # neighbours in the grouped order are exactly the runs).
+            head = np.empty(n, dtype=np.bool_)
+            head[0] = True
+            np.not_equal(s_lines[1:], s_lines[:-1], out=head[1:])
+            if head.all():
+                s_eff = s_flags
+            else:
+                head_idx = np.flatnonzero(head)
+                s_eff = np.logical_or.reduceat(s_flags, head_idx)
+                foll_flags = s_flags[~head]
+                foll_write_hits = int(foll_flags.sum())
+                foll_read_hits = foll_flags.size - foll_write_hits
+                s_sets = s_sets[head_idx]
+                s_lines = s_lines[head_idx]
+                s_flags = s_flags[head_idx]
+                s_pos = s_pos[head_idx]
+            s_kinds = None
+        else:
+            s_eff = s_flags
+            s_kinds = kinds[order]
+        n_ops = s_lines.size
+
+        uniq, starts, counts = np.unique(
+            s_sets, return_index=True, return_counts=True
+        )
+        lane_perm = np.argsort(-counts, kind="stable")
+        n_lanes = uniq.size
+        depth = int(counts[lane_perm[0]])
+        lane_id = np.empty(n_lanes, dtype=np.int64)
+        lane_id[lane_perm] = np.arange(n_lanes)
+        lane = lane_id[np.repeat(np.arange(n_lanes), counts)]
+        col = np.arange(n_ops, dtype=np.int64) - np.repeat(starts, counts)
+        counts_sorted = counts[lane_perm]
+        active = np.searchsorted(
+            -counts_sorted, -(np.arange(depth, dtype=np.int64) + 1),
+            side="right",
+        )
+
+        # (depth, n_lanes) matrices: each step's ops are one row.
+        op_line = np.full((depth, n_lanes), -1, dtype=np.int64)
+        op_line[col, lane] = s_lines
+        op_flag = np.zeros((depth, n_lanes), dtype=np.bool_)
+        op_flag[col, lane] = s_flags
+        op_pos = np.full((depth, n_lanes), -1, dtype=np.int64)
+        op_pos[col, lane] = s_pos
+        if s_eff is s_flags:
+            op_eff = op_flag
+        else:
+            op_eff = np.zeros((depth, n_lanes), dtype=np.bool_)
+            op_eff[col, lane] = s_eff
+        if s_kinds is not None:
+            op_kind = np.full((depth, n_lanes), -1, dtype=np.int64)
+            op_kind[col, lane] = s_kinds
+        hit_mat = np.zeros((depth, n_lanes), dtype=np.bool_)
+
+        tags_full = np.array(self._tags, dtype=np.int64).reshape(
+            n_sets, assoc
+        )
+        dirty_full = np.array(self._dirty, dtype=np.bool_).reshape(
+            n_sets, assoc
+        )
+        stamp_full = np.array(self._stamp, dtype=np.int64).reshape(
+            n_sets, assoc
+        )
+        touched = uniq[lane_perm]
+        lane_tags = tags_full[touched]
+        lane_dirty = dirty_full[touched]
+        lane_stamp = stamp_full[touched]
+        clock = self._clock
+
+        writebacks = 0
+        victim_pos_parts: List[np.ndarray] = []
+        victim_line_parts: List[np.ndarray] = []
+        flatnonzero = np.flatnonzero
+
+        for step in range(depth):
+            width = int(active[step])
+            tags = lane_tags[:width]
+            line = op_line[step, :width]
+            stamp_value = clock + step
+
+            eq = tags == line[:, None]
+            hit = eq.any(axis=1)
+            hit_mat[step, :width] = hit
+            way = eq.argmax(axis=1)
+            if s_kinds is None:
+                hrows = flatnonzero(hit)
+                eff = op_eff[step, :width]
+                insert_dirty_src = eff
+            else:
+                kind = op_kind[step, :width]
+                not_prefetch = kind != OP_PREFETCH
+                hrows = flatnonzero(hit & not_prefetch)
+                eff = op_flag[step, :width]
+                insert_dirty_src = eff & not_prefetch
+            hways = way[hrows]
+            lane_stamp[hrows, hways] = stamp_value
+            setters = hrows[eff[hrows]]
+            lane_dirty[setters, way[setters]] = True
+            ins = flatnonzero(~hit)
+            if ins.size:
+                slot = lane_stamp[:width].argmin(axis=1)[ins]
+                victim_line = lane_tags[ins, slot]
+                evict = flatnonzero(
+                    lane_dirty[ins, slot] & (victim_line >= 0)
+                )
+                if evict.size:
+                    writebacks += evict.size
+                    victim_pos_parts.append(op_pos[step, :width][ins[evict]])
+                    victim_line_parts.append(victim_line[evict])
+                lane_tags[ins, slot] = line[ins]
+                lane_dirty[ins, slot] = insert_dirty_src[ins]
+                lane_stamp[ins, slot] = stamp_value
+
+        tags_full[touched] = lane_tags
+        dirty_full[touched] = lane_dirty
+        stamp_full[touched] = lane_stamp
+        self._tags = tags_full.reshape(-1).tolist()
+        self._dirty = dirty_full.reshape(-1).tolist()
+        self._stamp = stamp_full.reshape(-1).tolist()
+        self._clock = clock + depth
+
+        # Deferred statistics: classification never feeds back into the
+        # replay, so it is aggregated once from the hit matrix.
+        valid = op_pos >= 0
+        if s_kinds is None:
+            demand_hit = hit_mat
+            demand_miss = valid & ~hit_mat
+        else:
+            demand = op_kind == OP_ACCESS
+            demand_hit = hit_mat & demand
+            demand_miss = demand & ~hit_mat
+        write_hits = int((demand_hit & op_flag).sum())
+        read_hits = int(demand_hit.sum()) - write_hits
+        write_misses = int((demand_miss & op_flag).sum())
+        read_misses = int(demand_miss.sum()) - write_misses
+
+        stats = self.stats
+        stats.read_hits += read_hits + foll_read_hits
+        stats.write_hits += write_hits + foll_write_hits
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.writebacks_out += writebacks
+
+        miss = op_pos[demand_miss]
+        miss.sort()
+        victims: List[Tuple[int, int]] = []
+        if victim_pos_parts:
+            victim_pos = np.concatenate(victim_pos_parts)
+            victim_line = np.concatenate(victim_line_parts)
+            resort = np.argsort(victim_pos)
+            victims = list(
+                zip(
+                    victim_pos[resort].tolist(),
+                    victim_line[resort].tolist(),
+                )
+            )
+        return miss, victims

@@ -8,16 +8,40 @@ charge); an L3 dirty victim counts as a DRAM writeback.
 
 The hierarchy reports, per access, the level that serviced it, from
 which the CPU model derives the stall penalty.
+
+:meth:`MemoryHierarchy.access_many` replays a whole batch through the
+levels one level at a time, bit-identically to the scalar loop. Each
+level's work is a single op stream (demand accesses, victim fills,
+prefetch installs); replaying it produces the demand misses and dirty
+victims, from which the next level's stream is assembled. The scalar
+interleaving is reproduced exactly by ordering the next level's ops
+with ``lexsort`` on ``(source op index, priority)`` where a source
+op's victim fill has priority 0, its demand continuation priority 1,
+and its prefetch priority 2 — in the scalar path a miss writes its
+victim back before probing the next level, and a next-line prefetch
+fires only after the triggering access finishes its whole chain.
+Prefetch ops propagate through every outer level unconditionally
+(matching the scalar install loop) and are dropped at DRAM.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.cmpsim.cache import SetAssociativeCache
+import numpy as np
+
+from repro.cmpsim.cache import (
+    OP_ACCESS,
+    OP_FILL,
+    OP_PREFETCH,
+    SetAssociativeCache,
+)
 from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
+from repro.observability import metrics
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 class AccessResult(enum.IntEnum):
@@ -32,6 +56,19 @@ class AccessResult(enum.IntEnum):
     L2 = 1
     L3 = 2
     DRAM = 3
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Immutable snapshot of the hierarchy's demand-access statistics."""
+
+    level_accesses: Tuple[int, ...]
+    level_hits: Tuple[int, ...]
+    level_misses: Tuple[int, ...]
+    level_writebacks: Tuple[int, ...]
+    dram_reads: int
+    dram_writebacks: int
+    prefetches: int
 
 
 class MemoryHierarchy:
@@ -70,29 +107,142 @@ class MemoryHierarchy:
             self._prefetch(line + 1)
         return serviced
 
-    def _prefetch(self, line: int) -> None:
+    def access_many(self, lines: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Replay a batch of demand accesses; returns servicing levels.
+
+        Bit-identical in state and statistics to calling
+        :meth:`access` once per reference in order; the returned
+        int64 array holds each reference's servicing level (0-3).
+        """
+        op_lines = np.asarray(lines, dtype=np.int64)
+        op_flags = np.asarray(writes, dtype=np.bool_)
+        n = op_lines.size
+        metrics.counter("cmpsim.hierarchy_batched_refs").inc(n)
+        serviced = np.zeros(n, dtype=np.int64)
+        op_kinds: Optional[np.ndarray] = None  # None == all demand
+        op_refs = np.arange(n, dtype=np.int64)
+        n_levels = len(self.caches)
+        for depth, cache in enumerate(self.caches):
+            if op_lines.size == 0:
+                break
+            miss, victims = cache._replay(op_lines, op_flags, op_kinds)
+            if miss.size:
+                serviced[op_refs[miss]] = depth + 1
+            if depth + 1 == n_levels:
+                self.dram_reads += int(miss.size)
+                self.dram_writebacks += len(victims)
+                break
+            if depth == 0:
+                if self._prefetch_enabled and miss.size:
+                    self.prefetches += int(miss.size)
+                    pf_keys = miss
+                    pf_lines = op_lines[miss] + 1
+                else:
+                    pf_keys = pf_lines = _EMPTY
+            elif op_kinds is not None:
+                pf_keys = np.flatnonzero(op_kinds == OP_PREFETCH)
+                pf_lines = op_lines[pf_keys]
+            else:
+                pf_keys = pf_lines = _EMPTY
+            if not victims and pf_keys.size == 0:
+                # Pure continuation stream: already in order.
+                op_lines = op_lines[miss]
+                op_flags = op_flags[miss]
+                op_refs = op_refs[miss]
+                op_kinds = None
+                continue
+            if victims:
+                v_pos = np.array([p for p, _ in victims], dtype=np.int64)
+                v_line = np.array([l for _, l in victims], dtype=np.int64)
+            else:
+                v_pos = v_line = _EMPTY
+            n_v = v_pos.size
+            n_m = miss.size
+            n_p = pf_keys.size
+            keys = np.concatenate([v_pos, miss, pf_keys])
+            prio = np.concatenate(
+                [
+                    np.zeros(n_v, dtype=np.int64),
+                    np.ones(n_m, dtype=np.int64),
+                    np.full(n_p, 2, dtype=np.int64),
+                ]
+            )
+            order = np.lexsort((prio, keys))
+            op_lines = np.concatenate(
+                [v_line, op_lines[miss], pf_lines]
+            )[order]
+            op_flags = np.concatenate(
+                [
+                    np.ones(n_v, dtype=np.bool_),
+                    op_flags[miss],
+                    np.zeros(n_p, dtype=np.bool_),
+                ]
+            )[order]
+            op_kinds = np.concatenate(
+                [
+                    np.full(n_v, OP_FILL, dtype=np.int64),
+                    np.full(n_m, OP_ACCESS, dtype=np.int64),
+                    np.full(n_p, OP_PREFETCH, dtype=np.int64),
+                ]
+            )[order]
+            op_refs = np.concatenate(
+                [
+                    np.full(n_v, -1, dtype=np.int64),
+                    op_refs[miss],
+                    np.full(n_p, -1, dtype=np.int64),
+                ]
+            )[order]
+        return serviced
+
+    def _prefetch(self, line: int, count: bool = True) -> None:
         """Install a prefetched line into the outer cache levels."""
-        self.prefetches += 1
+        if count:
+            self.prefetches += 1
         for depth in range(1, len(self.caches)):
             cache = self.caches[depth]
             if cache.contains(line):
                 continue
-            victim = cache.fill(line, dirty=False)
+            victim = cache.fill(line, dirty=False, count=count)
             if victim is not None:
-                self._writeback(depth + 1, victim)
+                self._writeback(depth + 1, victim, count=count)
 
-    def _writeback(self, depth: int, line: int) -> None:
+    def _writeback(self, depth: int, line: int, count: bool = True) -> None:
         """Install a dirty victim in the next level down (or DRAM)."""
         if depth >= len(self.caches):
-            self.dram_writebacks += 1
+            if count:
+                self.dram_writebacks += 1
             return
-        victim = self.caches[depth].fill(line, dirty=True)
+        victim = self.caches[depth].fill(line, dirty=True, count=count)
         if victim is not None:
-            self._writeback(depth + 1, victim)
+            self._writeback(depth + 1, victim, count=count)
 
     def warm_access(self, line: int, write: bool) -> None:
-        """Access without caring about the result (functional warmup)."""
-        self.access(line, write)
+        """Update cache state as :meth:`access` would, without touching
+        any statistics (functional warmup between detailed regions)."""
+        serviced = len(self.caches)
+        for depth, cache in enumerate(self.caches):
+            hit, victim = cache.access(line, write, count=False)
+            if victim is not None:
+                self._writeback(depth + 1, victim, count=False)
+            if hit:
+                serviced = depth
+                break
+        if serviced > 0 and self._prefetch_enabled:
+            self._prefetch(line + 1, count=False)
+
+    def snapshot(self) -> HierarchyStats:
+        """Freeze the current statistics into a :class:`HierarchyStats`."""
+        return HierarchyStats(
+            level_accesses=tuple(c.stats.accesses for c in self.caches),
+            level_hits=tuple(c.stats.hits for c in self.caches),
+            level_misses=tuple(c.stats.misses for c in self.caches),
+            level_writebacks=tuple(
+                c.stats.writebacks_out for c in self.caches
+            ),
+            dram_reads=self.dram_reads,
+            dram_writebacks=self.dram_writebacks,
+            prefetches=self.prefetches,
+        )
 
     def reset(self) -> None:
         """Cold caches and zeroed statistics."""

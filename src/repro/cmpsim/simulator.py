@@ -27,10 +27,19 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
 from repro.cmpsim.cpu import CPIModel
-from repro.cmpsim.hierarchy import MemoryHierarchy
-from repro.cmpsim.memory import AddressStreamState, advance_stream, generate_refs
+from repro.cmpsim.hierarchy import HierarchyStats, MemoryHierarchy
+from repro.cmpsim.memory import (
+    AddressStreamState,
+    BulkAccessPattern,
+    advance_stream,
+    bulk_pattern,
+    generate_refs,
+)
+from repro.observability import metrics
 from repro.compilation.binary import Binary, LLoop
 from repro.core.markers import ExecutionCoordinate, MarkerTable
 from repro.errors import SimulationError
@@ -244,6 +253,7 @@ class FullRunResult:
     """A full detailed run plus whatever the trackers accumulated."""
 
     stats: SimulationStats
+    hierarchy: Optional[HierarchyStats] = None
 
 
 @dataclass(frozen=True)
@@ -266,6 +276,7 @@ class RegionResult:
 
     regions: Mapping[int, IntervalStats]
     fast_forward_instructions: int
+    hierarchy: Optional[HierarchyStats] = None
 
     def region(self, label: int) -> IntervalStats:
         try:
@@ -296,8 +307,69 @@ class _BlockInfo:
     specs: Tuple
 
 
+#: Spans below this many total references are expanded into per-block
+#: queue items instead of one bulk-generated span — the numpy fixed
+#: costs dominate on tiny spans. Both paths are bit-identical, so the
+#: threshold is pure tuning.
+_MIN_BULK_REFS = 64
+
+#: Deferred references are flushed through the hierarchy once this
+#: many accumulate — large enough that every cache level's replay runs
+#: vectorized, small enough to keep the working set in cache.
+_FLUSH_REFS = 65536
+
+#: Memory guard: flush once this many accounting items queue up even
+#: if few references did (reference-free stretches of execution).
+_FLUSH_ITEMS = 262144
+
+#: Queue item tags (first tuple element).
+_ITEM_PLAIN = 0  # (tag, block_id, execs, instructions, cycles)
+_ITEM_BLOCK = 1  # (tag, block_id, instructions, base_cycles, start, end)
+_ITEM_SPAN = 2  # (tag, plan, iterations, start)
+_ITEM_LOOP = 3  # (tag, chunks, iterations) — reference-free loop
+
+
+@dataclass(frozen=True)
+class _SpanChunk:
+    """One block execution inside a loop iteration's chunk sequence."""
+
+    block_id: int
+    instructions: int
+    base_cycles: float
+    col_start: int  # reference columns [col_start, col_end) of this
+    col_end: int  # block within one iteration's reference row
+    has_specs: bool
+
+
+@dataclass(frozen=True)
+class _SpanPlan:
+    """Compiled batch recipe for one loop's iteration span.
+
+    ``pattern`` is ``None`` for loops whose iterations touch no
+    memory; they queue as reference-free loop items.
+    """
+
+    chunks: Tuple[_SpanChunk, ...]
+    pattern: Optional[BulkAccessPattern]
+    refs_per_iter: int
+    instr_per_iter: int
+
+
 class _DetailedConsumer(ExecutionConsumer):
-    """Full detailed simulation with tracker attribution."""
+    """Full detailed simulation with tracker attribution.
+
+    In batched mode nothing touches the hierarchy per event. Reference
+    generation still happens in event order (it owns the address
+    cursors), but the generated arrays are *queued* alongside ordered
+    accounting items and flushed through
+    :meth:`MemoryHierarchy.access_many` once ``_FLUSH_REFS``
+    references accumulate — batches then span many loops and straddle
+    block events, which is what lets every cache level replay
+    vectorized. At flush the item queue is drained in original event
+    order, so float cycle accumulation and tracker ``on_chunk`` calls
+    happen in exactly the scalar sequence: results stay bit-identical
+    to ``batched=False``.
+    """
 
     def __init__(
         self,
@@ -305,15 +377,23 @@ class _DetailedConsumer(ExecutionConsumer):
         hierarchy: MemoryHierarchy,
         cpi_model: CPIModel,
         trackers: Sequence,
+        batched: bool = True,
     ) -> None:
         self._binary = binary
         self._hierarchy = hierarchy
         self._penalties = cpi_model.penalties
         self._trackers = tuple(trackers)
         self._streams = AddressStreamState()
+        self._batched = batched
+        self._pen_np = np.array(cpi_model.penalties, dtype=np.int64)
+        self._span_cache: Dict[int, _SpanPlan] = {}
         self.instructions = 0
         self.cycles = 0.0
         self.memory_refs = 0
+        self._pending_lines: List[np.ndarray] = []
+        self._pending_writes: List[np.ndarray] = []
+        self._pending_refs = 0
+        self._items: List[Tuple] = []
         n_blocks = max(binary.blocks) + 1 if binary.blocks else 0
         self._info: List[Optional[_BlockInfo]] = [None] * n_blocks
         for block_id, block in binary.blocks.items():
@@ -343,20 +423,159 @@ class _DetailedConsumer(ExecutionConsumer):
         for tracker in self._trackers:
             tracker.on_chunk(block_id, 1, info.instructions, cycles, dram)
 
+    def _queue_block(self, block_id: int, info: _BlockInfo) -> None:
+        """Queue one reference-bearing block execution (batched mode)."""
+        lines: List[int] = []
+        writes: List[bool] = []
+        for spec in info.specs:
+            for line, write in generate_refs(spec, self._streams):
+                lines.append(line)
+                writes.append(write)
+        start = self._pending_refs
+        self._pending_lines.append(np.array(lines, dtype=np.int64))
+        self._pending_writes.append(np.array(writes, dtype=np.bool_))
+        self._pending_refs = start + len(lines)
+        self.memory_refs += len(lines)
+        self.instructions += info.instructions
+        self._items.append(
+            (
+                _ITEM_BLOCK,
+                block_id,
+                info.instructions,
+                info.base_cycles,
+                start,
+                self._pending_refs,
+            )
+        )
+
     def on_block(self, block_id: int, execs: int = 1) -> None:
         info = self._info[block_id]
         if info.specs:
-            for _ in range(execs):
-                self._exec_with_refs(block_id, info)
+            if self._batched:
+                for _ in range(execs):
+                    self._queue_block(block_id, info)
+                self._maybe_flush()
+            else:
+                for _ in range(execs):
+                    self._exec_with_refs(block_id, info)
             return
         instructions = info.instructions * execs
         cycles = info.base_cycles * execs
         self.instructions += instructions
+        if self._batched:
+            self._items.append(
+                (_ITEM_PLAIN, block_id, execs, instructions, cycles)
+            )
+            if len(self._items) >= _FLUSH_ITEMS:
+                self._flush()
+            return
         self.cycles += cycles
         for tracker in self._trackers:
             tracker.on_chunk(block_id, execs, instructions, cycles)
 
+    def _span_plan(self, loop: LLoop) -> _SpanPlan:
+        """Compile (and cache) the batch recipe for one loop.
+
+        Loops whose iterations touch no memory get ``pattern=None``.
+        The branch block is a chunk with no reference columns,
+        matching the scalar span loop which never generates references
+        for it.
+        """
+        try:
+            return self._span_cache[loop.loop_id]
+        except KeyError:
+            pass
+        profile = iteration_profile(self._binary, loop)
+        specs: List = []
+        chunks: List[_SpanChunk] = []
+        col = 0
+        instr = 0
+        for block_id in profile.body_blocks:
+            info = self._info[block_id]
+            start = col
+            if info.specs:
+                for spec in info.specs:
+                    specs.append(spec)
+                    col += spec.refs_per_exec
+            chunks.append(
+                _SpanChunk(
+                    block_id=block_id,
+                    instructions=info.instructions,
+                    base_cycles=info.base_cycles,
+                    col_start=start,
+                    col_end=col,
+                    has_specs=bool(info.specs),
+                )
+            )
+            instr += info.instructions
+        branch = self._info[profile.branch_block]
+        chunks.append(
+            _SpanChunk(
+                block_id=profile.branch_block,
+                instructions=branch.instructions,
+                base_cycles=branch.base_cycles,
+                col_start=col,
+                col_end=col,
+                has_specs=False,
+            )
+        )
+        instr += branch.instructions
+        plan = _SpanPlan(
+            chunks=tuple(chunks),
+            pattern=bulk_pattern(tuple(specs)) if col > 0 else None,
+            refs_per_iter=col,
+            instr_per_iter=instr,
+        )
+        self._span_cache[loop.loop_id] = plan
+        return plan
+
     def on_iterations(self, loop: LLoop, iterations: int) -> None:
+        if not self._batched:
+            self._scalar_span(loop, iterations)
+            return
+        plan = self._span_plan(loop)
+        if plan.pattern is None:
+            self.instructions += plan.instr_per_iter * iterations
+            self._items.append((_ITEM_LOOP, plan.chunks, iterations))
+        elif iterations * plan.refs_per_iter >= _MIN_BULK_REFS:
+            metrics.counter("cmpsim.bulk_spans").inc()
+            lines, writes = plan.pattern.generate(
+                self._streams, iterations
+            )
+            metrics.counter("cmpsim.bulk_refs").inc(int(lines.size))
+            start = self._pending_refs
+            self._pending_lines.append(lines)
+            self._pending_writes.append(writes)
+            self._pending_refs = start + int(lines.size)
+            self.memory_refs += int(lines.size)
+            self.instructions += plan.instr_per_iter * iterations
+            self._items.append((_ITEM_SPAN, plan, iterations, start))
+        else:
+            # Tiny span: expand to per-block items (numpy fixed costs
+            # dominate bulk generation at this size).
+            metrics.counter("cmpsim.scalar_spans").inc()
+            for _ in range(iterations):
+                for chunk in plan.chunks:
+                    if chunk.has_specs:
+                        self._queue_block(
+                            chunk.block_id, self._info[chunk.block_id]
+                        )
+                    else:
+                        self.instructions += chunk.instructions
+                        self._items.append(
+                            (
+                                _ITEM_PLAIN,
+                                chunk.block_id,
+                                1,
+                                chunk.instructions,
+                                chunk.base_cycles,
+                            )
+                        )
+        self._maybe_flush()
+
+    def _scalar_span(self, loop: LLoop, iterations: int) -> None:
+        """Reference-at-a-time span execution (the oracle path)."""
+        metrics.counter("cmpsim.scalar_spans").inc()
         profile = iteration_profile(self._binary, loop)
         body = [
             (block_id, self._info[block_id])
@@ -384,7 +603,197 @@ class _DetailedConsumer(ExecutionConsumer):
                     branch_id, 1, branch.instructions, branch.base_cycles
                 )
 
+    def _maybe_flush(self) -> None:
+        if (
+            self._pending_refs >= _FLUSH_REFS
+            or len(self._items) >= _FLUSH_ITEMS
+        ):
+            self._flush()
+
+    def _span_cycles(
+        self, plan: _SpanPlan, iterations: int, pen_slice: np.ndarray
+    ) -> np.ndarray:
+        """Per-(iteration, chunk) cycle matrix from a penalty slice."""
+        pen2d = pen_slice.reshape(iterations, plan.refs_per_iter)
+        cyc = np.empty((iterations, len(plan.chunks)), dtype=np.float64)
+        for index, chunk in enumerate(plan.chunks):
+            if chunk.col_end > chunk.col_start:
+                cyc[:, index] = chunk.base_cycles + pen2d[
+                    :, chunk.col_start : chunk.col_end
+                ].sum(axis=1)
+            else:
+                cyc[:, index] = chunk.base_cycles
+        return cyc
+
+    def _flush(self) -> None:
+        """Replay all queued references and drain accounting in order.
+
+        Instructions and reference counts were added at queue time
+        (integer sums are order-free); float cycle accumulation and
+        tracker calls replay here in exact event order.
+        """
+        items = self._items
+        if not items:
+            return
+        metrics.counter("cmpsim.detailed_flushes").inc()
+        pen_all = dram_all = None
+        if self._pending_refs:
+            if len(self._pending_lines) == 1:
+                lines = self._pending_lines[0]
+                writes = self._pending_writes[0]
+            else:
+                lines = np.concatenate(self._pending_lines)
+                writes = np.concatenate(self._pending_writes)
+            serviced = self._hierarchy.access_many(lines, writes)
+            pen_all = self._pen_np[serviced]
+            dram_all = serviced == 3
+        self._pending_lines = []
+        self._pending_writes = []
+        self._pending_refs = 0
+        self._items = []
+        if self._trackers:
+            self._drain_tracked(items, pen_all, dram_all)
+        else:
+            self._drain_untracked(items, pen_all)
+
+    def _drain_untracked(
+        self, items: List[Tuple], pen_all: Optional[np.ndarray]
+    ) -> None:
+        """Fold all queued cycle values left-to-right in event order.
+
+        ``np.add.accumulate`` folds left-to-right, bit-identical to
+        the scalar per-chunk ``cycles +=`` sequence (np.sum is
+        pairwise and is NOT).
+        """
+        parts: List[np.ndarray] = [
+            np.array([self.cycles], dtype=np.float64)
+        ]
+        buf: List[float] = []
+        for item in items:
+            tag = item[0]
+            if tag == _ITEM_SPAN:
+                _, plan, iterations, start = item
+                end = start + iterations * plan.refs_per_iter
+                cyc = self._span_cycles(
+                    plan, iterations, pen_all[start:end]
+                )
+                if buf:
+                    parts.append(np.array(buf, dtype=np.float64))
+                    buf = []
+                parts.append(cyc.reshape(-1))
+            elif tag == _ITEM_BLOCK:
+                _, _, _, base_cycles, start, end = item
+                penalty = int(pen_all[start:end].sum()) if end > start else 0
+                buf.append(base_cycles + penalty)
+            elif tag == _ITEM_PLAIN:
+                buf.append(item[4])
+            else:  # _ITEM_LOOP
+                _, chunks, iterations = item
+                row = np.array(
+                    [chunk.base_cycles for chunk in chunks],
+                    dtype=np.float64,
+                )
+                if buf:
+                    parts.append(np.array(buf, dtype=np.float64))
+                    buf = []
+                parts.append(np.tile(row, iterations))
+        if buf:
+            parts.append(np.array(buf, dtype=np.float64))
+        addends = np.concatenate(parts)
+        self.cycles = float(np.add.accumulate(addends)[-1])
+
+    def _drain_tracked(
+        self,
+        items: List[Tuple],
+        pen_all: Optional[np.ndarray],
+        dram_all: Optional[np.ndarray],
+    ) -> None:
+        """Replay the exact scalar accounting/on_chunk call sequence
+        with Python numbers; only reference generation and the cache
+        replay were batched."""
+        trackers = self._trackers
+        cycles_total = self.cycles
+        for item in items:
+            tag = item[0]
+            if tag == _ITEM_SPAN:
+                _, plan, iterations, start = item
+                end = start + iterations * plan.refs_per_iter
+                cyc_rows = self._span_cycles(
+                    plan, iterations, pen_all[start:end]
+                ).tolist()
+                dram2d = dram_all[start:end].reshape(
+                    iterations, plan.refs_per_iter
+                )
+                dram_rows = {
+                    index: dram2d[
+                        :, chunk.col_start : chunk.col_end
+                    ].sum(axis=1).tolist()
+                    for index, chunk in enumerate(plan.chunks)
+                    if chunk.col_end > chunk.col_start
+                }
+                for t in range(iterations):
+                    row = cyc_rows[t]
+                    for index, chunk in enumerate(plan.chunks):
+                        value = row[index]
+                        cycles_total += value
+                        if chunk.has_specs:
+                            hits = (
+                                dram_rows[index][t]
+                                if index in dram_rows
+                                else 0
+                            )
+                            for tracker in trackers:
+                                tracker.on_chunk(
+                                    chunk.block_id,
+                                    1,
+                                    chunk.instructions,
+                                    value,
+                                    hits,
+                                )
+                        else:
+                            for tracker in trackers:
+                                tracker.on_chunk(
+                                    chunk.block_id,
+                                    1,
+                                    chunk.instructions,
+                                    value,
+                                )
+            elif tag == _ITEM_BLOCK:
+                _, block_id, instructions, base_cycles, start, end = item
+                if end > start:
+                    value = base_cycles + int(pen_all[start:end].sum())
+                    dram = int(dram_all[start:end].sum())
+                else:
+                    value = base_cycles
+                    dram = 0
+                cycles_total += value
+                for tracker in trackers:
+                    tracker.on_chunk(
+                        block_id, 1, instructions, value, dram
+                    )
+            elif tag == _ITEM_PLAIN:
+                _, block_id, execs, instructions, cycles = item
+                cycles_total += cycles
+                for tracker in trackers:
+                    tracker.on_chunk(
+                        block_id, execs, instructions, cycles
+                    )
+            else:  # _ITEM_LOOP
+                _, chunks, iterations = item
+                for _ in range(iterations):
+                    for chunk in chunks:
+                        cycles_total += chunk.base_cycles
+                        for tracker in trackers:
+                            tracker.on_chunk(
+                                chunk.block_id,
+                                1,
+                                chunk.instructions,
+                                chunk.base_cycles,
+                            )
+        self.cycles = cycles_total
+
     def finish(self) -> None:
+        self._flush()
         for tracker in self._trackers:
             tracker.finish()
 
@@ -454,26 +863,33 @@ class _RegionConsumer(ExecutionConsumer):
         block = self._binary.blocks[block_id]
         active = self._active
         detailed = active is not None
+        penalty = 0
+        dram = 0
         if block.accesses:
-            if detailed or self._warm:
-                penalty = 0
-                refs = 0
+            if detailed:
                 access = self._hierarchy.access
                 penalties = self._penalties
                 for spec in block.accesses:
                     for line, write in generate_refs(spec, self._streams):
-                        penalty += penalties[access(line, write)]
-                        refs += 1
+                        level = access(line, write)
+                        penalty += penalties[level]
+                        if level == 3:
+                            dram += 1
+            elif self._warm:
+                # Functional warming: identical cache state transitions
+                # to a demand access, zero statistics impact.
+                warm = self._hierarchy.warm_access
+                for spec in block.accesses:
+                    for line, write in generate_refs(spec, self._streams):
+                        warm(line, write)
             else:
                 for spec in block.accesses:
                     advance_stream(spec, self._streams, 1)
-                penalty = 0
-        else:
-            penalty = 0
         if detailed:
             stats = self.results[active]
             stats.instructions += block.instructions
             stats.cycles += block.instructions * block.base_cpi + penalty
+            stats.dram_accesses += dram
         else:
             self.fast_forward_instructions += block.instructions
         marker_id = self._block_to_marker.get(block_id)
@@ -519,11 +935,19 @@ class CMPSim:
     def binary(self) -> Binary:
         return self._binary
 
-    def run_full(self, trackers: Sequence = ()) -> FullRunResult:
-        """Simulate the whole execution; trackers see every chunk."""
+    def run_full(
+        self, trackers: Sequence = (), batched: bool = True
+    ) -> FullRunResult:
+        """Simulate the whole execution; trackers see every chunk.
+
+        ``batched=False`` forces the scalar reference-at-a-time path;
+        both paths produce bit-identical results (the equivalence tests
+        enforce this), so the flag exists for oracle checks and
+        benchmarking.
+        """
         hierarchy = MemoryHierarchy(self._config)
         consumer = _DetailedConsumer(
-            self._binary, hierarchy, self._cpi_model, trackers
+            self._binary, hierarchy, self._cpi_model, trackers, batched
         )
         ExecutionEngine(self._binary, self._input).run(consumer)
         stats = SimulationStats(
@@ -539,7 +963,7 @@ class CMPSim:
             dram_reads=hierarchy.dram_reads,
             dram_writebacks=hierarchy.dram_writebacks,
         )
-        return FullRunResult(stats=stats)
+        return FullRunResult(stats=stats, hierarchy=hierarchy.snapshot())
 
     def run_regions(
         self,
@@ -558,4 +982,5 @@ class CMPSim:
         return RegionResult(
             regions=consumer.results,
             fast_forward_instructions=consumer.fast_forward_instructions,
+            hierarchy=hierarchy.snapshot(),
         )

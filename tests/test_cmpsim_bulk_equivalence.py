@@ -1,0 +1,356 @@
+"""Scalar-vs-batched equivalence oracles for the memory-system kernels.
+
+The batched paths — closed-form reference generation
+(:func:`generate_refs_bulk` / :class:`BulkAccessPattern`), the cache
+replay engines behind :meth:`SetAssociativeCache.access_many`, the
+hierarchy's level-by-level :meth:`MemoryHierarchy.access_many`, and the
+deferred-flush detailed simulator — must be *bit-identical* to the
+scalar reference-at-a-time implementations, which serve as the oracle.
+Identity is asserted on outputs, statistics, and observable cache state
+(per-set MRU-ordered ``(line, dirty)`` pairs via ``set_state``; way
+placement and raw stamp values are engine-internal and may differ).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmpsim.cache import SetAssociativeCache
+from repro.cmpsim.config import (
+    BIG_LLC_CONFIG,
+    CacheLevelConfig,
+    PREFETCH_CONFIG,
+    TABLE1_CONFIG,
+)
+from repro.cmpsim.hierarchy import MemoryHierarchy
+from repro.cmpsim.memory import (
+    AddressStreamState,
+    bulk_pattern,
+    generate_refs,
+    generate_refs_bulk,
+)
+from repro.cmpsim.simulator import CMPSim, FLITracker
+from repro.compilation.binary import AccessSpec
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import TARGET_32O, TARGET_32U
+from repro.programs.behaviors import AccessKind
+from repro.programs.suite import build_benchmark
+
+
+def stream_state(state):
+    return (state.cursors, state.lcg, state.write_acc)
+
+
+def cache_state(cache):
+    return (
+        [cache.set_state(i) for i in range(cache.config.n_sets)],
+        (
+            cache.stats.read_hits,
+            cache.stats.read_misses,
+            cache.stats.write_hits,
+            cache.stats.write_misses,
+            cache.stats.writebacks_out,
+        ),
+    )
+
+
+def hierarchy_state(hierarchy):
+    return (
+        [cache_state(cache) for cache in hierarchy.caches],
+        hierarchy.dram_reads,
+        hierarchy.dram_writebacks,
+        hierarchy.prefetches,
+    )
+
+
+def scalar_cache_replay(cache, lines, writes):
+    """The oracle: one scalar access per reference, in order."""
+    miss = []
+    victims = []
+    for position, (line, write) in enumerate(zip(lines, writes)):
+        hit, victim = cache.access(line, write)
+        if not hit:
+            miss.append(position)
+        if victim is not None:
+            victims.append((position, victim))
+    return miss, victims
+
+
+def dup_heavy_workload(rng, n, span, write_p, dup_p):
+    """Random references with block-stream-like consecutive repeats."""
+    lines = [rng.randrange(span) for _ in range(n)]
+    for index in range(1, n):
+        if rng.random() < dup_p:
+            lines[index] = lines[index - 1]
+    writes = [rng.random() < write_p for _ in range(n)]
+    return lines, writes
+
+
+# ----------------------------------------------------------------------
+# Reference generation
+# ----------------------------------------------------------------------
+
+SPEC_STRATEGY = st.builds(
+    AccessSpec,
+    stream_id=st.integers(min_value=0, max_value=7),
+    kind=st.sampled_from(list(AccessKind)),
+    base=st.sampled_from([0, 1 << 20, 3 << 21]),
+    footprint=st.integers(min_value=64, max_value=200_000),
+    stride=st.sampled_from([8, 16, 32, 64]),
+    refs_per_exec=st.integers(min_value=1, max_value=5),
+    read_fraction=st.sampled_from([0.0, 0.25, 0.5, 0.7, 0.9, 1.0]),
+)
+
+
+class TestBulkReferenceGeneration:
+    @settings(deadline=None, max_examples=120)
+    @given(spec=SPEC_STRATEGY, rounds=st.integers(min_value=1, max_value=60))
+    def test_bulk_matches_scalar(self, spec, rounds):
+        scalar_state = AddressStreamState()
+        bulk_state = AddressStreamState()
+        expected = []
+        for _ in range(rounds):
+            expected.extend(generate_refs(spec, scalar_state))
+        lines, writes = generate_refs_bulk(spec, bulk_state, rounds)
+        assert lines.tolist() == [line for line, _ in expected]
+        assert writes.tolist() == [write for _, write in expected]
+        assert stream_state(scalar_state) == stream_state(bulk_state)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        spec=SPEC_STRATEGY,
+        prefix=st.integers(min_value=0, max_value=25),
+        rounds=st.integers(min_value=1, max_value=25),
+    )
+    def test_mid_stream_handoff(self, spec, prefix, rounds):
+        """Bulk generation picks up exactly where scalar left off."""
+        scalar_state = AddressStreamState()
+        bulk_state = AddressStreamState()
+        expected = []
+        for _ in range(prefix + rounds):
+            expected.extend(generate_refs(spec, scalar_state))
+        for _ in range(prefix):
+            list(generate_refs(spec, bulk_state))
+        lines, writes = generate_refs_bulk(spec, bulk_state, rounds)
+        tail = expected[prefix * spec.refs_per_exec :]
+        assert lines.tolist() == [line for line, _ in tail]
+        assert writes.tolist() == [write for _, write in tail]
+        assert stream_state(scalar_state) == stream_state(bulk_state)
+
+    def test_shared_streams_across_specs(self):
+        """Specs sharing a stream id interleave exactly as scalar."""
+        shared = (
+            AccessSpec(stream_id=11, kind=AccessKind.STACK, base=0,
+                       footprint=2048, stride=32, refs_per_exec=2,
+                       read_fraction=0.8),
+            AccessSpec(stream_id=12, kind=AccessKind.RANDOM, base=1 << 21,
+                       footprint=9999, stride=0, refs_per_exec=3,
+                       read_fraction=0.4),
+            AccessSpec(stream_id=11, kind=AccessKind.STACK, base=0,
+                       footprint=2048, stride=32, refs_per_exec=1,
+                       read_fraction=0.8),
+            AccessSpec(stream_id=12, kind=AccessKind.POINTER_CHASE,
+                       base=1 << 21, footprint=9999, stride=0,
+                       refs_per_exec=2, read_fraction=0.4),
+        )
+        scalar_state = AddressStreamState()
+        bulk_state = AddressStreamState()
+        expected = []
+        for _ in range(57):
+            for spec in shared:
+                expected.extend(generate_refs(spec, scalar_state))
+        lines, writes = bulk_pattern(shared).generate(bulk_state, 57)
+        assert lines.tolist() == [line for line, _ in expected]
+        assert writes.tolist() == [write for _, write in expected]
+        assert stream_state(scalar_state) == stream_state(bulk_state)
+
+
+# ----------------------------------------------------------------------
+# Cache replay engines
+# ----------------------------------------------------------------------
+
+
+class TestAccessManyEquivalence:
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+        min_size=1, max_size=200,
+    ))
+    def test_small_batches(self, accesses):
+        """Small batches (Python replay path) match scalar exactly."""
+        config = CacheLevelConfig(name="t", capacity=4096, associativity=4)
+        scalar = SetAssociativeCache(config)
+        batched = SetAssociativeCache(config)
+        lines = [line for line, _ in accesses]
+        writes = [write for _, write in accesses]
+        expected_miss, expected_victims = scalar_cache_replay(
+            scalar, lines, writes
+        )
+        miss, victims = batched.access_many(
+            np.array(lines, dtype=np.int64), np.array(writes, dtype=bool)
+        )
+        assert miss.tolist() == expected_miss
+        assert victims == expected_victims
+        assert cache_state(scalar) == cache_state(batched)
+
+    @pytest.mark.parametrize("assoc", [2, 4, 8])
+    @pytest.mark.parametrize("dup_p", [0.0, 0.6])
+    def test_large_batches(self, assoc, dup_p):
+        """Large batches route to the vectorized engines (the 2-way
+        closed form at ``assoc == 2``, lanes otherwise)."""
+        rng = random.Random(assoc * 100 + int(dup_p * 10))
+        config = CacheLevelConfig(
+            name="t", capacity=64 * 64 * assoc, associativity=assoc
+        )
+        lines, writes = dup_heavy_workload(rng, 6000, 4000, 0.35, dup_p)
+        scalar = SetAssociativeCache(config)
+        batched = SetAssociativeCache(config)
+        expected_miss, expected_victims = scalar_cache_replay(
+            scalar, lines, writes
+        )
+        miss, victims = batched.access_many(
+            np.array(lines, dtype=np.int64), np.array(writes, dtype=bool)
+        )
+        assert miss.tolist() == expected_miss
+        assert victims == expected_victims
+        assert cache_state(scalar) == cache_state(batched)
+
+    def test_batch_then_scalar_handoff(self):
+        """State left by a batch is indistinguishable to later scalar
+        accesses (mixed-use sessions: warmup batched, probe scalar)."""
+        rng = random.Random(9)
+        config = CacheLevelConfig(name="t", capacity=8192, associativity=2)
+        lines, writes = dup_heavy_workload(rng, 9000, 600, 0.4, 0.5)
+        scalar = SetAssociativeCache(config)
+        mixed = SetAssociativeCache(config)
+        for line, write in zip(lines[:3000], writes[:3000]):
+            scalar.access(line, write)
+            mixed.access(line, write)
+        expected_miss, expected_victims = scalar_cache_replay(
+            scalar, lines[3000:6000], writes[3000:6000]
+        )
+        miss, victims = mixed.access_many(
+            np.array(lines[3000:6000], dtype=np.int64),
+            np.array(writes[3000:6000], dtype=bool),
+        )
+        assert miss.tolist() == expected_miss
+        assert victims == expected_victims
+        for line, write in zip(lines[6000:], writes[6000:]):
+            hit_a, _ = scalar.access(line, write)
+            hit_b, _ = mixed.access(line, write)
+            assert hit_a == hit_b
+        assert cache_state(scalar) == cache_state(mixed)
+
+
+class TestHierarchyBatchEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [TABLE1_CONFIG, PREFETCH_CONFIG, BIG_LLC_CONFIG],
+        ids=["table1", "prefetch", "big-llc"],
+    )
+    def test_access_many_matches_scalar(self, config):
+        rng = random.Random(17)
+        for n in (10, 300, 2000, 20000):
+            lines, writes = dup_heavy_workload(rng, n, 70_000, 0.35, 0.3)
+            scalar = MemoryHierarchy(config)
+            expected = [
+                scalar.access(line, write)
+                for line, write in zip(lines, writes)
+            ]
+            batched = MemoryHierarchy(config)
+            serviced = batched.access_many(
+                np.array(lines, dtype=np.int64), np.array(writes, dtype=bool)
+            )
+            assert serviced.tolist() == expected
+            assert hierarchy_state(scalar) == hierarchy_state(batched)
+
+    @pytest.mark.parametrize(
+        "config",
+        [TABLE1_CONFIG, PREFETCH_CONFIG, BIG_LLC_CONFIG],
+        ids=["table1", "prefetch", "big-llc"],
+    )
+    def test_scalar_batch_interleave(self, config):
+        rng = random.Random(23)
+        lines, writes = dup_heavy_workload(rng, 4000, 50_000, 0.35, 0.3)
+        scalar = MemoryHierarchy(config)
+        mixed = MemoryHierarchy(config)
+        for line, write in zip(lines[:2000], writes[:2000]):
+            scalar.access(line, write)
+        mixed.access_many(
+            np.array(lines[:2000], dtype=np.int64),
+            np.array(writes[:2000], dtype=bool),
+        )
+        expected = [
+            scalar.access(line, write)
+            for line, write in zip(lines[2000:], writes[2000:])
+        ]
+        serviced = mixed.access_many(
+            np.array(lines[2000:], dtype=np.int64),
+            np.array(writes[2000:], dtype=bool),
+        )
+        assert serviced.tolist() == expected
+        assert hierarchy_state(scalar) == hierarchy_state(mixed)
+
+
+# ----------------------------------------------------------------------
+# Full simulator runs
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def suite_binaries():
+    binaries = {}
+    for name in ("art", "mcf"):
+        program = build_benchmark(name)
+        binaries[name] = compile_standard_binaries(
+            program, (TARGET_32U, TARGET_32O)
+        )
+    return binaries
+
+
+FULL_RUN_CASES = [
+    ("art", TARGET_32U, TABLE1_CONFIG, "art-32u-table1"),
+    ("art", TARGET_32U, PREFETCH_CONFIG, "art-32u-prefetch"),
+    ("art", TARGET_32O, TABLE1_CONFIG, "art-32o-table1"),
+    ("mcf", TARGET_32U, BIG_LLC_CONFIG, "mcf-32u-big-llc"),
+]
+
+
+class TestFullRunEquivalence:
+    @pytest.mark.parametrize(
+        "program,target,config",
+        [(p, t, c) for p, t, c, _ in FULL_RUN_CASES],
+        ids=[case_id for _, _, _, case_id in FULL_RUN_CASES],
+    )
+    def test_batched_run_is_bit_identical(
+        self, suite_binaries, program, target, config
+    ):
+        """The whole pipeline: SimulationStats, HierarchyStats, and
+        every per-interval FLI value must match the scalar oracle."""
+        binary = suite_binaries[program][target]
+        sim = CMPSim(binary, config)
+        scalar_fli = FLITracker(100_000)
+        batched_fli = FLITracker(100_000)
+        scalar = sim.run_full(trackers=(scalar_fli,), batched=False)
+        batched = sim.run_full(trackers=(batched_fli,), batched=True)
+        assert scalar.stats == batched.stats
+        assert scalar.hierarchy == batched.hierarchy
+        assert len(scalar_fli.intervals) == len(batched_fli.intervals)
+        for left, right in zip(scalar_fli.intervals, batched_fli.intervals):
+            assert left.instructions == right.instructions
+            assert left.cycles == right.cycles
+            assert left.dram_accesses == right.dram_accesses
+
+    def test_untracked_run_is_bit_identical(self, suite_binaries):
+        """The no-tracker cycle fold (np.add.accumulate) is exact."""
+        binary = suite_binaries["art"][TARGET_32U]
+        sim = CMPSim(binary)
+        scalar = sim.run_full(batched=False)
+        batched = sim.run_full(batched=True)
+        assert scalar.stats == batched.stats
+        assert scalar.hierarchy == batched.hierarchy
+        assert scalar.stats.cycles == batched.stats.cycles
+        assert scalar.stats.cpi == batched.stats.cpi

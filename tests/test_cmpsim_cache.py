@@ -141,9 +141,10 @@ class TestSetAssociativeCache:
         for line, write in accesses:
             cache.access(line, write)
         assert cache.resident_lines() <= 8
-        for index, tags in enumerate(cache._tags):
-            assert len(tags) <= 2
-            for line in tags:
+        for index in range(4):
+            lines_in_set = cache.set_lines(index)
+            assert len(lines_in_set) <= 2
+            for line in lines_in_set:
                 assert line % 4 == index  # line in its own set
 
     @settings(deadline=None, max_examples=40)
