@@ -12,7 +12,7 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
-		--benchmark-json BENCH_PR3.json
+		--benchmark-json BENCH_PR4.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -120,3 +120,101 @@ def test_perf_detailed_simulation_scalar(benchmark, art_32u):
         iterations=1,
     )
     assert result.stats.cpi > 0.5
+
+
+@pytest.fixture(scope="module")
+def art_pair():
+    """art compiled for the two 32-bit targets (unopt + O2)."""
+    from repro.compilation.targets import TARGET_32O
+
+    program = build_benchmark("art")
+    binaries = compile_standard_binaries(
+        program, (TARGET_32U, TARGET_32O)
+    )
+    return [binaries[TARGET_32U], binaries[TARGET_32O]]
+
+
+@pytest.fixture(scope="module")
+def art_marker_set(art_pair):
+    from repro.core.matching import find_mappable_points
+
+    profiles = [
+        (binary, collect_call_branch_profile(binary))
+        for binary in art_pair
+    ]
+    marker_set, _ = find_mappable_points(profiles)
+    return marker_set
+
+
+def test_perf_trace_compile(benchmark, art_32u):
+    """One recorded engine walk lowered to flat trace arrays."""
+    from repro.execution.trace import clear_trace_memo, compile_trace
+
+    def compile_cold():
+        clear_trace_memo()
+        return compile_trace(art_32u)
+
+    trace = benchmark(compile_cold)
+    assert trace.total_instructions > 1_000_000
+
+
+def test_perf_fli_replay(benchmark, art_32u):
+    """FLI cutting replayed from a memoized compiled trace."""
+    from repro.execution.trace import compiled_trace, replay_fli
+
+    trace = compiled_trace(art_32u)
+    intervals = benchmark(replay_fli, trace, 100_000)
+    assert len(intervals) > 10
+
+
+def test_perf_fli_scalar(benchmark, art_32u):
+    """FLI cutting on the scalar oracle (one engine walk per call)."""
+    intervals = benchmark(
+        collect_fli_bbvs, art_32u, 100_000, use_trace=False
+    )
+    assert len(intervals) > 10
+
+
+def _profile_end_to_end(binaries, marker_set, use_trace):
+    """FLI + VLI + re-measured weights for one binary pair."""
+    from repro.core.mapping import interval_boundaries
+    from repro.core.vli import collect_vli_bbvs
+    from repro.core.weights import measure_interval_instructions
+
+    primary = binaries[0]
+    fli = collect_fli_bbvs(primary, 100_000, use_trace=use_trace)
+    vlis = collect_vli_bbvs(
+        primary, marker_set, 100_000, use_trace=use_trace
+    )
+    boundaries = interval_boundaries(vlis)
+    counts = [
+        measure_interval_instructions(
+            binary, marker_set, boundaries, use_trace=use_trace
+        )
+        for binary in binaries
+    ]
+    return fli, vlis, counts
+
+
+def test_perf_profiling_end_to_end_trace(
+    benchmark, art_pair, art_marker_set
+):
+    """FLI + VLI + weights via compiled traces (compile included)."""
+    from repro.execution.trace import clear_trace_memo
+
+    def run():
+        clear_trace_memo()
+        return _profile_end_to_end(art_pair, art_marker_set, True)
+
+    fli, vlis, counts = benchmark(run)
+    assert len(fli) > 10 and len(vlis) > 10 and len(counts) == 2
+
+
+def test_perf_profiling_end_to_end_scalar(
+    benchmark, art_pair, art_marker_set
+):
+    """FLI + VLI + weights on the scalar oracle paths."""
+    fli, vlis, counts = benchmark(
+        _profile_end_to_end, art_pair, art_marker_set, False
+    )
+    assert len(fli) > 10 and len(vlis) > 10 and len(counts) == 2

@@ -20,11 +20,15 @@ from repro.compilation.binary import Binary, LLoop
 from repro.core.markers import ExecutionCoordinate, MarkerSet, MarkerTable
 from repro.errors import ProfilingError
 from repro.execution.engine import ExecutionEngine
-from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.execution.events import (
+    ExecutionConsumer,
+    IterationProfile,
+    iteration_profile,
+)
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.runtime.cache import ProfileCache
-from repro.runtime.config import active_cache
+from repro.runtime.config import active_cache, trace_replay_enabled
 
 
 class VLIBuilder(ExecutionConsumer):
@@ -49,7 +53,16 @@ class VLIBuilder(ExecutionConsumer):
         self._current: Dict[int, float] = {}
         self._current_instr = 0
         self._last_boundary: Optional[ExecutionCoordinate] = None
+        self._profiles: Dict[int, IterationProfile] = {}
         self.intervals: List[Interval] = []
+
+    def _profile(self, loop: LLoop) -> IterationProfile:
+        """Per-loop iteration profile, resolved once per builder."""
+        profile = self._profiles.get(loop.loop_id)
+        if profile is None:
+            profile = iteration_profile(self._binary, loop)
+            self._profiles[loop.loop_id] = profile
+        return profile
 
     def _attribute(self, block_id: int, instructions: int) -> None:
         self._current[block_id] = self._current.get(block_id, 0.0) + instructions
@@ -84,7 +97,7 @@ class VLIBuilder(ExecutionConsumer):
         self._marker_counts[marker_id] = count
 
     def on_iterations(self, loop: LLoop, iterations: int) -> None:
-        profile = iteration_profile(self._binary, loop)
+        profile = self._profile(loop)
         marker_id = self._block_to_marker.get(profile.branch_block)
         if marker_id is None:
             # No marker can fire inside this span; attribute in bulk.
@@ -151,22 +164,32 @@ def collect_vli_bbvs(
     program_input: ProgramInput = REF_INPUT,
     *,
     cache: Optional[ProfileCache] = None,
+    use_trace: Optional[bool] = None,
 ) -> List[Interval]:
     """Profile a binary into mappable variable-length intervals.
 
-    With a cache (explicit or the process-wide one), the profile is
-    memoized by ``(binary, input, this binary's marker table, target
-    size)`` fingerprint — only the table matters, since the builder
-    never consults the other binaries' anchors.
+    By default the intervals are replayed from the compiled execution
+    trace (:mod:`repro.execution.trace`) — bit-identical to the scalar
+    builder; ``use_trace=False`` (or ``REPRO_NO_TRACE=1``) forces the
+    scalar oracle. With a cache (explicit or the process-wide one), the
+    profile is memoized by ``(binary, input, this binary's marker
+    table, target size)`` fingerprint — only the table matters, since
+    the builder never consults the other binaries' anchors.
     """
     table = marker_set.table_for(binary.name)
+    replay = trace_replay_enabled(use_trace)
+    cache = cache if cache is not None else active_cache()
 
     def compute() -> List[Interval]:
+        if replay:
+            from repro.execution.trace import compiled_trace, replay_vli
+
+            trace = compiled_trace(binary, program_input, cache=cache)
+            return replay_vli(trace, binary, table, target_size)
         builder = VLIBuilder(binary, table, target_size)
         ExecutionEngine(binary, program_input).run(builder)
         return builder.intervals
 
-    cache = cache if cache is not None else active_cache()
     if cache is None:
         return compute()
     return cache.get_or_compute(

@@ -17,10 +17,14 @@ from repro.compilation.binary import Binary, LLoop
 from repro.core.markers import ExecutionCoordinate, MarkerSet
 from repro.errors import MappingError
 from repro.execution.engine import ExecutionEngine
-from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.execution.events import (
+    ExecutionConsumer,
+    IterationProfile,
+    iteration_profile,
+)
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.runtime.cache import ProfileCache
-from repro.runtime.config import active_cache
+from repro.runtime.config import active_cache, trace_replay_enabled
 
 
 class IntervalInstructionCounter(ExecutionConsumer):
@@ -47,7 +51,16 @@ class IntervalInstructionCounter(ExecutionConsumer):
         self._next = 0
         self._marker_counts: Dict[int, int] = {}
         self._current = 0
+        self._profiles: Dict[int, IterationProfile] = {}
         self.interval_instructions: List[int] = []
+
+    def _profile(self, loop: LLoop) -> IterationProfile:
+        """Per-loop iteration profile, resolved once per counter."""
+        profile = self._profiles.get(loop.loop_id)
+        if profile is None:
+            profile = iteration_profile(self._binary, loop)
+            self._profiles[loop.loop_id] = profile
+        return profile
 
     def _close(self) -> None:
         self.interval_instructions.append(self._current)
@@ -84,7 +97,7 @@ class IntervalInstructionCounter(ExecutionConsumer):
         self._marker_counts[marker_id] = count
 
     def on_iterations(self, loop: LLoop, iterations: int) -> None:
-        profile = iteration_profile(self._binary, loop)
+        profile = self._profile(loop)
         marker_id = self._block_to_marker.get(profile.branch_block)
         per_iter = profile.instructions_per_iteration
         if marker_id is None:
@@ -125,20 +138,36 @@ def measure_interval_instructions(
     program_input: ProgramInput = REF_INPUT,
     *,
     cache: Optional[ProfileCache] = None,
+    use_trace: Optional[bool] = None,
 ) -> List[int]:
     """Instructions per mapped interval for one binary (functional run).
 
-    With a cache (explicit or the process-wide one), the counts are
-    memoized by ``(binary, input, this binary's marker table, the
+    By default the counts are replayed from the compiled execution
+    trace (:mod:`repro.execution.trace`) as a segment sum between
+    boundary firing positions — bit-identical to the scalar counter;
+    ``use_trace=False`` (or ``REPRO_NO_TRACE=1``) forces the scalar
+    oracle. With a cache (explicit or the process-wide one), the counts
+    are memoized by ``(binary, input, this binary's marker table, the
     boundary coordinates)`` fingerprint.
     """
+    replay = trace_replay_enabled(use_trace)
+    cache = cache if cache is not None else active_cache()
 
     def compute() -> List[int]:
+        if replay:
+            from repro.execution.trace import (
+                compiled_trace,
+                replay_interval_counts,
+            )
+
+            trace = compiled_trace(binary, program_input, cache=cache)
+            return replay_interval_counts(
+                trace, binary, marker_set, boundaries
+            )
         counter = IntervalInstructionCounter(binary, marker_set, boundaries)
         ExecutionEngine(binary, program_input).run(counter)
         return counter.interval_instructions
 
-    cache = cache if cache is not None else active_cache()
     if cache is None:
         return compute()
     return cache.get_or_compute(

@@ -12,6 +12,11 @@ that need precise boundaries can split spans at iteration granularity.
 
 :mod:`repro.execution.pin` adds a friendlier Pin-style tool API on top
 (procedure-entry / loop-entry / loop-iteration callbacks).
+
+:mod:`repro.execution.trace` lowers one ``(binary, input)`` execution
+to a :class:`~repro.execution.trace.CompiledTrace` of flat numpy
+arrays — compiled once, memoized through the profile cache, and
+replayed in bulk by every profiling consumer.
 """
 
 from repro.execution.engine import ExecutionEngine, RunTotals, run_binary
@@ -23,6 +28,12 @@ from repro.execution.events import (
     iteration_profile,
 )
 from repro.execution.pin import PinTool, PinToolAdapter, run_with_tools
+from repro.execution.trace import (
+    CompiledTrace,
+    clear_trace_memo,
+    compile_trace,
+    compiled_trace,
+)
 
 __all__ = [
     "ExecutionEngine",
@@ -36,4 +47,8 @@ __all__ = [
     "PinTool",
     "PinToolAdapter",
     "run_with_tools",
+    "CompiledTrace",
+    "clear_trace_memo",
+    "compile_trace",
+    "compiled_trace",
 ]

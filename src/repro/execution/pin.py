@@ -15,7 +15,11 @@ from typing import Dict, Iterable, Set, Tuple
 
 from repro.compilation.binary import Binary, LLoop, LoweredBlock
 from repro.execution.engine import ExecutionEngine, RunTotals, run_binary
-from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.execution.events import (
+    ExecutionConsumer,
+    IterationProfile,
+    iteration_profile,
+)
 from repro.programs.inputs import ProgramInput, REF_INPUT
 
 
@@ -50,10 +54,19 @@ class PinToolAdapter(ExecutionConsumer):
         # Precompute structural roles of blocks so dispatch is O(1).
         self._loop_entry_blocks: Dict[int, int] = {}
         self._loop_branch_blocks: Dict[int, int] = {}
+        self._profiles: Dict[int, IterationProfile] = {}
         for proc_name in binary.procedures:
             for loop in binary.iter_loops_of(proc_name):
                 self._loop_entry_blocks[loop.entry_block] = loop.loop_id
                 self._loop_branch_blocks[loop.branch_block] = loop.loop_id
+
+    def _profile(self, loop: LLoop) -> IterationProfile:
+        """Per-loop iteration profile, resolved once per adapter."""
+        profile = self._profiles.get(loop.loop_id)
+        if profile is None:
+            profile = iteration_profile(self._binary, loop)
+            self._profiles[loop.loop_id] = profile
+        return profile
 
     def start(self) -> None:
         for tool in self._tools:
@@ -78,7 +91,7 @@ class PinToolAdapter(ExecutionConsumer):
             tool.on_block_exec(block, execs)
 
     def on_iterations(self, loop: LLoop, iterations: int) -> None:
-        profile = iteration_profile(self._binary, loop)
+        profile = self._profile(loop)
         for tool in self._tools:
             tool.on_loop_iterations(loop.loop_id, iterations)
         for block_id in profile.body_blocks:

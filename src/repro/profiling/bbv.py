@@ -18,11 +18,15 @@ from typing import Dict, List, Optional
 from repro.compilation.binary import Binary, LLoop
 from repro.errors import ProfilingError
 from repro.execution.engine import ExecutionEngine
-from repro.execution.events import ExecutionConsumer, iteration_profile
+from repro.execution.events import (
+    ExecutionConsumer,
+    IterationProfile,
+    iteration_profile,
+)
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.runtime.cache import ProfileCache
-from repro.runtime.config import active_cache
+from repro.runtime.config import active_cache, trace_replay_enabled
 
 
 class FixedLengthBBVCollector(ExecutionConsumer):
@@ -37,7 +41,16 @@ class FixedLengthBBVCollector(ExecutionConsumer):
         self._size = interval_size
         self._current: Dict[int, float] = {}
         self._current_instr = 0
+        self._profiles: Dict[int, IterationProfile] = {}
         self.intervals: List[Interval] = []
+
+    def _profile(self, loop: LLoop) -> IterationProfile:
+        """Per-loop iteration profile, resolved once per collector."""
+        profile = self._profiles.get(loop.loop_id)
+        if profile is None:
+            profile = iteration_profile(self._binary, loop)
+            self._profiles[loop.loop_id] = profile
+        return profile
 
     def _emit(self) -> None:
         self.intervals.append(
@@ -69,7 +82,7 @@ class FixedLengthBBVCollector(ExecutionConsumer):
         )
 
     def on_iterations(self, loop: LLoop, iterations: int) -> None:
-        profile = iteration_profile(self._binary, loop)
+        profile = self._profile(loop)
         for block_id in profile.body_blocks:
             self._attribute(
                 block_id,
@@ -90,19 +103,32 @@ def collect_fli_bbvs(
     program_input: ProgramInput = REF_INPUT,
     *,
     cache: Optional[ProfileCache] = None,
+    use_trace: Optional[bool] = None,
 ) -> List[Interval]:
     """Profile a binary into fixed-length-interval BBVs.
 
-    With a cache (explicit or the process-wide one), the profile is
-    memoized by ``(binary, input, interval size)`` fingerprint.
+    By default the profile is replayed from the compiled execution
+    trace (:mod:`repro.execution.trace`), which is bit-identical to
+    (and much faster than) the scalar event-stream collector;
+    ``use_trace=False`` (or ``REPRO_NO_TRACE=1``) forces the scalar
+    oracle. With a cache (explicit or the process-wide one), the
+    profile is memoized by ``(binary, input, interval size)``
+    fingerprint — the key is path-independent because both paths
+    produce identical intervals.
     """
+    replay = trace_replay_enabled(use_trace)
+    cache = cache if cache is not None else active_cache()
 
     def compute() -> List[Interval]:
+        if replay:
+            from repro.execution.trace import compiled_trace, replay_fli
+
+            trace = compiled_trace(binary, program_input, cache=cache)
+            return replay_fli(trace, interval_size)
         collector = FixedLengthBBVCollector(binary, interval_size)
         ExecutionEngine(binary, program_input).run(collector)
         return collector.intervals
 
-    cache = cache if cache is not None else active_cache()
     if cache is None:
         return compute()
     return cache.get_or_compute(

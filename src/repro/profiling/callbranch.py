@@ -24,7 +24,7 @@ from repro.execution.pin import PinTool, run_with_tools
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.programs.ir import SourceLocation
 from repro.runtime.cache import ProfileCache
-from repro.runtime.config import active_cache
+from repro.runtime.config import active_cache, trace_replay_enabled
 
 
 @dataclass(frozen=True)
@@ -115,19 +115,33 @@ def collect_call_branch_profile(
     program_input: ProgramInput = REF_INPUT,
     *,
     cache: Optional[ProfileCache] = None,
+    use_trace: Optional[bool] = None,
 ) -> CallBranchProfile:
     """Run a binary under the call-and-branch profiler.
 
-    With a cache (explicit or the process-wide one), the profile is
-    memoized by ``(binary, input)`` content fingerprint.
+    By default the profile is reduced from the compiled execution
+    trace (:mod:`repro.execution.trace`) with bulk ``np.add.at``
+    accumulation — bit-identical to the scalar Pin-tool run;
+    ``use_trace=False`` (or ``REPRO_NO_TRACE=1``) forces the scalar
+    oracle. With a cache (explicit or the process-wide one), the
+    profile is memoized by ``(binary, input)`` content fingerprint.
     """
+    replay = trace_replay_enabled(use_trace)
+    cache = cache if cache is not None else active_cache()
 
     def compute() -> CallBranchProfile:
+        if replay:
+            from repro.execution.trace import (
+                compiled_trace,
+                replay_call_branch,
+            )
+
+            trace = compiled_trace(binary, program_input, cache=cache)
+            return replay_call_branch(trace, binary)
         profiler = CallBranchProfiler()
         run_with_tools(binary, (profiler,), program_input)
         return profiler.profile()
 
-    cache = cache if cache is not None else active_cache()
     if cache is None:
         return compute()
     return cache.get_or_compute(

@@ -11,6 +11,12 @@ Resolution order for the job count (first match wins):
 The active cache is ``None`` (disabled) unless :func:`set_cache`
 installed one or ``REPRO_CACHE_DIR`` names a directory;
 ``REPRO_NO_CACHE=1`` disables the environment fallback.
+
+Profiling consumers replay compiled execution traces by default
+(:mod:`repro.execution.trace`); ``REPRO_NO_TRACE=1`` forces every
+consumer onto its scalar event-stream oracle instead (results are
+bit-identical either way — the knob exists for debugging and for
+timing the oracle).
 """
 
 from __future__ import annotations
@@ -69,6 +75,17 @@ def active_cache() -> Optional[ProfileCache]:
         set_cache(ProfileCache(root))
         return _cache  # type: ignore[return-value]
     return None
+
+
+def trace_replay_enabled(use_trace: Optional[bool] = None) -> bool:
+    """Whether a profiling consumer should replay a compiled trace.
+
+    An explicit ``use_trace`` argument wins; otherwise trace replay is
+    on unless ``REPRO_NO_TRACE`` is set in the environment.
+    """
+    if use_trace is not None:
+        return use_trace
+    return not os.environ.get("REPRO_NO_TRACE")
 
 
 def configure(

@@ -38,11 +38,18 @@ class KMeansResult:
 
 
 def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """(n x k) matrix of squared euclidean distances."""
-    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed without the
-    # constant ||x||^2 when only argmin is needed; keep it for inertia.
-    diffs = points[:, None, :] - centroids[None, :, :]
-    return np.einsum("nkd,nkd->nk", diffs, diffs)
+    """(n x k) matrix of squared euclidean distances.
+
+    Expanded as ``||x||^2 - 2 x.c + ||c||^2`` so the dominant term is a
+    single GEMM and peak memory is O(n*k) instead of the O(n*k*d)
+    broadcast of explicit differences. The expansion can go slightly
+    negative under floating-point cancellation, so it is clamped at 0.
+    """
+    point_norms = np.einsum("nd,nd->n", points, points)
+    centroid_norms = np.einsum("kd,kd->k", centroids, centroids)
+    distances = point_norms[:, None] - 2.0 * (points @ centroids.T)
+    distances += centroid_norms[None, :]
+    return np.maximum(distances, 0.0, out=distances)
 
 
 def _kmeanspp_init(
@@ -54,9 +61,7 @@ def _kmeanspp_init(
     n = points.shape[0]
     first = int(rng.choice(n, p=weights / weights.sum()))
     centroids = [points[first]]
-    closest = np.einsum(
-        "nd,nd->n", points - centroids[0], points - centroids[0]
-    )
+    closest = _squared_distances(points, points[first][None, :])[:, 0]
     for _ in range(1, k):
         scores = closest * weights
         total = scores.sum()
@@ -68,7 +73,7 @@ def _kmeanspp_init(
             index = int(rng.choice(n, p=scores / total))
         centroid = points[index]
         centroids.append(centroid)
-        dist = np.einsum("nd,nd->n", points - centroid, points - centroid)
+        dist = _squared_distances(points, centroid[None, :])[:, 0]
         np.minimum(closest, dist, out=closest)
     return np.stack(centroids)
 

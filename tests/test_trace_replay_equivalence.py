@@ -1,0 +1,248 @@
+"""Bit-identity of compiled-trace replay against the scalar oracles.
+
+The compiled execution trace (:mod:`repro.execution.trace`) replaces
+one scalar engine walk per profiling consumer with a single recorded
+walk replayed in bulk. These tests pin the contract that makes the
+substitution safe: for every consumer — fixed-length BBVs, VLI
+construction, interval instruction counts, and the call-and-branch
+profile — the replay result equals the scalar result *exactly* (same
+dicts, same key order, same float values), across the whole benchmark
+suite, every standard target, and both study inputs, plus randomly
+generated IR programs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.compilation.compiler import compile_program, compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS, TARGET_32O, TARGET_32U
+from repro.core.mapping import interval_boundaries
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.core.weights import measure_interval_instructions
+from repro.errors import MappingError
+from repro.execution.engine import run_binary
+from repro.execution.trace import (
+    EVENT_BLOCK,
+    EVENT_PROC,
+    EVENT_SPAN,
+    clear_trace_memo,
+    compile_trace,
+    compiled_trace,
+)
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.inputs import REF_INPUT, TEST_INPUT
+from repro.programs.suite import benchmark_names, build_benchmark
+from repro.runtime.cache import ProfileCache
+from repro.runtime.config import trace_replay_enabled
+
+from tests.strategies import programs
+
+INTERVAL = 50_000
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_all_consumers_equal(ordered, program_input):
+    """Scalar vs replay for all four consumers over one binary set."""
+    profiles = []
+    for binary in ordered:
+        scalar = collect_call_branch_profile(
+            binary, program_input, use_trace=False
+        )
+        replay = collect_call_branch_profile(
+            binary, program_input, use_trace=True
+        )
+        assert scalar == replay
+        # Dict iteration order is part of bit-identity.
+        assert list(scalar.procedure_entries) == list(
+            replay.procedure_entries
+        )
+        profiles.append((binary, scalar))
+
+    for binary in ordered:
+        scalar = collect_fli_bbvs(
+            binary, INTERVAL, program_input, use_trace=False
+        )
+        replay = collect_fli_bbvs(
+            binary, INTERVAL, program_input, use_trace=True
+        )
+        assert scalar == replay
+        for s, r in zip(scalar, replay):
+            assert list(s.bbv) == list(r.bbv)
+
+    marker_set, _ = find_mappable_points(profiles)
+    primary = ordered[0]
+    scalar_vlis = collect_vli_bbvs(
+        primary, marker_set, INTERVAL, program_input, use_trace=False
+    )
+    replay_vlis = collect_vli_bbvs(
+        primary, marker_set, INTERVAL, program_input, use_trace=True
+    )
+    assert scalar_vlis == replay_vlis
+    for s, r in zip(scalar_vlis, replay_vlis):
+        assert list(s.bbv) == list(r.bbv)
+
+    boundaries = interval_boundaries(scalar_vlis)
+    for binary in ordered:
+        scalar = measure_interval_instructions(
+            binary, marker_set, boundaries, program_input, use_trace=False
+        )
+        replay = measure_interval_instructions(
+            binary, marker_set, boundaries, program_input, use_trace=True
+        )
+        assert scalar == replay
+
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_bit_identical_test_input(self, name):
+        binaries = compile_standard_binaries(build_benchmark(name))
+        ordered = [binaries[t] for t in STANDARD_TARGETS]
+        _assert_all_consumers_equal(ordered, TEST_INPUT)
+
+    @pytest.mark.parametrize("name", ("art", "gcc", "applu"))
+    def test_bit_identical_ref_input(self, name):
+        binaries = compile_standard_binaries(build_benchmark(name))
+        ordered = [binaries[t] for t in STANDARD_TARGETS]
+        _assert_all_consumers_equal(ordered, REF_INPUT)
+
+
+class TestTraceStructure:
+    def test_trace_totals_match_engine(self, micro_binary_32u):
+        trace = compile_trace(micro_binary_32u, REF_INPUT)
+        totals = run_binary(micro_binary_32u, REF_INPUT)
+        assert trace.total_instructions == totals.instructions
+        assert trace.event_end[-1] == totals.instructions
+        assert trace.binary_name == micro_binary_32u.name
+        assert trace.input_name == REF_INPUT.name
+        assert set(trace.kinds) <= {EVENT_BLOCK, EVENT_SPAN, EVENT_PROC}
+
+    def test_attribution_covers_every_instruction(self, micro_binary_32o):
+        trace = compile_trace(micro_binary_32o, TEST_INPUT)
+        assert int(trace.attr_instr.sum()) == trace.total_instructions
+        assert trace.attr_end[-1] == trace.total_instructions
+        # Runs are contiguous: each run ends where the next begins.
+        starts = trace.attr_end - trace.attr_instr
+        assert (starts[1:] == trace.attr_end[:-1]).all()
+
+    def test_mid_block_interval_split(self, micro_binary_32u):
+        # An interval size that cannot align with block boundaries
+        # forces mid-block splits; totals must still be exact.
+        scalar = collect_fli_bbvs(micro_binary_32u, 997, use_trace=False)
+        replay = collect_fli_bbvs(micro_binary_32u, 997, use_trace=True)
+        assert scalar == replay
+        assert all(i.instructions == 997 for i in replay[:-1])
+
+    def test_unreachable_boundary_raises_identically(
+        self, micro_binary_list
+    ):
+        profiles = [
+            (b, collect_call_branch_profile(b)) for b in micro_binary_list
+        ]
+        marker_set, _ = find_mappable_points(profiles)
+        binary = micro_binary_list[0]
+        bogus = [(next(iter(
+            marker_set.table_for(binary.name).block_to_marker().values()
+        )), 10**9)]
+        errors = []
+        for use_trace in (False, True):
+            with pytest.raises(MappingError) as excinfo:
+                measure_interval_instructions(
+                    binary, marker_set, bogus, use_trace=use_trace
+                )
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+
+class TestTraceCaching:
+    def test_memo_returns_same_object(self, micro_binary_32u):
+        clear_trace_memo()
+        first = compiled_trace(micro_binary_32u, REF_INPUT)
+        second = compiled_trace(micro_binary_32u, REF_INPUT)
+        assert second is first
+        clear_trace_memo()
+        third = compiled_trace(micro_binary_32u, REF_INPUT)
+        assert third is not first
+        assert third.total_instructions == first.total_instructions
+
+    def test_disk_cache_roundtrip(self, micro_binary_32u, tmp_path):
+        cache = ProfileCache(tmp_path)
+        clear_trace_memo()
+        cold = compiled_trace(micro_binary_32u, REF_INPUT, cache=cache)
+        assert cache.stats.misses == 1
+        clear_trace_memo()
+        warm = compiled_trace(micro_binary_32u, REF_INPUT, cache=cache)
+        assert cache.stats.hits == 1
+        assert warm is not cold
+        assert (warm.kinds == cold.kinds).all()
+        assert (warm.attr_end == cold.attr_end).all()
+        assert warm.proc_names == cold.proc_names
+
+    def test_profile_cache_key_is_path_independent(
+        self, micro_binary_32u, tmp_path
+    ):
+        # A profile cached by the scalar path must be served to the
+        # replay path (and vice versa): both produce identical values,
+        # so the key deliberately excludes the computation path.
+        cache = ProfileCache(tmp_path)
+        scalar = collect_fli_bbvs(
+            micro_binary_32u, INTERVAL, cache=cache, use_trace=False
+        )
+        replay = collect_fli_bbvs(
+            micro_binary_32u, INTERVAL, cache=cache, use_trace=True
+        )
+        assert scalar == replay
+        assert cache.stats.hits == 1
+
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_TRACE", raising=False)
+        assert trace_replay_enabled(None) is True
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        assert trace_replay_enabled(None) is False
+        # An explicit argument always wins over the environment.
+        assert trace_replay_enabled(True) is True
+        monkeypatch.delenv("REPRO_NO_TRACE")
+        assert trace_replay_enabled(False) is False
+
+
+class TestRandomPrograms:
+    @_SETTINGS
+    @given(program=programs())
+    def test_replay_matches_scalar_on_random_programs(self, program):
+        binaries = [
+            compile_program(program, target)[0]
+            for target in (TARGET_32U, TARGET_32O)
+        ]
+        profiles = []
+        for binary in binaries:
+            scalar = collect_call_branch_profile(binary, use_trace=False)
+            replay = collect_call_branch_profile(binary, use_trace=True)
+            assert scalar == replay
+            profiles.append((binary, scalar))
+        for binary in binaries:
+            for size in (777, 25_000):
+                assert collect_fli_bbvs(
+                    binary, size, use_trace=False
+                ) == collect_fli_bbvs(binary, size, use_trace=True)
+        marker_set, _ = find_mappable_points(profiles)
+        primary = binaries[0]
+        scalar_vlis = collect_vli_bbvs(
+            primary, marker_set, 25_000, use_trace=False
+        )
+        replay_vlis = collect_vli_bbvs(
+            primary, marker_set, 25_000, use_trace=True
+        )
+        assert scalar_vlis == replay_vlis
+        boundaries = interval_boundaries(scalar_vlis)
+        for binary in binaries:
+            assert measure_interval_instructions(
+                binary, marker_set, boundaries, use_trace=False
+            ) == measure_interval_instructions(
+                binary, marker_set, boundaries, use_trace=True
+            )
