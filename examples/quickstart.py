@@ -91,6 +91,26 @@ def run(session=None) -> None:
         session.record_errors(
             binary.name, {"fli_cpi_error": estimate.cpi_error}
         )
+        from repro.analysis.phases import phase_table
+
+        rows = phase_table(
+            simpoint.labels,
+            tracker.intervals,
+            {p.cluster: p.interval_index for p in simpoint.points},
+            top=simpoint.k,
+        )
+        session.record_bias(
+            binary.name,
+            {
+                row.cluster: {
+                    "weight": row.weight,
+                    "true_cpi": row.true_cpi,
+                    "sp_cpi": row.sp_cpi,
+                    "bias": row.cpi_error,
+                }
+                for row in rows
+            },
+        )
 
 
 def main(argv=None) -> None:

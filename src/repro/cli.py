@@ -17,7 +17,14 @@ Commands
     by default; takes a couple of minutes).
 ``inspect <manifest.json>``
     Pretty-print a run manifest: stage timings, cache hit rates,
-    chosen clusterings, error tables.
+    chosen clusterings, error tables, bias tables, histogram
+    quantiles.
+``ledger log|list|diff|check``
+    Cross-run observability: append manifests to an append-only JSONL
+    run ledger, list logged runs, diff two runs field by field, and
+    gate on accuracy/performance drift (``check`` exits non-zero when
+    an error table worsens, a chosen k flips, or a stage/cache metric
+    degrades beyond tolerance — see ``repro ledger check --help``).
 
 Observability
 -------------
@@ -195,11 +202,120 @@ def _cmd_regions(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.errors import FileFormatError
     from repro.observability.inspect import render_manifest
     from repro.observability.manifest import load_manifest
 
-    print(render_manifest(load_manifest(args.manifest)))
+    try:
+        manifest = load_manifest(args.manifest)
+    except FileFormatError as exc:
+        # One clear line, not a traceback — schema mismatches and
+        # corrupt files are user-facing conditions here.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_manifest(manifest))
     return 0
+
+
+def _resolve_ledger_run(ledger, reference: str):
+    """A diff/check operand: a manifest path or a ledger run id."""
+    from pathlib import Path
+
+    from repro.errors import FileFormatError
+    from repro.observability.ledger import entry_from_manifest
+    from repro.observability.manifest import load_manifest
+
+    path = Path(reference)
+    if path.exists():
+        return entry_from_manifest(load_manifest(path), manifest_path=path)
+    entry = ledger.entry(reference)  # raises with a clear message
+    if entry.manifest_path and Path(entry.manifest_path).exists():
+        # Prefer the full manifest (bias + histogram buckets survive).
+        try:
+            return entry_from_manifest(
+                load_manifest(entry.manifest_path),
+                manifest_path=entry.manifest_path,
+            )
+        except FileFormatError:
+            pass  # fall back to the indexed record
+    return entry
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.errors import FileFormatError
+    from repro.observability.diff import (
+        check_drift,
+        diff_runs,
+        render_diff,
+        render_violations,
+        thresholds_from_options,
+    )
+    from repro.observability.ledger import (
+        RunLedger,
+        render_entries,
+    )
+    from repro.observability.manifest import load_manifest
+
+    ledger = RunLedger(args.ledger)
+    try:
+        if args.ledger_command == "log":
+            entry = ledger.log_path(args.manifest)
+            print(
+                f"logged run {entry.run_id} "
+                f"(config {str(entry.config_fingerprint)[:12]}) "
+                f"to {ledger.path}"
+            )
+            return 0
+        if args.ledger_command == "list":
+            entries = ledger.entries()
+            if args.fingerprint:
+                entries = [
+                    entry
+                    for entry in entries
+                    if (entry.config_fingerprint or "").startswith(
+                        args.fingerprint
+                    )
+                ]
+            print(render_entries(entries))
+            return 0
+        if args.ledger_command == "diff":
+            old = _resolve_ledger_run(ledger, args.old)
+            new = _resolve_ledger_run(ledger, args.new)
+            print(render_diff(diff_runs(old, new), changed_only=not args.all))
+            return 0
+        # check
+        manifest = load_manifest(args.manifest)
+        new = _resolve_ledger_run(ledger, args.manifest)
+        if args.baseline:
+            old = _resolve_ledger_run(ledger, args.baseline)
+        else:
+            old = ledger.baseline_for(
+                manifest.get("config_fingerprint"),
+                exclude_run_id=manifest["run_id"],
+            )
+            if old is None:
+                print(
+                    f"no baseline in {ledger.path} for config "
+                    f"{str(manifest.get('config_fingerprint'))[:12]}; "
+                    f"nothing to check against"
+                )
+                if args.log:
+                    ledger.log_manifest(manifest, manifest_path=args.manifest)
+                    print(f"logged run {manifest['run_id']} as the baseline")
+                return 0
+        thresholds = thresholds_from_options(vars(args))
+        violations = check_drift(diff_runs(old, new), thresholds)
+        print(f"baseline: {old.run_id}  candidate: {new.run_id}")
+        print(render_violations(violations))
+        if args.log and not violations:
+            # A drifting run is never auto-logged: it must not become
+            # the next run's baseline by accident.
+            ledger.log_manifest(manifest, manifest_path=args.manifest)
+            print(f"logged run {manifest['run_id']}")
+        return 1 if violations else 0
+    except FileFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -355,6 +471,96 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="pretty-print a run manifest"
     )
     inspect.add_argument("manifest", help="path to a manifest.json")
+
+    ledger = sub.add_parser(
+        "ledger",
+        help="cross-run ledger: log/list/diff manifests, check for drift",
+    )
+    ledger.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="ledger JSONL file (default: REPRO_LEDGER or "
+             "./repro-ledger.jsonl)",
+    )
+    lsub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    ledger_log = lsub.add_parser(
+        "log", help="append one run manifest to the ledger"
+    )
+    ledger_log.add_argument("manifest", help="path to a manifest.json")
+
+    ledger_list = lsub.add_parser("list", help="list logged runs")
+    ledger_list.add_argument(
+        "--fingerprint", default=None, metavar="PREFIX",
+        help="only runs whose config fingerprint starts with PREFIX",
+    )
+
+    ledger_diff = lsub.add_parser(
+        "diff", help="structured field-by-field diff of two runs"
+    )
+    ledger_diff.add_argument(
+        "old", help="baseline: a manifest path or a logged run id"
+    )
+    ledger_diff.add_argument(
+        "new", help="candidate: a manifest path or a logged run id"
+    )
+    ledger_diff.add_argument(
+        "--all", action="store_true",
+        help="show unchanged fields too",
+    )
+
+    ledger_check = lsub.add_parser(
+        "check",
+        help="drift sentinel: exit non-zero when accuracy or "
+             "performance drifts beyond tolerance",
+    )
+    ledger_check.add_argument("manifest", help="candidate manifest.json")
+    ledger_check.add_argument(
+        "--baseline", default=None, metavar="RUN_OR_PATH",
+        help="explicit baseline (run id or manifest path); default: the "
+             "latest logged run with the same config fingerprint",
+    )
+    ledger_check.add_argument(
+        "--log", action="store_true",
+        help="log the candidate to the ledger when the check passes "
+             "(or when it is the first run of its fingerprint)",
+    )
+    ledger_check.add_argument(
+        "--max-error-increase", type=float, default=None, metavar="X",
+        dest="max_error_increase",
+        help="max absolute worsening of any error-table entry "
+             "(default 0.002)",
+    )
+    ledger_check.add_argument(
+        "--max-bias-shift", type=float, default=None, metavar="X",
+        dest="max_bias_shift",
+        help="max absolute shift of any per-cluster bias (default 0.05)",
+    )
+    ledger_check.add_argument(
+        "--max-stage-regression", type=float, default=None, metavar="R",
+        dest="max_stage_regression",
+        help="max relative stage slowdown, e.g. 1.0 = 2x (default 1.0)",
+    )
+    ledger_check.add_argument(
+        "--max-total-regression", type=float, default=None, metavar="R",
+        dest="max_total_regression",
+        help="max relative total-time slowdown (default 1.0)",
+    )
+    ledger_check.add_argument(
+        "--stage-min-seconds", type=float, default=None, metavar="S",
+        dest="stage_min_seconds",
+        help="ignore slowdowns smaller than S seconds absolute "
+             "(default 0.25)",
+    )
+    ledger_check.add_argument(
+        "--max-hit-rate-drop", type=float, default=None, metavar="X",
+        dest="max_hit_rate_drop",
+        help="max cache hit-rate drop (default 0.10)",
+    )
+    ledger_check.add_argument(
+        "--allow-k-change", dest="forbid_k_change",
+        action="store_const", const=False, default=None,
+        help="do not treat a chosen-k flip as drift",
+    )
     return parser
 
 
@@ -367,6 +573,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "validate": _cmd_validate,
     "inspect": _cmd_inspect,
+    "ledger": _cmd_ledger,
 }
 
 

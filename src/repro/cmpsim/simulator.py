@@ -636,6 +636,11 @@ class _DetailedConsumer(ExecutionConsumer):
         if not items:
             return
         metrics.counter("cmpsim.detailed_flushes").inc()
+        # Flush sizes expose the deferred-replay batching behavior:
+        # shrinking reference batches (or item-guard-triggered flushes)
+        # mean the vectorized path is degrading toward scalar replay.
+        metrics.histogram("cmpsim.flush_refs").observe(self._pending_refs)
+        metrics.histogram("cmpsim.flush_items").observe(len(items))
         pen_all = dram_all = None
         if self._pending_refs:
             if len(self._pending_lines) == 1:

@@ -52,10 +52,24 @@ from repro.execution.events import (
     IterationProfile,
     iteration_profile,
 )
+from repro.observability import metrics
 from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.runtime.cache import ProfileCache
 from repro.runtime.config import active_cache
+
+
+def _record_replay(kind: str, trace: "CompiledTrace") -> None:
+    """Batch-size instrumentation shared by every replay entry point.
+
+    The event count IS the replay's batch size — each replay consumes
+    the whole flat stream in one vectorized pass — so a drifting
+    distribution here means traces are being cut differently (or the
+    structural expander started falling back to recorded walks).
+    """
+    metrics.counter("trace.replays").inc()
+    metrics.counter(f"trace.replays.{kind}").inc()
+    metrics.histogram("trace.replay_batch_events").observe(trace.n_events)
 
 #: Event kinds in the flat stream.
 EVENT_BLOCK = 0  #: ``ids`` = block id, ``reps`` = consecutive executions
@@ -699,6 +713,7 @@ def replay_fli(
         raise ProfilingError(
             f"interval_size must be positive, got {interval_size}"
         )
+    _record_replay("fli", trace)
     total = trace.total_instructions
     if total == 0:
         return []
@@ -925,6 +940,7 @@ def replay_vli(
             f"marker table is for {table.binary_name!r}, "
             f"not {binary.name!r}"
         )
+    _record_replay("vli", trace)
     firings = _firings_for(trace, table)
     total = trace.total_instructions
 
@@ -1111,6 +1127,7 @@ def replay_interval_counts(
     counts are differences of the boundary firing positions (the firing
     block's instructions belong to the interval it closes).
     """
+    _record_replay("interval_counts", trace)
     firings = _firings_for(trace, marker_set.table_for(binary.name))
     boundary_list = list(boundaries)
     if not boundary_list:
@@ -1182,6 +1199,7 @@ def replay_call_branch(trace: CompiledTrace, binary: Binary):
     """
     from repro.profiling.callbranch import CallBranchProfile, LoopProfile
 
+    _record_replay("call_branch", trace)
     kinds, ids, reps = trace.kinds, trace.ids, trace.reps
 
     proc_entries: Dict[str, int] = {name: 0 for name in binary.symbols}

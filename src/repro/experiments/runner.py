@@ -42,6 +42,8 @@ from repro.core.pipeline import (
 from repro.errors import SimulationError
 from repro.observability import trace
 from repro.observability.session import (
+    current_session,
+    record_bias,
     record_clustering,
     record_config,
     record_errors,
@@ -237,8 +239,9 @@ def _outcome_task(task):
 
 def _annotate_session(run: BenchmarkRun) -> None:
     """Feed a finished run's provenance into the active observation
-    session (chosen k + BIC trace per clustering, final error tables).
-    No-ops when no session is active."""
+    session (chosen k + BIC trace per clustering, final error tables,
+    and per-binary per-cluster bias tables). No-ops when no session is
+    active."""
     record_clustering(
         f"{run.name}/cross:{run.cross.primary_name}",
         k=run.cross.simpoint.k,
@@ -259,6 +262,71 @@ def _annotate_session(run: BenchmarkRun) -> None:
                 "vli_cpi_error": outcome.vli_estimate.cpi_error,
             },
         )
+    if current_session() is not None:
+        _annotate_bias(run)
+
+
+def _annotate_bias(run: BenchmarkRun) -> None:
+    """Record both methods' per-cluster bias tables for every binary.
+
+    This is the paper's Section 3 argument made observable: the same
+    semantic phases measured on each binary, with FLI biases free to
+    swing between binaries while VLI biases should stay put — so the
+    run ledger's differ can flag a bias-consistency regression like
+    any other drift.
+    """
+    from repro.analysis.phases import phase_table
+
+    vli_points = {
+        point.cluster: point.interval_index
+        for point in run.cross.mapped_points
+    }
+    for outcome in run.outcomes.values():
+        fli_points = {
+            point.cluster: point.interval_index
+            for point in outcome.fli_simpoint.points
+        }
+        for method, labels, stats, point_intervals, weights in (
+            (
+                "fli",
+                outcome.fli_simpoint.labels,
+                outcome.fli_intervals,
+                fli_points,
+                None,
+            ),
+            (
+                "vli",
+                run.cross.simpoint.labels,
+                outcome.vli_intervals,
+                vli_points,
+                outcome.vli_weights,
+            ),
+        ):
+            try:
+                rows = phase_table(
+                    labels,
+                    stats,
+                    point_intervals,
+                    weights=weights,
+                    top=len(point_intervals) or 1,
+                )
+            except SimulationError:
+                # Bias tables are an annotation, never a reason to
+                # fail the run (degenerate clusterings can lack a
+                # representative for an empty cluster).
+                continue
+            record_bias(
+                f"{run.name}/{method}:{outcome.binary_name}",
+                {
+                    row.cluster: {
+                        "weight": row.weight,
+                        "true_cpi": row.true_cpi,
+                        "sp_cpi": row.sp_cpi,
+                        "bias": row.cpi_error,
+                    }
+                    for row in rows
+                },
+            )
 
 
 def remember_run(run: BenchmarkRun) -> None:

@@ -21,6 +21,14 @@ Three cooperating layers, all dependency-free:
 resets the metrics registry, and on exit writes the trace, metrics,
 and manifest files. The CLI's ``--trace-out``/``--metrics-out`` flags
 (env ``REPRO_TRACE_OUT``/``REPRO_METRICS_OUT``) feed straight into it.
+
+Above the single run sit the cross-run layers (imported as
+submodules, not re-exported):
+
+* :mod:`repro.observability.ledger` — an append-only JSONL index of
+  every logged run, keyed by run id and config fingerprint;
+* :mod:`repro.observability.diff` — the structured run differ and the
+  threshold-driven drift sentinel behind ``repro ledger check``.
 """
 
 from __future__ import annotations
@@ -28,8 +36,11 @@ from __future__ import annotations
 from repro.observability import metrics, trace
 from repro.observability.manifest import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
     build_manifest,
     load_manifest,
+    new_run_id,
+    upgrade_manifest,
     validate_manifest,
     write_manifest,
 )
@@ -37,6 +48,7 @@ from repro.observability.session import (
     ObservationSession,
     current_session,
     observe,
+    record_bias,
     record_clustering,
     record_config,
     record_errors,
@@ -44,16 +56,20 @@ from repro.observability.session import (
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
     "ObservationSession",
     "build_manifest",
     "current_session",
     "load_manifest",
     "metrics",
+    "new_run_id",
     "observe",
+    "record_bias",
     "record_clustering",
     "record_config",
     "record_errors",
     "trace",
+    "upgrade_manifest",
     "validate_manifest",
     "write_manifest",
 ]

@@ -5,32 +5,43 @@ the fact: what code produced it (git describe), under which
 configuration (content fingerprint), where the time went (per-stage
 wall times from the tracer), what the cache did (hit/miss/traffic
 counters), what SimPoint decided (chosen k and the BIC trace per
-binary), and how good the result was (final error tables). It is
-written as ``manifest.json`` next to the trace output.
+binary), how good the result was (final error tables), and — new in
+v2 — *why* it was that good: per-binary per-cluster bias tables, the
+quantity whose cross-binary consistency is the paper's core claim. It
+is written as ``manifest.json`` next to the trace output.
 
 The schema is flat and versioned; :func:`validate_manifest` is the
 single authority on required keys and is used by tests and the CI
-quickstart check alike.
+quickstart check alike. v2 adds ``run_id`` (a unique handle the run
+ledger indexes by) and ``bias``, and carries bucketed histograms in
+``metrics``. v1 documents remain loadable: :func:`upgrade_manifest`
+lifts them to v2 (synthesizing a deterministic ``run_id`` from the
+document content and empty bias/bucket sections), and
+:func:`load_manifest` applies it transparently.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import subprocess
 import sys
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from repro.errors import FileFormatError
 
-MANIFEST_SCHEMA = "repro.manifest/v1"
+MANIFEST_SCHEMA = "repro.manifest/v2"
+MANIFEST_SCHEMA_V1 = "repro.manifest/v1"
 
 #: Every manifest has exactly these top-level keys (stable schema —
 #: tests pin the set, so additions require a version bump or a test
 #: update in the same change).
 MANIFEST_KEYS = (
     "schema",
+    "run_id",
     "created_at",
     "command",
     "git_describe",
@@ -42,6 +53,12 @@ MANIFEST_KEYS = (
     "metrics",
     "clusterings",
     "errors",
+    "bias",
+)
+
+#: v1 key set = v2 minus the additions (used by the upgrader).
+MANIFEST_KEYS_V1 = tuple(
+    key for key in MANIFEST_KEYS if key not in ("run_id", "bias")
 )
 
 _CACHE_KEYS = ("hits", "misses", "hit_rate", "bytes_read", "bytes_written")
@@ -65,6 +82,11 @@ def git_describe() -> str:
     return described if proc.returncode == 0 and described else "unknown"
 
 
+def new_run_id() -> str:
+    """A fresh, globally unique run id (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
 def build_manifest(
     *,
     total_seconds: float,
@@ -73,13 +95,17 @@ def build_manifest(
     cache_stats: Optional[Any] = None,
     clusterings: Optional[Mapping[str, Mapping[str, Any]]] = None,
     errors: Optional[Mapping[str, Mapping[str, float]]] = None,
+    bias: Optional[Mapping[str, Mapping[str, Mapping[str, float]]]] = None,
     config_fingerprint: Optional[str] = None,
     command: Optional[Sequence[str]] = None,
+    run_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble a schema-complete manifest dict.
 
     ``cache_stats`` is a :class:`repro.runtime.cache.CacheStats` (or
     ``None`` for a cache-less run, which records all-zero counters).
+    ``bias`` maps ``name -> cluster -> row`` where each row carries the
+    phase's ``weight``, ``true_cpi``, ``sp_cpi``, and signed ``bias``.
     """
     if cache_stats is not None:
         cache_block = {
@@ -93,6 +119,7 @@ def build_manifest(
         cache_block = {key: 0 for key in _CACHE_KEYS}
     return {
         "schema": MANIFEST_SCHEMA,
+        "run_id": run_id if run_id is not None else new_run_id(),
         "created_at": time.time(),
         "command": list(command) if command is not None else [],
         "git_describe": git_describe(),
@@ -111,22 +138,84 @@ def build_manifest(
         "errors": {
             name: dict(table) for name, table in (errors or {}).items()
         },
+        "bias": {
+            name: {
+                str(cluster): dict(row) for cluster, row in table.items()
+            }
+            for name, table in (bias or {}).items()
+        },
     }
 
 
-def validate_manifest(data: Any) -> Dict[str, Any]:
-    """Check a manifest's schema; returns it on success.
+def upgrade_manifest(data: Any) -> Dict[str, Any]:
+    """Lift a v1 manifest to v2 (v2 input passes through untouched).
 
-    Raises :class:`FileFormatError` naming the first problem found.
+    The synthesized ``run_id`` is a content hash of the v1 document, so
+    upgrading the same file twice yields the same id; ``bias`` starts
+    empty and metric histograms gain empty bucket tables (their
+    distribution was never recorded, so quantiles over them degrade to
+    the mean — see :class:`repro.observability.metrics.Histogram`).
     """
     if not isinstance(data, dict):
         raise FileFormatError(
             f"manifest must be a JSON object, got {type(data).__name__}"
         )
-    if data.get("schema") != MANIFEST_SCHEMA:
+    schema = data.get("schema")
+    if schema == MANIFEST_SCHEMA:
+        return data
+    if schema != MANIFEST_SCHEMA_V1:
         raise FileFormatError(
-            f"manifest schema {data.get('schema')!r}, "
-            f"expected {MANIFEST_SCHEMA!r}"
+            f"manifest schema {schema!r}, expected {MANIFEST_SCHEMA!r} "
+            f"(or {MANIFEST_SCHEMA_V1!r} for the upgrader)"
+        )
+    missing = [key for key in MANIFEST_KEYS_V1 if key not in data]
+    if missing:
+        raise FileFormatError(f"v1 manifest missing keys: {missing}")
+    upgraded = dict(data)
+    upgraded["schema"] = MANIFEST_SCHEMA
+    digest = hashlib.sha256(
+        json.dumps(data, sort_keys=True).encode()
+    ).hexdigest()
+    upgraded["run_id"] = f"v1-{digest[:9]}"
+    upgraded["bias"] = {}
+    metrics_block = upgraded.get("metrics")
+    if isinstance(metrics_block, dict):
+        histograms = metrics_block.get("histograms")
+        if isinstance(histograms, dict):
+            metrics_block = dict(metrics_block)
+            metrics_block["histograms"] = {
+                name: (
+                    {**summary, "buckets": summary.get("buckets") or {}}
+                    if isinstance(summary, dict)
+                    else summary
+                )
+                for name, summary in histograms.items()
+            }
+            upgraded["metrics"] = metrics_block
+    return upgraded
+
+
+def validate_manifest(data: Any) -> Dict[str, Any]:
+    """Check a (v2) manifest's schema; returns it on success.
+
+    Raises :class:`FileFormatError` naming the first problem found. v1
+    documents are rejected with a pointer at the upgrader —
+    :func:`load_manifest` lifts them automatically.
+    """
+    if not isinstance(data, dict):
+        raise FileFormatError(
+            f"manifest must be a JSON object, got {type(data).__name__}"
+        )
+    schema = data.get("schema")
+    if schema == MANIFEST_SCHEMA_V1:
+        raise FileFormatError(
+            f"manifest schema is {MANIFEST_SCHEMA_V1!r}; this is a v1 "
+            f"manifest — pass it through upgrade_manifest (load_manifest "
+            f"does this automatically)"
+        )
+    if schema != MANIFEST_SCHEMA:
+        raise FileFormatError(
+            f"manifest schema {schema!r}, expected {MANIFEST_SCHEMA!r}"
         )
     missing = [key for key in MANIFEST_KEYS if key not in data]
     if missing:
@@ -134,6 +223,8 @@ def validate_manifest(data: Any) -> Dict[str, Any]:
     unknown = [key for key in data if key not in MANIFEST_KEYS]
     if unknown:
         raise FileFormatError(f"manifest has unknown keys: {unknown}")
+    if not isinstance(data["run_id"], str) or not data["run_id"]:
+        raise FileFormatError("manifest run_id must be a non-empty string")
     if not isinstance(data["stages"], list):
         raise FileFormatError("manifest stages must be a list")
     for stage in data["stages"]:
@@ -149,9 +240,21 @@ def validate_manifest(data: Any) -> Dict[str, Any]:
     for key in _CACHE_KEYS:
         if not isinstance(cache.get(key), (int, float)):
             raise FileFormatError(f"manifest cache missing counter {key!r}")
-    for section in ("clusterings", "errors", "metrics"):
+    for section in ("clusterings", "errors", "metrics", "bias"):
         if not isinstance(data[section], dict):
             raise FileFormatError(f"manifest {section} must be an object")
+    for name, table in data["bias"].items():
+        if not isinstance(table, dict):
+            raise FileFormatError(
+                f"manifest bias table {name!r} must be an object"
+            )
+        for cluster, row in table.items():
+            if not isinstance(row, dict) or not all(
+                isinstance(value, (int, float)) for value in row.values()
+            ):
+                raise FileFormatError(
+                    f"malformed bias row {name!r}/{cluster!r}: {row!r}"
+                )
     if not isinstance(data["total_seconds"], (int, float)):
         raise FileFormatError("manifest total_seconds must be a number")
     return data
@@ -167,12 +270,12 @@ def write_manifest(path: PathLike, manifest: Mapping[str, Any]) -> Path:
 
 
 def load_manifest(path: PathLike) -> Dict[str, Any]:
-    """Read and validate a manifest file."""
+    """Read, upgrade (v1 -> v2 if needed), and validate a manifest."""
     try:
         data = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise FileFormatError(f"{path}: cannot read manifest: {exc}") from exc
     try:
-        return validate_manifest(data)
+        return validate_manifest(upgrade_manifest(data))
     except FileFormatError as exc:
         raise FileFormatError(f"{path}: {exc}") from None

@@ -17,8 +17,9 @@ unchanged.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 
 class Counter:
@@ -45,16 +46,54 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Summary statistics (count/sum/min/max) of observed values."""
+#: Log-scale bucket index bounds. Bucket ``i`` covers ``(2**(i-1),
+#: 2**i]``; indices are clamped so pathological values cannot mint
+#: unbounded bucket keys. Non-positive observations land in the
+#: dedicated ``"zero"`` bucket.
+_BUCKET_MIN = -64
+_BUCKET_MAX = 128
+_ZERO_BUCKET = "zero"
 
-    __slots__ = ("count", "total", "min", "max")
+
+def _bucket_key(value: float) -> str:
+    """The log2 bucket a value falls in, as a JSON-able string key."""
+    if value <= 0.0 or math.isnan(value):
+        return _ZERO_BUCKET
+    if math.isinf(value):
+        return str(_BUCKET_MAX)
+    index = math.ceil(math.log2(value))
+    # log2(2**i) can land a hair under i in floating point; nudge the
+    # boundary case so exact powers of two stay in their own bucket.
+    if 2.0 ** (index - 1) >= value:
+        index -= 1
+    return str(max(_BUCKET_MIN, min(_BUCKET_MAX, index)))
+
+
+def _bucket_sort_key(key: str) -> Tuple[int, int]:
+    """Ascending value order: the zero bucket first, then by exponent."""
+    if key == _ZERO_BUCKET:
+        return (0, 0)
+    return (1, int(key))
+
+
+class Histogram:
+    """Summary statistics plus mergeable log-scale buckets.
+
+    Observations are counted into power-of-two buckets (bucket ``i``
+    covers ``(2**(i-1), 2**i]``, with one extra bucket for values
+    ``<= 0``), so snapshots merged across processes keep an exact,
+    order-insensitive distribution from which approximate quantiles
+    (p50/p95/p99, within a 2x bucket width) can be read back.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Dict[str, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -62,10 +101,60 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        key = _bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate q-quantile from the bucket counts.
+
+        Returns the geometric midpoint of the bucket containing the
+        target rank, clamped to the observed ``[min, max]`` range (so
+        p0/p100 are exact). ``None`` when nothing was observed. Merged
+        legacy (v1) snapshots may lack bucket counts for part of the
+        population; the unbucketed remainder is treated as unknown and
+        the quantile falls back to the mean.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        bucketed = sum(self.buckets.values())
+        if bucketed < self.count:
+            return self._clamp(self.mean)
+        rank = q * self.count
+        cumulative = 0
+        for key in sorted(self.buckets, key=_bucket_sort_key):
+            cumulative += self.buckets[key]
+            if cumulative >= rank:
+                if key == _ZERO_BUCKET:
+                    return self._clamp(0.0)
+                index = int(key)
+                # Geometric midpoint of (2**(i-1), 2**i].
+                return self._clamp(2.0 ** (index - 0.5))
+        return self.max
+
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """The standard p50/p95/p99 summary used by inspect and diffs."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def _clamp(self, value: float) -> float:
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -73,6 +162,10 @@ class Histogram:
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "buckets": dict(sorted(
+                self.buckets.items(),
+                key=lambda item: _bucket_sort_key(item[0]),
+            )),
         }
 
 
@@ -120,7 +213,15 @@ class Registry:
         }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
-        """Fold a snapshot (e.g. a worker task's delta) into this."""
+        """Fold a snapshot (e.g. a worker task's delta) into this.
+
+        Counter and histogram merging is commutative and associative
+        (sums and bucket counts are additive, extremes are min/max), so
+        those totals are independent of merge order. Gauges are
+        last-write-wins, so callers merging several snapshots MUST
+        apply them in a deterministic order — ``parallel_map`` merges
+        in task-index order for exactly this reason.
+        """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
@@ -132,6 +233,13 @@ class Registry:
                 continue
             instrument.count += count
             instrument.total += summary.get("sum", 0.0)
+            # Legacy (v1) snapshots carry no buckets; their population
+            # merges into the summary stats only, and quantiles then
+            # degrade gracefully (see Histogram.quantile).
+            for key, bucket_count in (summary.get("buckets") or {}).items():
+                instrument.buckets[key] = (
+                    instrument.buckets.get(key, 0) + bucket_count
+                )
             for extreme, pick in (("min", min), ("max", max)):
                 value = summary.get(extreme)
                 if value is None:

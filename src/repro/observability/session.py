@@ -27,7 +27,11 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Union
 from contextlib import contextmanager
 
 from repro.observability import metrics, trace
-from repro.observability.manifest import build_manifest, write_manifest
+from repro.observability.manifest import (
+    build_manifest,
+    new_run_id,
+    write_manifest,
+)
 from repro.runtime.fingerprint import fingerprint
 
 PathLike = Union[str, Path]
@@ -54,9 +58,11 @@ class ObservationSession:
         else:
             self.manifest_out = None
         self.command = list(command) if command is not None else []
+        self.run_id = new_run_id()
         self.tracer = trace.Tracer()
         self.clusterings: Dict[str, Dict[str, Any]] = {}
         self.errors: Dict[str, Dict[str, float]] = {}
+        self.bias: Dict[str, Dict[str, Dict[str, float]]] = {}
         self.config_fingerprint: Optional[str] = None
         self.manifest: Optional[Dict[str, Any]] = None
 
@@ -86,6 +92,25 @@ class ObservationSession:
             key: float(value) for key, value in table.items()
         }
 
+    def record_bias(
+        self,
+        name: str,
+        table: Mapping[Any, Mapping[str, float]],
+    ) -> None:
+        """Record one binary's per-cluster phase-bias table.
+
+        ``table`` maps cluster id to a row of ``weight``, ``true_cpi``,
+        ``sp_cpi``, and signed ``bias`` — the quantity whose
+        cross-binary consistency the paper's Section 3 argues for, made
+        observable per run so the ledger differ can track its drift.
+        """
+        self.bias[name] = {
+            str(cluster): {
+                key: float(value) for key, value in row.items()
+            }
+            for cluster, row in table.items()
+        }
+
     def finish(self) -> Dict[str, Any]:
         """Freeze timings, build the manifest, write all artifacts."""
         # Imported here: runtime.cache pulls in the metrics module, so
@@ -101,8 +126,10 @@ class ObservationSession:
             cache_stats=cache.stats if cache is not None else None,
             clusterings=self.clusterings,
             errors=self.errors,
+            bias=self.bias,
             config_fingerprint=self.config_fingerprint,
             command=self.command,
+            run_id=self.run_id,
         )
         if self.trace_out is not None:
             self.trace_out.parent.mkdir(parents=True, exist_ok=True)
@@ -141,6 +168,12 @@ def record_clustering(
 def record_errors(name: str, table: Mapping[str, float]) -> None:
     if _current is not None:
         _current.record_errors(name, table)
+
+
+def record_bias(name: str, table: Mapping[Any, Mapping[str, float]]) -> None:
+    """Annotate the active session, if any (no-op otherwise)."""
+    if _current is not None:
+        _current.record_bias(name, table)
 
 
 def record_config(material: Any) -> None:

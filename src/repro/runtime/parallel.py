@@ -47,18 +47,19 @@ def _mark_worker() -> None:
     _in_worker = True
 
 
-def _observed_call(fn, item):
+def _observed_call(fn, indexed_item):
     """Worker shim: run one task inside a scoped metrics registry.
 
-    Returns ``(result, metrics_delta, seconds)`` so the parent can fold
-    the task's metrics and latency into its own registry. Per-task
-    scoping matters because pool workers are reused: absolute worker
-    totals would double-count across tasks.
+    Returns ``(index, result, metrics_delta, seconds)`` so the parent
+    can fold the task's metrics and latency into its own registry *in
+    task-index order*. Per-task scoping matters because pool workers
+    are reused: absolute worker totals would double-count across tasks.
     """
+    index, item = indexed_item
     start = time.perf_counter()
     with metrics.scoped_registry() as local:
         result = fn(item)
-    return result, local.snapshot(), time.perf_counter() - start
+    return index, result, local.snapshot(), time.perf_counter() - start
 
 
 def _serial_map(fn: Callable[[_T], _R], work: List[_T]) -> List[_R]:
@@ -87,7 +88,10 @@ def parallel_map(
                 max_workers=n_jobs, initializer=_mark_worker
             ) as pool:
                 observed = list(
-                    pool.map(functools.partial(_observed_call, fn), work)
+                    pool.map(
+                        functools.partial(_observed_call, fn),
+                        enumerate(work),
+                    )
                 )
     except ReproError:
         raise  # a worker failed with a real library error
@@ -95,9 +99,15 @@ def parallel_map(
         # The pool itself could not run (restricted environment);
         # results are identical either way, so fall back to serial.
         return _serial_map(fn, work)
+    # Merge snapshots in task-index order, never completion order:
+    # gauge merging is last-write-wins, so any scheduling-dependent
+    # order would let identical runs record different gauge values.
+    # The explicit sort keeps this true even if the executor strategy
+    # above ever changes to completion-order collection.
+    observed.sort(key=lambda entry: entry[0])
     latencies = metrics.histogram("parallel.task_seconds")
     results: List[_R] = []
-    for result, delta, seconds in observed:
+    for _index, result, delta, seconds in observed:
         metrics.merge(delta)
         latencies.observe(seconds)
         results.append(result)

@@ -40,6 +40,12 @@ def _cluster_and_score(
         score = bic_score(points, result, weights)
     metrics.counter("simpoint.kmeans_runs").inc()
     metrics.counter("simpoint.kmeans_iterations").inc(result.iterations)
+    # Iterations-to-convergence per k: harder k values converging
+    # slower (or suddenly faster) is a kernel-level drift signal the
+    # stage totals cannot show.
+    metrics.histogram(f"simpoint.kmeans_iterations.k{k}").observe(
+        result.iterations
+    )
     return result, score
 
 

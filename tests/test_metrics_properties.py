@@ -1,0 +1,187 @@
+"""Property tests for the metric-merge algebra and manifest upgrade.
+
+The cross-process aggregation in ``parallel_map`` relies on
+``Registry.merge`` being a proper monoid fold for counters and
+bucketed histograms: merging worker snapshots must give the same
+totals regardless of grouping (associativity) and task partitioning
+(order-insensitivity). Gauges are deliberately excluded — they are
+last-write-wins by design, which is why ``parallel_map`` pins their
+merge order to task-index order instead.
+
+Floating-point histogram sums are only approximately associative, so
+sums compare with ``math.isclose`` while counts, buckets, and extremes
+compare exactly.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.observability.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
+    build_manifest,
+    upgrade_manifest,
+    validate_manifest,
+)
+from repro.observability.metrics import Histogram, Registry
+
+_values = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+_snapshots = st.builds(
+    lambda counters, observations: _snapshot(counters, observations),
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=1000),
+        max_size=3,
+    ),
+    st.dictionaries(
+        st.sampled_from(["h1", "h2"]),
+        st.lists(_values, max_size=8),
+        max_size=2,
+    ),
+)
+
+
+def _snapshot(counters, observations):
+    registry = Registry()
+    for name, value in counters.items():
+        registry.counter(name).inc(value)
+    for name, values in observations.items():
+        for value in values:
+            registry.histogram(name).observe(value)
+    return registry.snapshot()
+
+
+def _merged(snapshots):
+    registry = Registry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry
+
+
+def _assert_equivalent(left: Registry, right: Registry):
+    left_snap, right_snap = left.snapshot(), right.snapshot()
+    assert left_snap["counters"] == right_snap["counters"]
+    assert set(left_snap["histograms"]) == set(right_snap["histograms"])
+    for name, summary in left_snap["histograms"].items():
+        other = right_snap["histograms"][name]
+        assert summary["count"] == other["count"]
+        assert summary["buckets"] == other["buckets"]
+        assert summary["min"] == other["min"]
+        assert summary["max"] == other["max"]
+        assert math.isclose(
+            summary["sum"], other["sum"], rel_tol=1e-9, abs_tol=1e-6
+        )
+
+
+class TestMergeAlgebra:
+    @given(_snapshots, _snapshots, _snapshots)
+    @settings(deadline=None, max_examples=60)
+    def test_merge_is_associative(self, a, b, c):
+        left_first = _merged([a, b])
+        left = _merged([left_first.snapshot(), c])
+        right_rest = _merged([b, c])
+        right = _merged([a, right_rest.snapshot()])
+        _assert_equivalent(left, right)
+
+    @given(
+        st.lists(_snapshots, min_size=2, max_size=5),
+        st.randoms(use_true_random=False),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_merge_is_order_insensitive(self, snapshots, rng):
+        shuffled = list(snapshots)
+        rng.shuffle(shuffled)
+        _assert_equivalent(_merged(snapshots), _merged(shuffled))
+
+    @given(st.lists(_values, min_size=1, max_size=30))
+    @settings(deadline=None, max_examples=60)
+    def test_split_merge_matches_direct_observation(self, values):
+        direct = Histogram()
+        for value in values:
+            direct.observe(value)
+        half = len(values) // 2
+        registry = Registry()
+        registry.merge(_snapshot({}, {"h": values[:half]}))
+        registry.merge(_snapshot({}, {"h": values[half:]}))
+        merged = registry.histogram("h")
+        assert merged.count == direct.count
+        assert merged.buckets == direct.buckets
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+        assert math.isclose(
+            merged.total, direct.total, rel_tol=1e-9, abs_tol=1e-6
+        )
+        # Quantiles are a pure function of the merged state.
+        assert merged.quantile(0.5) == direct.quantile(0.5)
+
+    @given(st.lists(_values, min_size=1, max_size=50))
+    @settings(deadline=None, max_examples=60)
+    def test_quantiles_bounded_by_observations(self, values):
+        instrument = Histogram()
+        for value in values:
+            instrument.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            estimate = instrument.quantile(q)
+            assert min(values) <= estimate <= max(values)
+
+
+def _v1_manifest():
+    manifest = build_manifest(
+        total_seconds=1.5,
+        stages={"profile": 0.4, "cluster": 1.0},
+        metrics_snapshot=_snapshot(
+            {"simpoint.kmeans_runs": 10}, {"h": [0.5, 2.0]}
+        ),
+        clusterings={"art/32u": {"k": 3, "bic_scores": [1.0, 2.0, 3.0]}},
+        errors={"art/32u": {"fli_cpi_error": 0.02}},
+        config_fingerprint="fp",
+        command=["summary", "art"],
+    )
+    # Strip the v2 additions to produce a faithful v1 document.
+    manifest["schema"] = MANIFEST_SCHEMA_V1
+    del manifest["run_id"]
+    del manifest["bias"]
+    for summary in manifest["metrics"]["histograms"].values():
+        del summary["buckets"]
+    return manifest
+
+
+class TestManifestUpgrade:
+    def test_v1_round_trips_to_valid_v2(self):
+        v1 = _v1_manifest()
+        upgraded = upgrade_manifest(json.loads(json.dumps(v1)))
+        validate_manifest(upgraded)
+        assert upgraded["schema"] == MANIFEST_SCHEMA
+        assert upgraded["run_id"].startswith("v1-")
+        assert upgraded["bias"] == {}
+        # Histograms gain (empty) bucket tables.
+        for summary in upgraded["metrics"]["histograms"].values():
+            assert summary["buckets"] == {}
+        # Everything the v1 document said is preserved verbatim.
+        for key, value in v1.items():
+            if key in ("schema", "metrics"):
+                continue
+            assert upgraded[key] == value
+        assert (
+            upgraded["metrics"]["counters"] == v1["metrics"]["counters"]
+        )
+
+    def test_upgrade_is_deterministic_and_idempotent(self):
+        v1 = _v1_manifest()
+        first = upgrade_manifest(json.loads(json.dumps(v1)))
+        second = upgrade_manifest(json.loads(json.dumps(v1)))
+        assert first["run_id"] == second["run_id"]
+        assert upgrade_manifest(first) is first  # v2 passes through
+
+    def test_v2_document_unchanged_by_upgrader(self):
+        manifest = build_manifest(
+            total_seconds=1.0,
+            stages={"a": 1.0},
+            metrics_snapshot=Registry().snapshot(),
+        )
+        assert upgrade_manifest(manifest) is manifest

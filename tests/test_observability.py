@@ -89,7 +89,8 @@ class TestMetrics:
         assert snap["counters"]["c"] == 5
         assert snap["gauges"]["g"] == 2.5
         assert snap["histograms"]["h"] == {
-            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0
+            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0,
+            "buckets": {"0": 1, "2": 1},
         }
 
     def test_merge_combines_snapshots(self):
@@ -99,15 +100,42 @@ class TestMetrics:
             "counters": {"c": 3, "new": 1},
             "gauges": {"g": 7.0},
             "histograms": {"h": {"count": 2, "sum": 2.0, "min": 0.5,
-                                 "max": 1.5}},
+                                 "max": 1.5,
+                                 "buckets": {"-1": 1, "1": 1}}},
         }
         metrics.merge(delta)
         snap = metrics.snapshot()
         assert snap["counters"] == {"c": 5, "new": 1}
         assert snap["gauges"]["g"] == 7.0
         assert snap["histograms"]["h"] == {
-            "count": 3, "sum": 7.0, "min": 0.5, "max": 5.0
+            "count": 3, "sum": 7.0, "min": 0.5, "max": 5.0,
+            "buckets": {"-1": 1, "1": 1, "3": 1},
         }
+
+    def test_merge_tolerates_v1_snapshot_without_buckets(self):
+        metrics.histogram("h").observe(2.0)
+        metrics.merge(
+            {"histograms": {"h": {"count": 2, "sum": 6.0, "min": 1.0,
+                                  "max": 5.0}}}
+        )
+        instrument = metrics.histogram("h")
+        assert instrument.count == 3
+        assert instrument.total == 8.0
+        # Part of the population has no bucket: quantiles degrade to
+        # the (clamped) mean instead of lying about the distribution.
+        assert instrument.quantile(0.5) == pytest.approx(8.0 / 3)
+
+    def test_histogram_quantiles_from_buckets(self):
+        instrument = metrics.histogram("h")
+        for value in [0.0, 1.0, 2.0, 4.0, 4.0, 4.0, 64.0]:
+            instrument.observe(value)
+        assert instrument.quantile(0.0) == 0.0  # clamped to min
+        assert instrument.quantile(1.0) == 64.0  # clamped to max
+        # p50 -> 4th of 7 observations -> bucket (2, 4].
+        assert instrument.quantile(0.5) == pytest.approx(2 ** 1.5)
+        # p99 -> the top observation's bucket (32, 64].
+        assert instrument.quantiles()["p99"] == pytest.approx(2 ** 5.5)
+        assert metrics.histogram("empty").quantile(0.5) is None
 
     def test_scoped_registry_isolates_and_restores(self):
         metrics.counter("outside").inc()
@@ -131,6 +159,17 @@ def _metered_task(value):
     return value * 2
 
 
+def _gauge_task(value):
+    import time
+
+    # Earlier tasks sleep longer, so completion order is (roughly) the
+    # reverse of task order — the exact case where completion-order
+    # gauge merging would record the wrong (first) task's value.
+    time.sleep(0.05 if value == 0 else 0.0)
+    metrics.gauge("task.last_value").set(value)
+    return value
+
+
 class TestParallelAggregation:
     def test_worker_metrics_merge_into_parent(self):
         results = parallel_map(_metered_task, [1, 2, 3, 4], jobs=2)
@@ -146,6 +185,14 @@ class TestParallelAggregation:
         snap = metrics.snapshot()
         assert snap["counters"]["task.calls"] == 2
         assert snap["histograms"]["parallel.task_seconds"]["count"] == 2
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_gauge_merge_is_task_index_ordered(self, jobs):
+        # Last-write-wins gauges must reflect the LAST task by index,
+        # not whichever task completed last — identical work must
+        # record identical gauges at any parallelism.
+        parallel_map(_gauge_task, [0, 1, 2], jobs=jobs)
+        assert metrics.snapshot()["gauges"]["task.last_value"] == 2.0
 
 
 class TestCacheCounters:
@@ -215,6 +262,28 @@ class TestManifest:
         assert "profile" in text and "cluster" in text
         assert "art/32u: k=4" in text
         assert "fli_cpi_error" in text
+
+    def test_v2_carries_run_id_and_bias(self):
+        manifest = build_manifest(
+            total_seconds=1.0,
+            stages={"profile": 1.0},
+            metrics_snapshot=metrics.snapshot(),
+            bias={"art/32u": {0: {"weight": 0.6, "bias": -0.01},
+                              1: {"weight": 0.4, "bias": 0.02}}},
+        )
+        validated = validate_manifest(manifest)
+        assert validated["schema"] == MANIFEST_SCHEMA
+        assert validated["run_id"]
+        assert validated["bias"]["art/32u"]["0"]["bias"] == -0.01
+        text = render_manifest(validated)
+        assert "bias tables" in text
+        assert "cluster 1" in text
+
+    def test_validation_rejects_malformed_bias(self):
+        bad = self._manifest()
+        bad["bias"] = {"art/32u": {"0": {"bias": "not-a-number"}}}
+        with pytest.raises(FileFormatError, match="bias"):
+            validate_manifest(bad)
 
 
 class TestObserveSession:
@@ -312,11 +381,33 @@ class TestInspectCommand:
         assert "total wall time" in out
         assert "profile" in out
 
-    def test_cli_inspect_rejects_garbage(self, tmp_path):
+    def test_cli_inspect_rejects_garbage(self, tmp_path, capsys):
         from repro.cli import main
-        from repro.errors import FileFormatError
 
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
-        with pytest.raises(FileFormatError):
-            main(["inspect", str(bad)])
+        assert main(["inspect", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_cli_inspect_explains_schema_mismatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps({"schema": "repro.manifest/v99"}))
+        assert main(["inspect", str(future)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "repro.manifest/v99" in err and MANIFEST_SCHEMA in err
+
+    def test_inspect_renders_empty_sections(self):
+        manifest = build_manifest(
+            total_seconds=0.0,
+            stages={},
+            metrics_snapshot=metrics.snapshot(),
+        )
+        text = render_manifest(manifest)
+        assert "stages: (none recorded)" in text
+        assert "clusterings: (none recorded)" in text
+        assert "errors: (none recorded)" in text
