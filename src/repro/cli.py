@@ -26,6 +26,15 @@ Commands
     an error table worsens, a chosen k flips, or a stage/cache metric
     degrades beyond tolerance — see ``repro ledger check --help``).
 
+Matching
+--------
+Every command accepts ``--match-confidence T`` (env
+``REPRO_MATCH_CONFIDENCE``): the fuzzy marker-match acceptance
+threshold. At the default 1.0 only the exact matching stages run and
+results are bit-identical to earlier versions; below 1.0 the pipeline
+degrades gracefully on inlining-renamed or compiler-decorated symbols
+by accepting confidence-scored fuzzy matches at or above ``T``.
+
 Observability
 -------------
 Every command accepts ``--trace-out FILE`` (env ``REPRO_TRACE_OUT``)
@@ -381,41 +390,66 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if any(r.verdict is Verdict.FAIL for r in results) else 0
 
 
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, *, suppress: bool = False
+) -> None:
+    """The global runtime flags, attachable before or after the
+    subcommand. Subparser copies use SUPPRESS defaults so an absent
+    flag never clobbers a value parsed at the top level."""
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--jobs", type=int, default=default, metavar="N",
+        help="worker processes for per-binary fan-out "
+             "(default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default, metavar="DIR",
+        help="profile cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="disable the on-disk profile cache",
+    )
+    parser.add_argument(
+        "--match-confidence", type=float, default=default, metavar="T",
+        help="fuzzy marker-match acceptance threshold in (0, 1] "
+             "(default: REPRO_MATCH_CONFIDENCE or 1.0 = exact only); "
+             "below 1.0 the matcher accepts confidence-scored fuzzy "
+             "matches at or above T instead of failing on renamed "
+             "symbols",
+    )
+    parser.add_argument(
+        "--trace-out", default=default, metavar="FILE",
+        help="write a structured JSON trace here and a run manifest "
+             "(manifest.json) next to it (default: REPRO_TRACE_OUT)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=default, metavar="FILE",
+        help="write the run's metric counters/histograms here as JSON "
+             "(default: REPRO_METRICS_OUT)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cross Binary Simulation Points (ISPASS 2007) "
                     "reproduction harness",
     )
-    parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for per-binary fan-out "
-             "(default: REPRO_JOBS or all cores; 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="profile cache directory "
-             "(default: REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the on-disk profile cache",
-    )
-    parser.add_argument(
-        "--trace-out", default=None, metavar="FILE",
-        help="write a structured JSON trace here and a run manifest "
-             "(manifest.json) next to it (default: REPRO_TRACE_OUT)",
-    )
-    parser.add_argument(
-        "--metrics-out", default=None, metavar="FILE",
-        help="write the run's metric counters/histograms here as JSON "
-             "(default: REPRO_METRICS_OUT)",
-    )
+    _add_runtime_flags(parser)
+    common = argparse.ArgumentParser(add_help=False)
+    _add_runtime_flags(common, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the benchmark suite")
+    sub.add_parser(
+        "list", help="list the benchmark suite", parents=[common]
+    )
 
-    summary = sub.add_parser("summary", help="one benchmark, both methods")
+    summary = sub.add_parser(
+        "summary", help="one benchmark, both methods", parents=[common]
+    )
     summary.add_argument("benchmark", choices=benchmark_names())
     summary.add_argument(
         "--detail", action="store_true",
@@ -423,12 +457,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     phases = sub.add_parser(
-        "phases", help="phase timelines (VLI shared + per-binary FLI)"
+        "phases", help="phase timelines (VLI shared + per-binary FLI)",
+        parents=[common],
     )
     phases.add_argument("benchmark", choices=benchmark_names())
 
     pinpoints = sub.add_parser(
-        "pinpoints", help="per-binary SimPoint files for one binary"
+        "pinpoints", help="per-binary SimPoint files for one binary",
+        parents=[common],
     )
     pinpoints.add_argument("benchmark", choices=benchmark_names())
     pinpoints.add_argument("--target", default="32u",
@@ -437,7 +473,8 @@ def build_parser() -> argparse.ArgumentParser:
     pinpoints.add_argument("--output", default="pinpoints.out")
 
     regions = sub.add_parser(
-        "regions", help="cross-binary regions file for one benchmark"
+        "regions", help="cross-binary regions file for one benchmark",
+        parents=[common],
     )
     regions.add_argument("benchmark", choices=benchmark_names())
     regions.add_argument("--output", default="pinpoints.out")
@@ -447,7 +484,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     figures = sub.add_parser(
-        "figures", help="regenerate every figure and table"
+        "figures", help="regenerate every figure and table",
+        parents=[common],
     )
     figures.add_argument(
         "--benchmarks",
@@ -461,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser(
         "validate",
         help="check every paper claim against measured results",
+        parents=[common],
     )
     validate.add_argument(
         "--benchmarks",
@@ -468,13 +507,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     inspect = sub.add_parser(
-        "inspect", help="pretty-print a run manifest"
+        "inspect", help="pretty-print a run manifest",
+        parents=[common],
     )
     inspect.add_argument("manifest", help="path to a manifest.json")
 
     ledger = sub.add_parser(
         "ledger",
         help="cross-run ledger: log/list/diff manifests, check for drift",
+        parents=[common],
     )
     ledger.add_argument(
         "--ledger", default=None, metavar="FILE",
@@ -557,6 +598,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="max cache hit-rate drop (default 0.10)",
     )
     ledger_check.add_argument(
+        "--max-coverage-drop", type=float, default=None, metavar="X",
+        dest="max_coverage_drop",
+        help="max drop in cross-binary matcher coverage (per pair or "
+             "worst pair) between runs (default 0.02)",
+    )
+    ledger_check.add_argument(
+        "--max-confidence-drop", type=float, default=None, metavar="X",
+        dest="max_confidence_drop",
+        help="max drop in the weakest accepted marker's confidence "
+             "(default 0.05)",
+    )
+    ledger_check.add_argument(
         "--allow-k-change", dest="forbid_k_change",
         action="store_const", const=False, default=None,
         help="do not treat a chosen-k flip as drift",
@@ -604,7 +657,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     jobs, cache = _resolve_runtime(args)
     try:
-        with runtime_session(jobs=jobs, cache=cache):
+        with runtime_session(
+            jobs=jobs, cache=cache,
+            match_confidence=args.match_confidence,
+        ):
             with observe(
                 trace_out=args.trace_out,
                 metrics_out=args.metrics_out,

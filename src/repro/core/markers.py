@@ -41,19 +41,34 @@ class MappablePoint:
     ``key`` is the cross-binary identity the matcher used: for
     procedures ``('proc', name)``; for line-matched loops
     ``('line', file, line, kind)``; for loops recovered by the
-    count-signature heuristic ``('sig', entries, iterations, kind)``.
+    count-signature heuristic ``('sig', entries, iterations, kind)``;
+    for fuzzy fallback matches ``('fuzzy-proc', canonical name)`` or
+    ``('fuzzy', canonical name, kind)``.
+
+    ``confidence`` is 1.0 for the exact matching stages; the fuzzy
+    fallback emits strictly lower values quantifying how sure the
+    matcher is that the construct identities line up. The whole-run
+    count equality invariant holds at *any* confidence — a fuzzy
+    marker still fires ``total_count`` times in every binary, only the
+    claim that those firings name the same semantic moment is scored.
     """
 
     marker_id: int
     kind: MarkerKind
     key: Tuple
     total_count: int
+    confidence: float = 1.0
 
     def __post_init__(self) -> None:
         if self.total_count <= 0:
             raise MatchingError(
                 f"mappable point {self.key} has non-positive count "
                 f"{self.total_count}"
+            )
+        if not 0.0 < self.confidence <= 1.0:
+            raise MatchingError(
+                f"mappable point {self.key} has confidence "
+                f"{self.confidence}, expected a value in (0, 1]"
             )
 
 
@@ -115,3 +130,13 @@ class MarkerSet:
 
     def points_of_kind(self, kind: MarkerKind) -> Tuple[MappablePoint, ...]:
         return tuple(p for p in self.points if p.kind is kind)
+
+    def min_confidence(self) -> float:
+        """The weakest per-marker confidence (1.0 for an empty set)."""
+        if not self.points:
+            return 1.0
+        return min(point.confidence for point in self.points)
+
+    def fuzzy_points(self) -> Tuple[MappablePoint, ...]:
+        """Points matched by the fuzzy fallback (confidence < 1)."""
+        return tuple(p for p in self.points if p.confidence < 1.0)

@@ -17,20 +17,37 @@ Three matching stages, mirroring the paper:
    inlining clobbers a loop's debug line, so stage 2 misses it. A
    leftover loop is recovered when its ``(entry count, iteration
    count)`` signature identifies exactly one leftover loop in *every*
-   binary. Equal-count siblings (the paper's applu case: five inlined
-   PDE solvers with identical loop structure) stay ambiguous and are
-   dropped — their execution regions simply contain no markers.
+   binary.
+
+4. **Confidence-scored fuzzy fallback** (off by default) — equal-count
+   siblings (the paper's applu case: five inlined PDE solvers with
+   identical loop structure) defeat stages 1-3. The fallback
+   canonicalizes names — stripping compiler clone suffixes like
+   ``.part.N`` / ``.isra.N`` / ``.constprop.N`` and the inline/split
+   decoration inlining leaves on loop names — and aligns the leftovers
+   by canonical name (exact, then :mod:`difflib` similarity). A fuzzy
+   match still *requires* identical whole-run counts in every binary
+   (the count invariant is what makes execution coordinates sound);
+   the confidence only scores the risk that the aligned constructs are
+   not the same source construct. Matches below the resolved
+   ``match_confidence`` threshold are dropped; at the default
+   threshold of 1.0 the stage is skipped entirely and the output is
+   bit-identical to the exact matcher.
 
 The output is a :class:`~repro.core.markers.MarkerSet` whose points all
 carry identical whole-run counts in every binary, plus a
-:class:`MatchReport` describing what matched and what was dropped.
+:class:`MatchReport` describing what matched, what was dropped, and —
+per binary pair — how much of each binary's executed constructs the
+marker set covers.
 """
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from difflib import SequenceMatcher
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.compilation.binary import Binary, LLoop
 from repro.core.markers import (
@@ -41,6 +58,74 @@ from repro.core.markers import (
 )
 from repro.errors import MatchingError
 from repro.profiling.callbranch import CallBranchProfile, LoopProfile
+from repro.runtime.config import resolve_match_confidence
+
+#: Aligned canonical names must be at least this similar to pair up.
+NAME_SIMILARITY_FLOOR = 0.6
+
+_CLONE_SUFFIX = re.compile(r"\.(?:part|isra|constprop|cold)\.\d+$")
+
+
+def canonical_symbol_name(name: str) -> str:
+    """Strip compiler clone suffixes (``.part.N`` etc.), repeatedly."""
+    while True:
+        stripped = _CLONE_SUFFIX.sub("", name)
+        if stripped == name:
+            return name
+        name = stripped
+
+
+def canonical_loop_name(name: str) -> str:
+    """Canonical identity of a (possibly inlined/split) loop name.
+
+    Inlining decorates a loop name with its call site
+    (``{callsite}__{name}``) and splitting appends a fragment marker
+    (``__a`` / ``__b``); both are stripped, as are compiler clone
+    suffixes, so every derived copy of ``pde0_loop`` canonicalizes back
+    to ``pde0_loop``.
+    """
+    segments = canonical_symbol_name(name).split("__")
+    while len(segments) > 1 and len(segments[-1]) == 1:
+        segments.pop()
+    return segments[-1]
+
+
+def _split_stem(name: str) -> str:
+    """A split fragment's name without its trailing fragment markers."""
+    segments = name.split("__")
+    while len(segments) > 1 and len(segments[-1]) == 1:
+        segments.pop()
+    return "__".join(segments)
+
+
+@dataclass(frozen=True)
+class PairCoverage:
+    """Matched/unmatched construct coverage for one binary pair.
+
+    A *construct* is one executed procedure or one executed loop (a
+    loop's entry and branch markers count as one construct). The
+    matched counts differ per binary: a split loop contributes two
+    matched fragments on the optimized side but one loop on the other.
+    """
+
+    binary_a: str
+    binary_b: str
+    matched_a: int
+    candidates_a: int
+    matched_b: int
+    candidates_b: int
+
+    @property
+    def coverage(self) -> float:
+        """Worst-side fraction of executed constructs that mapped."""
+
+        def frac(matched: int, candidates: int) -> float:
+            return matched / candidates if candidates else 1.0
+
+        return min(
+            frac(self.matched_a, self.candidates_a),
+            frac(self.matched_b, self.candidates_b),
+        )
 
 
 @dataclass(frozen=True)
@@ -54,6 +139,39 @@ class MatchReport:
     loops_recovered_by_signature: int
     loops_dropped_ambiguous: int
     dropped_details: Tuple[str, ...] = ()
+    procedures_matched_fuzzy: int = 0
+    loops_matched_fuzzy: int = 0
+    low_confidence_dropped: int = 0
+    confidence_threshold: float = 1.0
+    min_confidence: float = 1.0
+    pair_coverage: Tuple[PairCoverage, ...] = ()
+
+    def min_pair_coverage(self) -> float:
+        """The weakest pairwise coverage (1.0 with no pairs)."""
+        if not self.pair_coverage:
+            return 1.0
+        return min(pair.coverage for pair in self.pair_coverage)
+
+    def to_summary(self) -> Dict[str, Any]:
+        """Flat JSON-ready summary for manifests and run archives."""
+        return {
+            "threshold": float(self.confidence_threshold),
+            "min_confidence": float(self.min_confidence),
+            "fuzzy_procedures": int(self.procedures_matched_fuzzy),
+            "fuzzy_loops": int(self.loops_matched_fuzzy),
+            "low_confidence_dropped": int(self.low_confidence_dropped),
+            "min_pair_coverage": float(self.min_pair_coverage()),
+            "pairs": {
+                f"{pair.binary_a}|{pair.binary_b}": {
+                    "matched_a": pair.matched_a,
+                    "candidates_a": pair.candidates_a,
+                    "matched_b": pair.matched_b,
+                    "candidates_b": pair.candidates_b,
+                    "coverage": float(pair.coverage),
+                }
+                for pair in self.pair_coverage
+            },
+        }
 
 
 @dataclass
@@ -74,11 +192,13 @@ class _BinaryView:
 
 
 def _match_procedures(
-    views: Sequence[_BinaryView],
-) -> Tuple[List[Tuple[Tuple, int, Dict[str, int]]], int]:
-    """Returns (matched proc descriptors, dropped count).
+    views: Sequence[_BinaryView], details: List[str]
+) -> Tuple[List[Tuple[Tuple, int, Dict[str, int]]], int, Set[str]]:
+    """Returns (matched proc descriptors, dropped count, matched names).
 
     Each descriptor is ``(key, total count, {binary name: anchor})``.
+    Every dropped procedure — missing symbol or count mismatch — is
+    recorded in ``details`` so the coverage report can explain itself.
     """
     name_sets = [
         set(view.profile.executed_procedures()) for view in views
@@ -86,7 +206,17 @@ def _match_procedures(
     common = set.intersection(*name_sets)
     all_names = set.union(*name_sets)
     matched = []
+    matched_names: Set[str] = set()
     dropped = len(all_names) - len(common)
+    for name in sorted(all_names - common):
+        missing = [
+            view.binary.name
+            for view, names in zip(views, name_sets)
+            if name not in names
+        ]
+        details.append(
+            f"procedure {name}: missing from {', '.join(missing)}"
+        )
     for name in sorted(common):
         counts = {
             view.binary.name: view.profile.procedure_entries[name]
@@ -95,13 +225,18 @@ def _match_procedures(
         distinct = set(counts.values())
         if len(distinct) != 1:
             dropped += 1
+            shown = ", ".join(
+                f"{binary}={count}" for binary, count in sorted(counts.items())
+            )
+            details.append(f"procedure {name}: entry counts differ ({shown})")
             continue
         anchors = {
             view.binary.name: view.binary.procedures[name].entry_block
             for view in views
         }
         matched.append((("proc", name), distinct.pop(), anchors))
-    return matched, dropped
+        matched_names.add(name)
+    return matched, dropped, matched_names
 
 
 _Signature = Tuple[int, int]  # (entries, iterations)
@@ -122,6 +257,7 @@ class _LoopMatch:
     kind: MarkerKind
     total_count: int
     anchors: Dict[str, int]
+    confidence: float = 1.0
 
 
 def _match_line_group(
@@ -295,6 +431,7 @@ def _recover_by_signature(
         branch_anchors = {}
         for view, group in zip(views, groups):
             profile = group[0]
+            consumed.add((view.binary.name, profile.loop_id))
             entry_anchors[view.binary.name] = _loop_anchor(
                 view, profile.loop_id, MarkerKind.LOOP_ENTRY
             )
@@ -325,9 +462,275 @@ def _recover_by_signature(
     return matches, recovered, dropped
 
 
+# Confidence model for the fuzzy fallback. A fuzzy match always has
+# exact whole-run count equality; confidence scores only the identity
+# claim, so the factors are structural:
+_STRIPPED_BASE = 0.9  # canonicalization removed decoration somewhere
+_PLAIN_BASE = 0.95  # names already equal, yet the exact stages missed
+_FRAGMENT_PENALTY = 0.8  # anchored on one fragment of a split loop
+
+
+def _align_names(
+    name_sets: Sequence[Set[str]],
+) -> List[Tuple[Tuple[str, ...], float]]:
+    """Align canonical names across binaries.
+
+    Names present in every binary align exactly (score 1.0); the rest
+    are greedily paired by :class:`difflib.SequenceMatcher` similarity
+    with :data:`NAME_SIMILARITY_FLOOR` as the cut-off. Returns
+    ``(per-binary names, name score)`` tuples, deterministically
+    ordered.
+    """
+    aligned: List[Tuple[Tuple[str, ...], float]] = []
+    shared = set.intersection(*(set(s) for s in name_sets))
+    for name in sorted(shared):
+        aligned.append(((name,) * len(name_sets), 1.0))
+    remaining = [sorted(s - shared) for s in name_sets]
+    for name in list(remaining[0]):
+        choice = [name]
+        score = 1.0
+        for names in remaining[1:]:
+            best, best_ratio = None, 0.0
+            for candidate in names:
+                ratio = SequenceMatcher(None, name, candidate).ratio()
+                if ratio > best_ratio:
+                    best, best_ratio = candidate, ratio
+            if best is None or best_ratio < NAME_SIMILARITY_FLOOR:
+                choice = []
+                break
+            choice.append(best)
+            score = min(score, best_ratio)
+        if not choice:
+            continue
+        for names, picked in zip(remaining, choice):
+            names.remove(picked)
+        aligned.append((tuple(choice), score))
+    return aligned
+
+
+def _fuzzy_match_procedures(
+    views: Sequence[_BinaryView],
+    matched_names: Set[str],
+    threshold: float,
+    details: List[str],
+) -> Tuple[
+    List[Tuple[Tuple, int, Dict[str, int], float]],
+    int,
+    Dict[str, Set[str]],
+]:
+    """Stage 4a: align leftover procedures by canonical symbol name.
+
+    Returns (matched descriptors ``(key, total, anchors, confidence)``,
+    low-confidence drops, per-binary matched raw names).
+    """
+    leftover_maps: List[Dict[str, List[str]]] = []
+    for view in views:
+        groups: Dict[str, List[str]] = defaultdict(list)
+        for name in view.profile.executed_procedures():
+            if name in matched_names:
+                continue
+            groups[canonical_symbol_name(name)].append(name)
+        leftover_maps.append(dict(groups))
+
+    matches: List[Tuple[Tuple, int, Dict[str, int], float]] = []
+    matched_raw: Dict[str, Set[str]] = {
+        view.binary.name: set() for view in views
+    }
+    low_dropped = 0
+    for canonicals, name_score in _align_names(
+        [set(m) for m in leftover_maps]
+    ):
+        label = canonicals[0]
+        groups = [m[c] for m, c in zip(leftover_maps, canonicals)]
+        if any(len(group) != 1 for group in groups):
+            details.append(f"fuzzy procedure {label}: ambiguous candidates")
+            continue
+        raws = [group[0] for group in groups]
+        counts = {
+            view.profile.procedure_entries[raw]
+            for view, raw in zip(views, raws)
+        }
+        if len(counts) != 1:
+            details.append(f"fuzzy procedure {label}: entry counts differ")
+            continue
+        stripped = any(
+            raw != canonical for raw, canonical in zip(raws, canonicals)
+        )
+        confidence = name_score * (
+            _STRIPPED_BASE if stripped else _PLAIN_BASE
+        )
+        if confidence < threshold:
+            low_dropped += 1
+            details.append(
+                f"fuzzy procedure {label}: confidence {confidence:.3f} "
+                f"below threshold {threshold:.3f}"
+            )
+            continue
+        anchors = {
+            view.binary.name: view.binary.procedures[raw].entry_block
+            for view, raw in zip(views, raws)
+        }
+        matches.append(
+            (("fuzzy-proc", label), counts.pop(), anchors, confidence)
+        )
+        for view, raw in zip(views, raws):
+            matched_raw[view.binary.name].add(raw)
+    return matches, low_dropped, matched_raw
+
+
+@dataclass
+class _FuzzyCandidate:
+    """One leftover loop construct: a loop or its split-fragment group.
+
+    ``profiles`` holds every fragment, representative (lowest split
+    index) first — the representative's entry block fires at the same
+    semantic moment as the unsplit loop's entry.
+    """
+
+    profiles: List[LoopProfile]
+    fragment: bool
+
+    @property
+    def rep(self) -> LoopProfile:
+        return self.profiles[0]
+
+
+def _fuzzy_loop_candidates(
+    view: _BinaryView, consumed: Set[Tuple[str, int]]
+) -> Dict[str, List[_FuzzyCandidate]]:
+    """Group one binary's leftover loops by canonical name."""
+    by_stem: Dict[Tuple[str, str], List[LoopProfile]] = defaultdict(list)
+    for profile in view.executed_loops():
+        if (view.binary.name, profile.loop_id) in consumed:
+            continue
+        canonical = canonical_loop_name(profile.source_name)
+        by_stem[(canonical, _split_stem(profile.source_name))].append(
+            profile
+        )
+    by_canonical: Dict[str, List[_FuzzyCandidate]] = defaultdict(list)
+    for (canonical, _stem), profiles in sorted(by_stem.items()):
+        ordered = sorted(
+            profiles,
+            key=lambda p: (view.binary.loops[p.loop_id].split_index, p.loop_id),
+        )
+        split = [
+            p for p in ordered
+            if view.binary.loops[p.loop_id].split_index > 0
+        ]
+        if split and len(split) == len(ordered):
+            by_canonical[canonical].append(
+                _FuzzyCandidate(profiles=ordered, fragment=True)
+            )
+        else:
+            for profile in ordered:
+                by_canonical[canonical].append(
+                    _FuzzyCandidate(profiles=[profile], fragment=False)
+                )
+    return dict(by_canonical)
+
+
+def _fuzzy_match_loops(
+    views: Sequence[_BinaryView],
+    consumed: Set[Tuple[str, int]],
+    threshold: float,
+    details: List[str],
+) -> Tuple[List[_LoopMatch], int, int]:
+    """Stage 4b: align leftover loops by canonical name + count gate.
+
+    Returns (matches, matched construct count, low-confidence drops).
+    Matched fragment groups are consumed whole.
+    """
+    candidate_maps = [
+        _fuzzy_loop_candidates(view, consumed) for view in views
+    ]
+    matches: List[_LoopMatch] = []
+    constructs = 0
+    low_dropped = 0
+    for canonicals, name_score in _align_names(
+        [set(m) for m in candidate_maps]
+    ):
+        label = canonicals[0]
+        groups = [m[c] for m, c in zip(candidate_maps, canonicals)]
+        count_maps: List[Dict[int, _FuzzyCandidate]] = []
+        ambiguous = False
+        for group in groups:
+            count_map: Dict[int, _FuzzyCandidate] = {}
+            for candidate in group:
+                if candidate.rep.entries in count_map:
+                    ambiguous = True
+                count_map[candidate.rep.entries] = candidate
+            count_maps.append(count_map)
+        shared_counts = set.intersection(*(set(m) for m in count_maps))
+        if ambiguous or len(shared_counts) > 1:
+            details.append(f"fuzzy loop {label}: ambiguous candidates")
+            continue
+        if not shared_counts:
+            details.append(f"fuzzy loop {label}: entry counts differ")
+            continue
+        entries = shared_counts.pop()
+        chosen = [count_map[entries] for count_map in count_maps]
+        fragment = any(candidate.fragment for candidate in chosen)
+        stripped = any(
+            candidate.rep.source_name != canonical
+            for candidate, canonical in zip(chosen, canonicals)
+        )
+        multiplicity = max(len(group) for group in groups)
+        confidence = name_score * (
+            _STRIPPED_BASE if stripped else _PLAIN_BASE
+        )
+        if fragment:
+            confidence *= _FRAGMENT_PENALTY
+        if multiplicity > 1:
+            confidence /= multiplicity
+        if confidence < threshold:
+            low_dropped += 1
+            details.append(
+                f"fuzzy loop {label}: confidence {confidence:.3f} below "
+                f"threshold {threshold:.3f}"
+            )
+            continue
+        constructs += 1
+        entry_anchors: Dict[str, int] = {}
+        branch_anchors: Dict[str, int] = {}
+        for view, candidate in zip(views, chosen):
+            rep = candidate.rep
+            entry_anchors[view.binary.name] = _loop_anchor(
+                view, rep.loop_id, MarkerKind.LOOP_ENTRY
+            )
+            branch_anchors[view.binary.name] = _loop_anchor(
+                view, rep.loop_id, MarkerKind.LOOP_BRANCH
+            )
+            for profile in candidate.profiles:
+                consumed.add((view.binary.name, profile.loop_id))
+        matches.append(
+            _LoopMatch(
+                key=("fuzzy", label, "entry"),
+                kind=MarkerKind.LOOP_ENTRY,
+                total_count=entries,
+                anchors=entry_anchors,
+                confidence=confidence,
+            )
+        )
+        iteration_counts = {
+            candidate.rep.iterations for candidate in chosen
+        }
+        if len(iteration_counts) == 1 and not fragment:
+            matches.append(
+                _LoopMatch(
+                    key=("fuzzy", label, "branch"),
+                    kind=MarkerKind.LOOP_BRANCH,
+                    total_count=iteration_counts.pop(),
+                    anchors=branch_anchors,
+                    confidence=confidence,
+                )
+            )
+    return matches, constructs, low_dropped
+
+
 def find_mappable_points(
     profiled_binaries: Sequence[Tuple[Binary, CallBranchProfile]],
     enable_signature_recovery: bool = True,
+    match_confidence: Optional[float] = None,
 ) -> Tuple[MarkerSet, MatchReport]:
     """Find the mappable points shared by all binaries.
 
@@ -335,6 +738,11 @@ def find_mappable_points(
     profile (all collected with the same input).
     ``enable_signature_recovery`` toggles the paper's Section 3.3
     inlining heuristic (the ablation benchmark turns it off).
+    ``match_confidence`` is the fuzzy-fallback acceptance threshold,
+    resolved through :func:`repro.runtime.config.
+    resolve_match_confidence` when not given explicitly; at the
+    default of 1.0 the fuzzy stage is skipped entirely and the result
+    is bit-identical to the exact matcher.
     """
     if len(profiled_binaries) < 2:
         raise MatchingError(
@@ -343,13 +751,16 @@ def find_mappable_points(
     names = [binary.name for binary, _ in profiled_binaries]
     if len(set(names)) != len(names):
         raise MatchingError(f"duplicate binary names: {names}")
+    threshold = resolve_match_confidence(match_confidence)
     views = [
         _BinaryView(binary=binary, profile=profile)
         for binary, profile in profiled_binaries
     ]
 
     details: List[str] = []
-    proc_matches, procs_dropped = _match_procedures(views)
+    proc_matches, procs_dropped, matched_proc_names = _match_procedures(
+        views, details
+    )
     line_matches, consumed, line_dropped = _match_loops_by_line(views, details)
     if enable_signature_recovery:
         sig_matches, recovered, sig_dropped = _recover_by_signature(
@@ -357,6 +768,20 @@ def find_mappable_points(
         )
     else:
         sig_matches, recovered, sig_dropped = [], 0, 0
+
+    fuzzy_matched_procs: Dict[str, Set[str]] = {name: set() for name in names}
+    if threshold < 1.0:
+        fuzzy_proc_matches, proc_low_dropped, fuzzy_matched_procs = (
+            _fuzzy_match_procedures(
+                views, matched_proc_names, threshold, details
+            )
+        )
+        fuzzy_loop_matches, fuzzy_loop_constructs, loop_low_dropped = (
+            _fuzzy_match_loops(views, consumed, threshold, details)
+        )
+    else:
+        fuzzy_proc_matches, proc_low_dropped = [], 0
+        fuzzy_loop_matches, fuzzy_loop_constructs, loop_low_dropped = [], 0, 0
 
     points: List[MappablePoint] = []
     anchor_tables: Dict[str, Dict[int, int]] = {name: {} for name in names}
@@ -385,6 +810,32 @@ def find_mappable_points(
         for binary_name, block_id in match.anchors.items():
             anchor_tables[binary_name][marker_id] = block_id
         marker_id += 1
+    for key, total, anchors, confidence in fuzzy_proc_matches:
+        points.append(
+            MappablePoint(
+                marker_id=marker_id,
+                kind=MarkerKind.PROCEDURE,
+                key=key,
+                total_count=total,
+                confidence=confidence,
+            )
+        )
+        for binary_name, block_id in anchors.items():
+            anchor_tables[binary_name][marker_id] = block_id
+        marker_id += 1
+    for match in fuzzy_loop_matches:
+        points.append(
+            MappablePoint(
+                marker_id=marker_id,
+                kind=match.kind,
+                key=match.key,
+                total_count=match.total_count,
+                confidence=match.confidence,
+            )
+        )
+        for binary_name, block_id in match.anchors.items():
+            anchor_tables[binary_name][marker_id] = block_id
+        marker_id += 1
 
     tables = {
         name: MarkerTable(binary_name=name, anchor_blocks=anchor_tables[name])
@@ -397,6 +848,38 @@ def find_mappable_points(
     branch_count = sum(
         1 for p in points if p.kind is MarkerKind.LOOP_BRANCH
     )
+
+    # Per-binary construct coverage: executed procedures + executed
+    # loops are the candidates; exact + fuzzy matches (and every
+    # fragment of a consumed split group) are the matched side.
+    matched_constructs: Dict[str, int] = {}
+    candidate_constructs: Dict[str, int] = {}
+    for view in views:
+        name = view.binary.name
+        consumed_here = sum(
+            1 for binary_name, _ in consumed if binary_name == name
+        )
+        matched_constructs[name] = (
+            len(matched_proc_names)
+            + len(fuzzy_matched_procs[name])
+            + consumed_here
+        )
+        candidate_constructs[name] = len(
+            view.profile.executed_procedures()
+        ) + len(view.executed_loops())
+    pair_coverage = tuple(
+        PairCoverage(
+            binary_a=a,
+            binary_b=b,
+            matched_a=matched_constructs[a],
+            candidates_a=candidate_constructs[a],
+            matched_b=matched_constructs[b],
+            candidates_b=candidate_constructs[b],
+        )
+        for i, a in enumerate(names)
+        for b in names[i + 1:]
+    )
+
     report = MatchReport(
         procedures_matched=len(proc_matches),
         procedures_dropped=procs_dropped,
@@ -405,5 +888,11 @@ def find_mappable_points(
         loops_recovered_by_signature=recovered,
         loops_dropped_ambiguous=line_dropped + sig_dropped,
         dropped_details=tuple(details),
+        procedures_matched_fuzzy=len(fuzzy_proc_matches),
+        loops_matched_fuzzy=fuzzy_loop_constructs,
+        low_confidence_dropped=proc_low_dropped + loop_low_dropped,
+        confidence_threshold=threshold,
+        min_confidence=marker_set.min_confidence(),
+        pair_coverage=pair_coverage,
     )
     return marker_set, report

@@ -24,6 +24,7 @@ from repro.core.vli import collect_vli_bbvs
 from repro.core.weights import measure_interval_instructions, phase_weights
 from repro.errors import MatchingError
 from repro.observability import metrics, trace
+from repro.observability.session import record_matching
 from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.callbranch import collect_call_branch_profile
 from repro.profiling.intervals import Interval
@@ -43,6 +44,10 @@ class CrossBinaryConfig:
     scaled default is 100K — see DESIGN.md). ``primary_index`` selects
     the primary binary; the paper notes the choice is arbitrary but
     affects mapped interval sizes (our ablation benchmark measures it).
+    ``match_confidence`` is the fuzzy-matcher acceptance threshold;
+    ``None`` defers to ``REPRO_MATCH_CONFIDENCE`` / the process default
+    (see :func:`repro.runtime.config.resolve_match_confidence`), and
+    the ultimate default of 1.0 disables the fuzzy fallback entirely.
     """
 
     interval_size: int = 100_000
@@ -50,6 +55,7 @@ class CrossBinaryConfig:
     program_input: ProgramInput = REF_INPUT
     primary_index: int = 0
     enable_signature_recovery: bool = True
+    match_confidence: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -150,8 +156,21 @@ def run_cross_binary_simpoint(
         marker_set, match_report = find_mappable_points(
             profiles,
             enable_signature_recovery=config.enable_signature_recovery,
+            match_confidence=config.match_confidence,
         )
     metrics.counter("pipeline.mappable_points").inc(marker_set.n_points)
+    fuzzy_count = len(marker_set.fuzzy_points())
+    if fuzzy_count:
+        metrics.counter("pipeline.fuzzy_points").inc(fuzzy_count)
+    record_matching(binaries[0].program_name, match_report.to_summary())
+    if marker_set.n_points == 0:
+        raise MatchingError(
+            f"{binaries[0].program_name}: no mappable points survive "
+            f"matching at confidence threshold "
+            f"{match_report.confidence_threshold:g}; lower "
+            f"--match-confidence (or REPRO_MATCH_CONFIDENCE) to accept "
+            f"fuzzy matches"
+        )
     # Step 3: VLIs over the primary binary.
     primary = binaries[config.primary_index]
     with trace.span("vli_profile", primary=primary.name):

@@ -53,14 +53,19 @@ from repro.profiling.intervals import Interval
 from repro.programs.inputs import ProgramInput, REF_INPUT
 from repro.programs.suite import build_benchmark
 from repro.runtime.cache import cache_from_root, merge_stats
-from repro.runtime.config import active_cache
+from repro.runtime.config import active_cache, resolve_match_confidence
 from repro.runtime.parallel import parallel_map
 from repro.simpoint.simpoint import SimPointConfig, SimPointResult, run_simpoint
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs of the whole reproduction (defaults match DESIGN.md)."""
+    """Knobs of the whole reproduction (defaults match DESIGN.md).
+
+    ``match_confidence`` is the fuzzy marker-match acceptance
+    threshold; ``None`` defers to ``REPRO_MATCH_CONFIDENCE`` / the
+    process default (1.0 = exact matching only).
+    """
 
     interval_size: int = 100_000
     simpoint: SimPointConfig = field(default_factory=SimPointConfig)
@@ -69,8 +74,11 @@ class ExperimentConfig:
     targets: Tuple[Target, ...] = STANDARD_TARGETS
     primary_index: int = 0
     enable_signature_recovery: bool = True
+    match_confidence: Optional[float] = None
 
     def cache_key(self) -> Tuple:
+        # The memo key uses the *resolved* threshold, so a config left
+        # at None keys on the effective environment/process default.
         return (
             self.interval_size,
             self.simpoint,
@@ -79,6 +87,7 @@ class ExperimentConfig:
             self.targets,
             self.primary_index,
             self.enable_signature_recovery,
+            resolve_match_confidence(self.match_confidence),
         )
 
 
@@ -370,6 +379,7 @@ def run_benchmark(
                 program_input=config.program_input,
                 primary_index=config.primary_index,
                 enable_signature_recovery=config.enable_signature_recovery,
+                match_confidence=config.match_confidence,
             ),
             jobs=jobs,
         )

@@ -73,6 +73,7 @@ def benchmark_run_to_dict(run: BenchmarkRun) -> Dict[str, Any]:
             "loop_branches_matched": match.loop_branches_matched,
             "recovered_by_signature": match.loops_recovered_by_signature,
             "dropped_ambiguous": match.loops_dropped_ambiguous,
+            **match.to_summary(),
         },
         "n_intervals": len(run.cross.intervals),
         "k": run.cross.simpoint.k,

@@ -2,7 +2,8 @@
 
 The differ compares two runs field by field — stage wall times, cache
 behavior, chosen k per clustering, CPI/speedup error tables, bias
-tables, metric counters, and histogram quantiles — producing one
+tables, matcher coverage/confidence summaries, metric counters, and
+histogram quantiles — producing one
 :class:`Delta` per field with both absolute and relative change. Both
 sides are normalized through
 :func:`repro.observability.ledger.entry_from_manifest`, so a full
@@ -11,7 +12,8 @@ manifest and a ledger record diff identically.
 On top of the diff, :func:`check_drift` applies
 :class:`DriftThresholds` and returns the list of :class:`Violation`\\ s
 — an *accuracy* violation when any error-table entry or bias row
-worsens beyond tolerance, a *decision* violation when a chosen k
+worsens beyond tolerance (or the cross-binary matcher's coverage or
+weakest-marker confidence falls), a *decision* violation when a chosen k
 flips, and a *performance* violation when a stage (or the total) slows
 down or the cache hit rate drops beyond tolerance. ``repro ledger
 check`` exits non-zero when any violation fires, which is what lets CI
@@ -40,6 +42,7 @@ SECTIONS = (
     "clusterings",
     "errors",
     "bias",
+    "matching",
     "counters",
     "histograms",
 )
@@ -162,6 +165,7 @@ def diff_runs(old: LedgerEntry, new: LedgerEntry) -> RunDiff:
                     prefix=f"{name}.cluster{cluster}.",
                 )
             )
+    deltas.extend(_nested_deltas("matching", old.matching, new.matching))
     deltas.extend(_numeric_deltas("counters", old.counters, new.counters))
     deltas.extend(
         _nested_deltas("histograms", old.histograms, new.histograms)
@@ -219,6 +223,12 @@ class DriftThresholds:
     ``max_hit_rate_drop`` bounds how far the cache hit rate may fall.
     ``forbid_k_change`` treats any chosen-k flip as drift (the paper's
     clustering decisions are deterministic for a fixed config).
+    ``max_coverage_drop`` bounds how far the matcher's per-pair (or
+    worst-pair) coverage may fall between runs, and
+    ``max_confidence_drop`` bounds how far the weakest accepted
+    marker's confidence may fall — together they make a matcher
+    regression (markers silently dropping out, or surviving only at
+    lower confidence) trip ``repro ledger check``.
     """
 
     max_error_increase: float = 0.002
@@ -228,6 +238,8 @@ class DriftThresholds:
     stage_min_seconds: float = 0.25
     max_hit_rate_drop: float = 0.10
     forbid_k_change: bool = True
+    max_coverage_drop: float = 0.02
+    max_confidence_drop: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -279,6 +291,36 @@ def check_drift(
                     f"(> {limits.max_bias_shift:.4f})",
                 )
             )
+
+    for delta in diff.section("matching"):
+        if delta.old is None or delta.new is None:
+            continue
+        field_name = delta.field.rsplit(".", 1)[-1]
+        is_coverage = field_name == "min_pair_coverage" or (
+            field_name.startswith("coverage[")
+        )
+        if is_coverage:
+            drop = delta.old - delta.new
+            if drop > limits.max_coverage_drop:
+                violations.append(
+                    Violation(
+                        "accuracy",
+                        delta,
+                        f"matcher coverage {delta.field} dropped by "
+                        f"{drop:.1%} (> {limits.max_coverage_drop:.1%})",
+                    )
+                )
+        elif field_name == "min_confidence":
+            drop = delta.old - delta.new
+            if drop > limits.max_confidence_drop:
+                violations.append(
+                    Violation(
+                        "accuracy",
+                        delta,
+                        f"marker confidence {delta.field} dropped by "
+                        f"{drop:.2f} (> {limits.max_confidence_drop:.2f})",
+                    )
+                )
 
     if limits.forbid_k_change:
         for delta in diff.section("clusterings"):

@@ -96,6 +96,34 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     else:
         lines.append("errors: (none recorded)")
 
+    matching: Dict[str, Any] = manifest.get("matching") or {}
+    if matching:
+        lines.append("")
+        lines.append("matching (cross-binary marker matcher):")
+        for name in sorted(matching):
+            row = matching[name]
+            lines.append(
+                f"  {name}: threshold="
+                f"{float(row.get('threshold', 1.0)):.2f}, "
+                f"min confidence="
+                f"{float(row.get('min_confidence', 1.0)):.2f}, "
+                f"fuzzy {int(row.get('fuzzy_procedures', 0))} proc / "
+                f"{int(row.get('fuzzy_loops', 0))} loop, "
+                f"{int(row.get('low_confidence_dropped', 0))} dropped, "
+                f"min pair coverage="
+                f"{float(row.get('min_pair_coverage', 1.0)):.1%}"
+            )
+            pairs = row.get("pairs") or {}
+            for pair in sorted(pairs):
+                info = pairs[pair]
+                lines.append(
+                    f"    {pair}: coverage="
+                    f"{float(info.get('coverage', 0.0)):.1%} "
+                    f"({info.get('matched_a')}/{info.get('candidates_a')} "
+                    f"vs {info.get('matched_b')}/"
+                    f"{info.get('candidates_b')})"
+                )
+
     bias: Dict[str, Any] = manifest.get("bias") or {}
     if bias:
         lines.append("")

@@ -4,7 +4,8 @@ One manifest describes one run; the ledger is what makes *sequences*
 of runs observable. Every ``repro ledger log`` appends one JSONL
 record — run id, config fingerprint, git describe, stage wall times,
 cache statistics, chosen k per clustering, error tables, bias tables,
-and the run's metric counters plus histogram quantile summaries — so
+matcher coverage/confidence summaries, and the run's metric counters
+plus histogram quantile summaries — so
 any two runs of the same semantic configuration can be compared long
 after their full manifests have moved or been pruned.
 
@@ -59,6 +60,7 @@ class LedgerEntry:
     clusterings: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     errors: Dict[str, Dict[str, float]] = field(default_factory=dict)
     bias: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    matching: Dict[str, Dict[str, float]] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, Dict[str, Optional[float]]] = field(
         default_factory=dict
@@ -79,6 +81,7 @@ class LedgerEntry:
             "clusterings": dict(self.clusterings),
             "errors": dict(self.errors),
             "bias": dict(self.bias),
+            "matching": dict(self.matching),
             "counters": dict(self.counters),
             "histograms": dict(self.histograms),
             "manifest_path": self.manifest_path,
@@ -98,6 +101,7 @@ class LedgerEntry:
             clusterings=dict(record.get("clusterings") or {}),
             errors=dict(record.get("errors") or {}),
             bias=dict(record.get("bias") or {}),
+            matching=dict(record.get("matching") or {}),
             counters=dict(record.get("counters") or {}),
             histograms=dict(record.get("histograms") or {}),
             manifest_path=record.get("manifest_path"),
@@ -121,6 +125,26 @@ def _histogram_summary(summary: Mapping[str, Any]) -> Dict[str, Any]:
         "mean": instrument.mean,
         **instrument.quantiles(),
     }
+
+
+def _flatten_matching(row: Mapping[str, Any]) -> Dict[str, float]:
+    """One manifest matching row as flat numbers for the differ.
+
+    The scalar fields pass through; the nested per-pair table is
+    flattened to ``coverage[a|b]`` entries so the drift sentinel can
+    watch each binary pair independently.
+    """
+    flat: Dict[str, float] = {
+        key: float(value)
+        for key, value in row.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    for pair, info in (row.get("pairs") or {}).items():
+        if isinstance(info, dict) and isinstance(
+            info.get("coverage"), (int, float)
+        ):
+            flat[f"coverage[{pair}]"] = float(info["coverage"])
+    return flat
 
 
 def entry_from_manifest(
@@ -164,6 +188,11 @@ def entry_from_manifest(
                 cluster: dict(row) for cluster, row in table.items()
             }
             for name, table in (manifest.get("bias") or {}).items()
+        },
+        matching={
+            name: _flatten_matching(row)
+            for name, row in (manifest.get("matching") or {}).items()
+            if isinstance(row, dict)
         },
         counters=dict(metrics_block.get("counters") or {}),
         histograms=histograms,

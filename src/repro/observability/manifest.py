@@ -14,10 +14,13 @@ The schema is flat and versioned; :func:`validate_manifest` is the
 single authority on required keys and is used by tests and the CI
 quickstart check alike. v2 adds ``run_id`` (a unique handle the run
 ledger indexes by) and ``bias``, and carries bucketed histograms in
-``metrics``. v1 documents remain loadable: :func:`upgrade_manifest`
-lifts them to v2 (synthesizing a deterministic ``run_id`` from the
-document content and empty bias/bucket sections), and
-:func:`load_manifest` applies it transparently.
+``metrics``; ``matching`` (the cross-binary matcher's confidence and
+per-pair coverage summary) joined v2 later, so the upgrader fills it
+in as empty for documents predating it. v1 documents remain loadable:
+:func:`upgrade_manifest` lifts them to v2 (synthesizing a
+deterministic ``run_id`` from the document content and empty
+bias/bucket/matching sections), and :func:`load_manifest` applies it
+transparently.
 """
 
 from __future__ import annotations
@@ -54,11 +57,12 @@ MANIFEST_KEYS = (
     "clusterings",
     "errors",
     "bias",
+    "matching",
 )
 
 #: v1 key set = v2 minus the additions (used by the upgrader).
 MANIFEST_KEYS_V1 = tuple(
-    key for key in MANIFEST_KEYS if key not in ("run_id", "bias")
+    key for key in MANIFEST_KEYS if key not in ("run_id", "bias", "matching")
 )
 
 _CACHE_KEYS = ("hits", "misses", "hit_rate", "bytes_read", "bytes_written")
@@ -96,6 +100,7 @@ def build_manifest(
     clusterings: Optional[Mapping[str, Mapping[str, Any]]] = None,
     errors: Optional[Mapping[str, Mapping[str, float]]] = None,
     bias: Optional[Mapping[str, Mapping[str, Mapping[str, float]]]] = None,
+    matching: Optional[Mapping[str, Mapping[str, Any]]] = None,
     config_fingerprint: Optional[str] = None,
     command: Optional[Sequence[str]] = None,
     run_id: Optional[str] = None,
@@ -106,6 +111,9 @@ def build_manifest(
     ``None`` for a cache-less run, which records all-zero counters).
     ``bias`` maps ``name -> cluster -> row`` where each row carries the
     phase's ``weight``, ``true_cpi``, ``sp_cpi``, and signed ``bias``.
+    ``matching`` maps program name to the cross-binary matcher summary
+    (confidence threshold, weakest marker confidence, fuzzy match
+    counts, per-binary-pair coverage).
     """
     if cache_stats is not None:
         cache_block = {
@@ -144,6 +152,9 @@ def build_manifest(
             }
             for name, table in (bias or {}).items()
         },
+        "matching": {
+            name: dict(row) for name, row in (matching or {}).items()
+        },
     }
 
 
@@ -162,6 +173,12 @@ def upgrade_manifest(data: Any) -> Dict[str, Any]:
         )
     schema = data.get("schema")
     if schema == MANIFEST_SCHEMA:
+        # ``matching`` postdates v2's introduction; older v2 documents
+        # without it stay loadable (an empty section, same as a run
+        # that recorded no matcher summary).
+        if "matching" not in data:
+            data = dict(data)
+            data["matching"] = {}
         return data
     if schema != MANIFEST_SCHEMA_V1:
         raise FileFormatError(
@@ -178,6 +195,7 @@ def upgrade_manifest(data: Any) -> Dict[str, Any]:
     ).hexdigest()
     upgraded["run_id"] = f"v1-{digest[:9]}"
     upgraded["bias"] = {}
+    upgraded["matching"] = {}
     metrics_block = upgraded.get("metrics")
     if isinstance(metrics_block, dict):
         histograms = metrics_block.get("histograms")
@@ -240,9 +258,14 @@ def validate_manifest(data: Any) -> Dict[str, Any]:
     for key in _CACHE_KEYS:
         if not isinstance(cache.get(key), (int, float)):
             raise FileFormatError(f"manifest cache missing counter {key!r}")
-    for section in ("clusterings", "errors", "metrics", "bias"):
+    for section in ("clusterings", "errors", "metrics", "bias", "matching"):
         if not isinstance(data[section], dict):
             raise FileFormatError(f"manifest {section} must be an object")
+    for name, row in data["matching"].items():
+        if not isinstance(row, dict):
+            raise FileFormatError(
+                f"manifest matching entry {name!r} must be an object"
+            )
     for name, table in data["bias"].items():
         if not isinstance(table, dict):
             raise FileFormatError(

@@ -63,6 +63,7 @@ class ObservationSession:
         self.clusterings: Dict[str, Dict[str, Any]] = {}
         self.errors: Dict[str, Dict[str, float]] = {}
         self.bias: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self.matching: Dict[str, Dict[str, Any]] = {}
         self.config_fingerprint: Optional[str] = None
         self.manifest: Optional[Dict[str, Any]] = None
 
@@ -111,6 +112,19 @@ class ObservationSession:
             for cluster, row in table.items()
         }
 
+    def record_matching(
+        self, name: str, summary: Mapping[str, Any]
+    ) -> None:
+        """Record one program's cross-binary matcher summary.
+
+        ``summary`` is :meth:`repro.core.matching.MatchReport.
+        to_summary`: confidence threshold, weakest marker confidence,
+        fuzzy match counts, and per-binary-pair matched/unmatched
+        coverage — the quantities the drift sentinel watches so a
+        matcher regression trips ``repro ledger check``.
+        """
+        self.matching[name] = dict(summary)
+
     def finish(self) -> Dict[str, Any]:
         """Freeze timings, build the manifest, write all artifacts."""
         # Imported here: runtime.cache pulls in the metrics module, so
@@ -127,6 +141,7 @@ class ObservationSession:
             clusterings=self.clusterings,
             errors=self.errors,
             bias=self.bias,
+            matching=self.matching,
             config_fingerprint=self.config_fingerprint,
             command=self.command,
             run_id=self.run_id,
@@ -174,6 +189,12 @@ def record_bias(name: str, table: Mapping[Any, Mapping[str, float]]) -> None:
     """Annotate the active session, if any (no-op otherwise)."""
     if _current is not None:
         _current.record_bias(name, table)
+
+
+def record_matching(name: str, summary: Mapping[str, Any]) -> None:
+    """Annotate the active session, if any (no-op otherwise)."""
+    if _current is not None:
+        _current.record_matching(name, summary)
 
 
 def record_config(material: Any) -> None:

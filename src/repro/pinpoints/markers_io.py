@@ -5,20 +5,33 @@ workflow that is done once and the marker set is archived alongside the
 binaries so later simulation campaigns (new architectures, new region
 choices) can reuse it. This module provides that artifact:
 
-    # repro marker set v1
+    # repro marker set v2
     binaries <name> <name> ...
-    point <marker id> <kind> <total count> <key as JSON>
+    point <marker id> <kind> <total count> <confidence> <key as JSON>
     anchor <binary index> <marker id> <block id>
 
 Keys are JSON-encoded (they are heterogeneous tuples); binary names
 are indexed by the header line so anchors stay compact.
+
+Version history: v1 point lines carry no confidence column (every
+marker was an exact match, confidence 1.0). The reader accepts both
+versions; the writer emits v1 whenever every point's confidence is
+exactly 1.0, so archives of exact-only marker sets stay bit-identical
+to those written before fuzzy matching existed.
+
+Reading also cross-validates the archive: duplicate point ids,
+duplicate ``(binary, marker)`` anchor records, anchors naming unknown
+marker ids, and points left dangling (no anchor in some binary) are
+all rejected with the offending line — a MarkerSet that passed
+matching satisfies all of these, so any violation means the archive
+was corrupted or hand-edited.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.core.markers import (
     MappablePoint,
@@ -28,7 +41,8 @@ from repro.core.markers import (
 )
 from repro.errors import FileFormatError
 
-_HEADER = "# repro marker set v1"
+_HEADER_V1 = "# repro marker set v1"
+_HEADER_V2 = "# repro marker set v2"
 
 PathLike = Union[str, Path]
 
@@ -40,6 +54,11 @@ def write_marker_set(path: PathLike, marker_set: MarkerSet) -> None:
     so a name containing whitespace (or an empty name) would produce a
     file :func:`read_marker_set` silently mis-parses — such names are
     rejected up front instead of corrupting the archive.
+
+    Marker sets whose points are all exact matches (confidence 1.0)
+    are written in the v1 format, byte-identical to archives written
+    before the confidence column existed; any fuzzy-matched point
+    switches the file to v2.
     """
     names = sorted(marker_set.tables)
     for name in names:
@@ -49,13 +68,23 @@ def write_marker_set(path: PathLike, marker_set: MarkerSet) -> None:
                 f"space-separated in the marker-set format and must be "
                 f"non-empty and whitespace-free"
             )
-    lines = [_HEADER, "binaries " + " ".join(names)]
+    exact_only = all(
+        point.confidence == 1.0 for point in marker_set.points
+    )
+    header = _HEADER_V1 if exact_only else _HEADER_V2
+    lines = [header, "binaries " + " ".join(names)]
     for point in marker_set.points:
         key_json = json.dumps(list(point.key), separators=(",", ":"))
-        lines.append(
-            f"point {point.marker_id} {point.kind.value} "
-            f"{point.total_count} {key_json}"
-        )
+        if exact_only:
+            lines.append(
+                f"point {point.marker_id} {point.kind.value} "
+                f"{point.total_count} {key_json}"
+            )
+        else:
+            lines.append(
+                f"point {point.marker_id} {point.kind.value} "
+                f"{point.total_count} {point.confidence!r} {key_json}"
+            )
     for index, name in enumerate(names):
         table = marker_set.tables[name]
         for marker_id, block_id in sorted(table.anchor_blocks.items()):
@@ -64,13 +93,23 @@ def write_marker_set(path: PathLike, marker_set: MarkerSet) -> None:
 
 
 def read_marker_set(path: PathLike) -> MarkerSet:
-    """Read a marker set back; validates structure on the way."""
+    """Read a marker set back; validates structure on the way.
+
+    Both format versions load (v1 points get confidence 1.0). Beyond
+    per-line syntax, the archive is cross-validated as a whole: point
+    ids must be unique, ``(binary, marker)`` anchor records must be
+    unique, every anchor must name a declared point, and every point
+    must be anchored in every binary.
+    """
     lines = Path(path).read_text().splitlines()
-    if not lines or lines[0].strip() != _HEADER:
+    if not lines or lines[0].strip() not in (_HEADER_V1, _HEADER_V2):
         raise FileFormatError(f"{path}: missing marker-set header")
+    version = 1 if lines[0].strip() == _HEADER_V1 else 2
     names: List[str] = []
     points: List[MappablePoint] = []
+    point_lines: Dict[int, int] = {}  # marker id -> declaring line
     anchors: Dict[str, Dict[int, int]] = {}
+    anchor_records: List[Tuple[int, str, int]] = []  # (line, binary, id)
     for lineno, line in enumerate(lines[1:], 2):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -83,22 +122,31 @@ def read_marker_set(path: PathLike) -> MarkerSet:
             names = parts[1].split() if len(parts) > 1 else []
             anchors = {name: {} for name in names}
         elif parts[0] == "point":
-            fields = line.split(None, 4)
-            if len(fields) != 5:
+            n_fields = 5 if version == 1 else 6
+            fields = line.split(None, n_fields - 1)
+            if len(fields) != n_fields:
                 raise FileFormatError(f"{context}: malformed point line")
             try:
                 marker_id = int(fields[1])
                 kind = MarkerKind(fields[2])
                 total_count = int(fields[3])
-                key = tuple(json.loads(fields[4]))
+                confidence = 1.0 if version == 1 else float(fields[4])
+                key = tuple(json.loads(fields[-1]))
             except (ValueError, json.JSONDecodeError) as exc:
                 raise FileFormatError(f"{context}: {exc}") from None
+            if marker_id in point_lines:
+                raise FileFormatError(
+                    f"{context}: duplicate point id {marker_id} "
+                    f"(first declared at line {point_lines[marker_id]})"
+                )
+            point_lines[marker_id] = lineno
             points.append(
                 MappablePoint(
                     marker_id=marker_id,
                     kind=kind,
                     key=key,
                     total_count=total_count,
+                    confidence=confidence,
                 )
             )
         elif parts[0] == "anchor":
@@ -119,13 +167,35 @@ def read_marker_set(path: PathLike) -> MarkerSet:
                 raise FileFormatError(
                     f"{context}: binary index {binary_index} out of range"
                 )
-            anchors[names[binary_index]][marker_id] = block_id
+            name = names[binary_index]
+            if marker_id in anchors[name]:
+                raise FileFormatError(
+                    f"{context}: duplicate anchor for marker {marker_id} "
+                    f"in binary {name!r}"
+                )
+            anchors[name][marker_id] = block_id
+            anchor_records.append((lineno, name, marker_id))
         else:
             raise FileFormatError(
                 f"{context}: unknown record {parts[0]!r}"
             )
     if not names:
         raise FileFormatError(f"{path}: no binaries line")
+    # Cross-validation: anchors and points must agree exactly.
+    declared = set(point_lines)
+    for lineno, name, marker_id in anchor_records:
+        if marker_id not in declared:
+            raise FileFormatError(
+                f"{path}:{lineno}: anchor references unknown marker id "
+                f"{marker_id} (binary {name!r})"
+            )
+    for marker_id, lineno in point_lines.items():
+        missing = [name for name in names if marker_id not in anchors[name]]
+        if missing:
+            raise FileFormatError(
+                f"{path}:{lineno}: point {marker_id} is dangling: no "
+                f"anchor in {', '.join(missing)}"
+            )
     tables = {
         name: MarkerTable(binary_name=name, anchor_blocks=mapping)
         for name, mapping in anchors.items()

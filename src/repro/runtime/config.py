@@ -32,6 +32,7 @@ _UNSET = object()
 
 _default_jobs: Optional[int] = None
 _cache: object = _UNSET  # _UNSET -> fall back to the environment
+_default_match_confidence: Optional[float] = None
 
 
 def set_jobs(jobs: Optional[int]) -> None:
@@ -55,6 +56,49 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if _default_jobs is not None:
         return _default_jobs
     return 1
+
+
+def set_match_confidence(threshold: Optional[float]) -> None:
+    """Install (or clear, with ``None``) the default match threshold."""
+    global _default_match_confidence
+    if threshold is not None and not 0.0 < float(threshold) <= 1.0:
+        raise CacheError(
+            f"match confidence must be in (0, 1], got {threshold}"
+        )
+    _default_match_confidence = (
+        None if threshold is None else float(threshold)
+    )
+
+
+def resolve_match_confidence(threshold: Optional[float] = None) -> float:
+    """The effective fuzzy-match confidence threshold.
+
+    Resolution order: explicit argument, ``REPRO_MATCH_CONFIDENCE``,
+    process default from :func:`set_match_confidence` (the CLI's
+    ``--match-confidence`` flag lands here), then ``1.0`` — exact
+    matching only, bit-identical to the matcher without the fuzzy
+    fallback.
+    """
+    if threshold is not None:
+        value = float(threshold)
+    else:
+        env = os.environ.get("REPRO_MATCH_CONFIDENCE")
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                raise CacheError(
+                    f"REPRO_MATCH_CONFIDENCE must be a number, got {env!r}"
+                )
+        elif _default_match_confidence is not None:
+            value = _default_match_confidence
+        else:
+            return 1.0
+    if not 0.0 < value <= 1.0:
+        raise CacheError(
+            f"match confidence must be in (0, 1], got {value}"
+        )
+    return value
 
 
 def set_cache(cache: Optional[ProfileCache]) -> None:
@@ -92,9 +136,11 @@ def configure(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     no_cache: bool = False,
+    match_confidence: Optional[float] = None,
 ) -> Optional[ProfileCache]:
     """One-shot setup used by the CLI; returns the installed cache."""
     set_jobs(jobs)
+    set_match_confidence(match_confidence)
     if no_cache:
         set_cache(None)
         return None
@@ -107,13 +153,15 @@ def configure(
 def runtime_session(
     jobs: Optional[int] = None,
     cache: Optional[ProfileCache] = None,
+    match_confidence: Optional[float] = None,
 ) -> Iterator[None]:
     """Temporarily install runtime defaults (tests use this)."""
-    global _cache, _default_jobs
-    saved_cache, saved_jobs = _cache, _default_jobs
+    global _cache, _default_jobs, _default_match_confidence
+    saved = (_cache, _default_jobs, _default_match_confidence)
     try:
         _default_jobs = jobs
         _cache = cache
+        _default_match_confidence = match_confidence
         yield
     finally:
-        _cache, _default_jobs = saved_cache, saved_jobs
+        _cache, _default_jobs, _default_match_confidence = saved

@@ -107,6 +107,75 @@ class TestCrossBinaryPipeline:
             run_cross_binary_simpoint([micro_binary_list[0], other_binary])
 
 
+class TestGracefulDegradation:
+    """The pipeline accepts partial fuzzy mappings below threshold 1.0
+    and surfaces the matcher summary through the run manifest."""
+
+    @pytest.fixture(scope="class")
+    def fuzzy_result(self, micro_binary_list):
+        return run_cross_binary_simpoint(
+            micro_binary_list,
+            CrossBinaryConfig(
+                interval_size=MICRO_INTERVAL,
+                simpoint=SimPointConfig(max_k=6),
+                match_confidence=0.6,
+            ),
+        )
+
+    def test_fuzzy_markers_flow_through_the_pipeline(
+        self, fuzzy_result, cross_result
+    ):
+        assert fuzzy_result.match_report.confidence_threshold == 0.6
+        assert fuzzy_result.marker_set.fuzzy_points()
+        assert (
+            fuzzy_result.marker_set.n_points
+            > cross_result.marker_set.n_points
+        )
+        assert fuzzy_result.match_report.min_confidence < 1.0
+
+    def test_weights_still_cover_every_binary(
+        self, fuzzy_result, micro_binary_list
+    ):
+        for binary in micro_binary_list:
+            weights = fuzzy_result.weights_for(binary.name)
+            assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+    def test_default_threshold_result_is_unchanged(
+        self, cross_result, micro_binary_list
+    ):
+        explicit = run_cross_binary_simpoint(
+            micro_binary_list,
+            CrossBinaryConfig(
+                interval_size=MICRO_INTERVAL,
+                simpoint=SimPointConfig(max_k=6),
+                match_confidence=1.0,
+            ),
+        )
+        assert explicit.marker_set.points == cross_result.marker_set.points
+        assert explicit.simpoint.labels == cross_result.simpoint.labels
+        assert explicit.weights == cross_result.weights
+
+    def test_manifest_carries_the_matching_summary(
+        self, micro_binary_list, tmp_path
+    ):
+        from repro.observability import observe
+
+        with observe(trace_out=tmp_path / "trace.json") as session:
+            run_cross_binary_simpoint(
+                micro_binary_list,
+                CrossBinaryConfig(
+                    interval_size=MICRO_INTERVAL,
+                    simpoint=SimPointConfig(max_k=6),
+                    match_confidence=0.6,
+                ),
+            )
+        row = session.manifest["matching"]["micro"]
+        assert row["threshold"] == 0.6
+        assert row["fuzzy_loops"] >= 1
+        assert 0.0 < row["min_pair_coverage"] <= 1.0
+        assert row["pairs"], "per-pair coverage is recorded"
+
+
 class TestPerBinaryPipeline:
     def test_runs_on_each_binary(self, micro_binary_list):
         for binary in micro_binary_list[:2]:

@@ -153,6 +153,112 @@ class TestMarkerSetNameValidation:
         assert dict(loaded.tables["app/32u"].anchor_blocks) == {0: 7}
 
 
+class TestArchiveCorrectness:
+    """Duplicate and dangling records used to be silently accepted:
+    a duplicate anchor overwrote the earlier block, a duplicate point
+    produced two markers with one id, and a point with no anchor in
+    some binary survived until it broke mapping much later."""
+
+    _PREAMBLE = (
+        "# repro marker set v1\n"
+        "binaries app/32u app/64o\n"
+        'point 0 procedure 4 ["proc","main"]\n'
+    )
+
+    def test_duplicate_point_id_rejected(self, tmp_path):
+        path = tmp_path / "dup-point.markers"
+        path.write_text(
+            self._PREAMBLE
+            + 'point 0 procedure 9 ["proc","other"]\n'
+            + "anchor 0 0 7\nanchor 1 0 7\n"
+        )
+        with pytest.raises(FileFormatError, match=r":4: duplicate point"):
+            read_marker_set(path)
+
+    def test_duplicate_anchor_rejected(self, tmp_path):
+        path = tmp_path / "dup-anchor.markers"
+        path.write_text(
+            self._PREAMBLE
+            + "anchor 0 0 7\nanchor 0 0 9\nanchor 1 0 7\n"
+        )
+        with pytest.raises(
+            FileFormatError, match=r":5: duplicate anchor"
+        ):
+            read_marker_set(path)
+
+    def test_anchor_for_unknown_marker_rejected(self, tmp_path):
+        path = tmp_path / "unknown.markers"
+        path.write_text(
+            self._PREAMBLE
+            + "anchor 0 0 7\nanchor 1 0 7\nanchor 0 5 11\n"
+        )
+        with pytest.raises(
+            FileFormatError, match=r":6: anchor references unknown"
+        ):
+            read_marker_set(path)
+
+    def test_dangling_point_rejected(self, tmp_path):
+        """A point with no anchor in one binary cannot be mapped there;
+        the archive names the point and the missing binary."""
+        path = tmp_path / "dangling.markers"
+        path.write_text(self._PREAMBLE + "anchor 0 0 7\n")
+        with pytest.raises(
+            FileFormatError, match=r":3: point 0 is dangling.*app/64o"
+        ):
+            read_marker_set(path)
+
+
+class TestArchiveVersions:
+    """v1 archives (no confidence column) stay loadable, and archives
+    of exact-only marker sets stay byte-compatible with v1 writers."""
+
+    def test_v1_points_load_with_full_confidence(self, tmp_path):
+        path = tmp_path / "v1.markers"
+        path.write_text(
+            "# repro marker set v1\n"
+            "binaries app/32u\n"
+            'point 0 procedure 4 ["proc","main"]\n'
+            "anchor 0 0 7\n"
+        )
+        loaded = read_marker_set(path)
+        assert loaded.points[0].confidence == 1.0
+
+    def test_exact_only_set_written_as_v1(self, marker_set, tmp_path):
+        assert all(p.confidence == 1.0 for p in marker_set.points)
+        path = tmp_path / "exact.markers"
+        write_marker_set(path, marker_set)
+        assert path.read_text().splitlines()[0] == "# repro marker set v1"
+
+    def test_fuzzy_set_roundtrips_through_v2(
+        self, micro_binary_list, tmp_path
+    ):
+        profiles = [
+            (binary, collect_call_branch_profile(binary))
+            for binary in micro_binary_list
+        ]
+        fuzzy_set, _ = find_mappable_points(
+            profiles, match_confidence=0.6
+        )
+        assert fuzzy_set.fuzzy_points(), "fixture must have a fuzzy point"
+        path = tmp_path / "fuzzy.markers"
+        write_marker_set(path, fuzzy_set)
+        assert path.read_text().splitlines()[0] == "# repro marker set v2"
+        loaded = read_marker_set(path)
+        assert loaded.points == fuzzy_set.points
+        assert loaded.min_confidence() == fuzzy_set.min_confidence()
+
+    def test_malformed_confidence_rejected(self, tmp_path):
+        path = tmp_path / "bad-conf.markers"
+        path.write_text(
+            "# repro marker set v2\n"
+            "binaries app/32u\n"
+            'point 0 procedure 4 high ["proc","main"]\n'
+            "anchor 0 0 7\n"
+        )
+        with pytest.raises(FileFormatError, match=":3"):
+            read_marker_set(path)
+
+
 class TestMarkerSetRecordOrdering:
     """An anchor record before the binaries line used to surface as an
     unrelated 'binary index out of range' complaint instead of naming

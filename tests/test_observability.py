@@ -285,6 +285,41 @@ class TestManifest:
         with pytest.raises(FileFormatError, match="bias"):
             validate_manifest(bad)
 
+    def test_matching_section_roundtrips_and_renders(self):
+        manifest = self._manifest(matching={"art": {
+            "threshold": 0.6,
+            "min_confidence": 0.72,
+            "fuzzy_procedures": 1,
+            "fuzzy_loops": 2,
+            "low_confidence_dropped": 0,
+            "min_pair_coverage": 0.91,
+            "pairs": {"art/32u|art/32o": {
+                "matched_a": 10, "candidates_a": 11,
+                "matched_b": 10, "candidates_b": 11,
+                "coverage": 0.91,
+            }},
+        }})
+        validated = validate_manifest(manifest)
+        text = render_manifest(validated)
+        assert "matching" in text
+        assert "min confidence=0.72" in text
+        assert "art/32u|art/32o" in text and "10/11" in text
+
+    def test_validation_rejects_malformed_matching(self):
+        bad = self._manifest()
+        bad["matching"] = {"art": "not-an-object"}
+        with pytest.raises(FileFormatError, match="matching"):
+            validate_manifest(bad)
+
+    def test_v2_without_matching_upgrades_to_empty(self):
+        from repro.observability.manifest import upgrade_manifest
+
+        manifest = self._manifest()
+        del manifest["matching"]
+        upgraded = upgrade_manifest(manifest)
+        assert upgraded["matching"] == {}
+        validate_manifest(upgraded)
+
 
 class TestObserveSession:
     def test_writes_trace_metrics_and_manifest(self, tmp_path):

@@ -35,6 +35,8 @@ def _manifest(
     total_seconds=2.0,
     hit_rate=0.8,
     bias=0.01,
+    coverage=0.9,
+    min_confidence=0.8,
     created_at=None,
 ):
     registry = Registry()
@@ -50,6 +52,19 @@ def _manifest(
         errors={"art/32u": {"fli_cpi_error": error}},
         bias={"art/32u": {"0": {"weight": 0.6, "true_cpi": 1.1,
                                 "sp_cpi": 1.1 + bias, "bias": bias}}},
+        matching={"art": {
+            "threshold": 0.6,
+            "min_confidence": min_confidence,
+            "fuzzy_procedures": 0,
+            "fuzzy_loops": 1,
+            "low_confidence_dropped": 0,
+            "min_pair_coverage": coverage,
+            "pairs": {"art/32u|art/32o": {
+                "matched_a": 9, "candidates_a": 10,
+                "matched_b": 9, "candidates_b": 10,
+                "coverage": coverage,
+            }},
+        }},
         config_fingerprint=fingerprint,
         command=["summary", "art"],
         run_id=run_id,
@@ -283,6 +298,78 @@ class TestDriftSentinel:
         })
         assert thresholds.max_error_increase == 0.5
         assert thresholds.max_bias_shift == DriftThresholds().max_bias_shift
+
+
+class TestMatchingDrift:
+    """Matcher coverage/confidence regressions trip the sentinel."""
+
+    def _diff(self, old_kwargs=None, new_kwargs=None):
+        return diff_runs(
+            entry_from_manifest(_manifest("run-a", **(old_kwargs or {}))),
+            entry_from_manifest(_manifest("run-b", **(new_kwargs or {}))),
+        )
+
+    def test_matching_rows_flatten_for_the_differ(self):
+        entry = entry_from_manifest(_manifest("run-a", coverage=0.9))
+        row = entry.matching["art"]
+        assert row["min_pair_coverage"] == 0.9
+        assert row["coverage[art/32u|art/32o]"] == 0.9
+        assert row["min_confidence"] == 0.8
+        assert "pairs" not in row  # nested table is flattened away
+
+    def test_matching_deltas_land_in_their_section(self):
+        diff = self._diff(new_kwargs={"coverage": 0.7})
+        changed = {d.field for d in diff.section("matching") if d.changed}
+        assert "art.min_pair_coverage" in changed
+        assert "art.coverage[art/32u|art/32o]" in changed
+
+    def test_coverage_drop_is_accuracy_drift(self):
+        violations = check_drift(self._diff(new_kwargs={"coverage": 0.8}))
+        assert violations, "a 0.1 coverage drop must fire at default 0.02"
+        assert all(v.kind == "accuracy" for v in violations)
+        assert any("coverage" in v.message for v in violations)
+
+    def test_coverage_improvement_is_not_drift(self):
+        assert check_drift(self._diff(new_kwargs={"coverage": 0.95})) == []
+
+    def test_small_coverage_wobble_is_tolerated(self):
+        assert check_drift(
+            self._diff(new_kwargs={"coverage": 0.89}),
+        ) == []
+
+    def test_confidence_drop_is_accuracy_drift(self):
+        violations = check_drift(
+            self._diff(new_kwargs={"min_confidence": 0.6})
+        )
+        assert [v.kind for v in violations] == ["accuracy"]
+        assert "min_confidence" in violations[0].delta.field
+
+    def test_thresholds_are_tunable(self):
+        diff = self._diff(new_kwargs={"coverage": 0.8})
+        relaxed = check_drift(
+            diff, DriftThresholds(max_coverage_drop=0.5)
+        )
+        assert relaxed == []
+
+    def test_cli_check_fails_on_coverage_regression(
+        self, tmp_path, capsys
+    ):
+        ledger = str(tmp_path / "ledger.jsonl")
+        baseline = _write(tmp_path, "a.json", _manifest("run-a"))
+        regressed = _write(
+            tmp_path, "bad.json", _manifest("run-bad", coverage=0.7)
+        )
+        assert main(["ledger", "--ledger", ledger, "log", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([
+            "ledger", "--ledger", ledger, "check", str(regressed)
+        ]) == 1
+        assert "coverage" in capsys.readouterr().out
+        # The CLI flag relaxes the tolerance.
+        assert main([
+            "ledger", "--ledger", ledger, "check",
+            "--max-coverage-drop", "0.5", str(regressed),
+        ]) == 0
 
 
 class TestLedgerCLI:
