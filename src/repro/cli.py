@@ -23,8 +23,20 @@ Commands
     Cross-run observability: append manifests to an append-only JSONL
     run ledger, list logged runs, diff two runs field by field, and
     gate on accuracy/performance drift (``check`` exits non-zero when
-    an error table worsens, a chosen k flips, or a stage/cache metric
-    degrades beyond tolerance — see ``repro ledger check --help``).
+    an error table worsens, a chosen k flips, a stage/cache metric
+    degrades beyond tolerance, or job failure/retry rates exceed their
+    bounds — see ``repro ledger check --help``).
+``submit <benchmark> [--sizes N,N,...] [--queue DIR]``
+    Queue benchmark experiment jobs (one per interval size) on the
+    persistent file-backed work queue. Submission is idempotent: a
+    cell whose successful receipt already exists is not queued again.
+``serve [--queue DIR] [--workers N]``
+    Drain the queue with a pool of worker processes. Workers that die
+    mid-job lose their lease; their jobs are reclaimed and retried up
+    to the queue's attempt budget. Exits non-zero if any job ended
+    failed or exhausted.
+``jobs [--queue DIR]``
+    Show the queue's pending/active tallies and its receipts.
 
 Matching
 --------
@@ -327,6 +339,78 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         return 2
 
 
+def _resolve_queue(args: argparse.Namespace):
+    from repro.jobs.queue import JobQueue
+    from repro.jobs.service import default_queue_root
+
+    return JobQueue(
+        args.queue or default_queue_root(),
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentConfig
+    from repro.jobs.service import submit_benchmark
+
+    queue = _resolve_queue(args)
+    sizes = (
+        [int(size) for size in args.sizes.split(",")]
+        if args.sizes
+        else [ExperimentConfig().interval_size]
+    )
+    for size in sizes:
+        config = ExperimentConfig(interval_size=size)
+        job_id = submit_benchmark(
+            queue, args.benchmark, config, retry=args.retry
+        )
+        receipt = queue.receipt(job_id)
+        state = f"done ({receipt.status})" if receipt else "queued"
+        print(
+            f"{job_id[:12]}  {args.benchmark} interval_size={size}  "
+            f"{state}"
+        )
+    print(f"queue: {queue.root}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.jobs.service import (
+        ensure_default_executors,
+        render_receipts,
+    )
+    from repro.jobs.worker import run_worker_pool
+
+    ensure_default_executors()
+    queue = _resolve_queue(args)
+    run_worker_pool(queue, args.workers)
+    receipts = queue.receipts()
+    print(render_receipts(receipts))
+    bad = [receipt for receipt in receipts if not receipt.ok]
+    counts = queue.counts()
+    print(
+        f"\ndrained: {counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['exhausted']} exhausted"
+    )
+    return 1 if bad else 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.jobs.service import render_receipts
+
+    queue = _resolve_queue(args)
+    counts = queue.counts()
+    print(
+        f"queue: {queue.root}\n"
+        f"pending: {counts['pending']}  active: {counts['active']}  "
+        f"ok: {counts['ok']}  failed: {counts['failed']}  "
+        f"exhausted: {counts['exhausted']}\n"
+    )
+    print(render_receipts(queue.receipts()))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     if args.benchmarks:
         names: Sequence[str] = tuple(args.benchmarks.split(","))
@@ -512,6 +596,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("manifest", help="path to a manifest.json")
 
+    queue_common = argparse.ArgumentParser(add_help=False)
+    queue_common.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="work-queue directory (default: REPRO_QUEUE or "
+             "./repro-queue)",
+    )
+    queue_common.add_argument(
+        "--lease-seconds", type=float, default=300.0, metavar="S",
+        help="lease timeout before a dead worker's job is reclaimed "
+             "(default 300)",
+    )
+    queue_common.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="executions allowed per job before it is marked "
+             "exhausted (default 3)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="queue benchmark experiment jobs for repro serve",
+        parents=[common, queue_common],
+    )
+    submit.add_argument("benchmark", choices=benchmark_names())
+    submit.add_argument(
+        "--sizes", default=None, metavar="N,N,...",
+        help="comma-separated interval sizes, one job per size "
+             "(default: one job at the standard interval size)",
+    )
+    submit.add_argument(
+        "--retry", action="store_true",
+        help="requeue jobs whose previous attempt ended failed or "
+             "exhausted (successful jobs are never re-run)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drain the work queue with a pool of worker processes",
+        parents=[common, queue_common],
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: --jobs / REPRO_JOBS)",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs",
+        help="show queue status and job receipts",
+        parents=[common, queue_common],
+    )
+    del jobs_cmd  # flags only; the handler reads the shared options
+
     ledger = sub.add_parser(
         "ledger",
         help="cross-run ledger: log/list/diff manifests, check for drift",
@@ -610,6 +745,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.05)",
     )
     ledger_check.add_argument(
+        "--max-job-failure-rate", type=float, default=None, metavar="X",
+        dest="max_job_failure_rate",
+        help="max fraction of jobs ending failed/exhausted "
+             "(default 0.0 — any failed job is drift)",
+    )
+    ledger_check.add_argument(
+        "--max-job-retry-rate", type=float, default=None, metavar="X",
+        dest="max_job_retry_rate",
+        help="max job retries per completed job (default 0.25)",
+    )
+    ledger_check.add_argument(
         "--allow-k-change", dest="forbid_k_change",
         action="store_const", const=False, default=None,
         help="do not treat a chosen-k flip as drift",
@@ -627,6 +773,9 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "inspect": _cmd_inspect,
     "ledger": _cmd_ledger,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
 }
 
 

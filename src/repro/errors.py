@@ -50,3 +50,7 @@ class FileFormatError(ReproError):
 
 class CacheError(ReproError):
     """The profile cache is misconfigured or cannot store a value."""
+
+
+class JobError(ReproError):
+    """The job service was given an unusable job, queue, or payload."""

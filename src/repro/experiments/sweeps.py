@@ -58,12 +58,22 @@ def sweep_interval_sizes(
     speedup_pair: Tuple[str, str] = ("32u", "32o"),
     *,
     jobs: Optional[int] = None,
+    via_jobs=None,
 ) -> Dict[int, IntervalSizeSweepPoint]:
     """Run the full experiment at several interval sizes.
 
     Each size is an independent full experiment, so with ``jobs`` > 1
     the settings fan out over worker processes; finished runs land in
     the runner's in-process memo either way.
+
+    ``via_jobs`` routes the cells through the persistent job service
+    instead of a transient process pool: pass a
+    :class:`~repro.jobs.queue.JobQueue` (or a queue directory path) and
+    the cells are submitted as jobs, executed by a worker pool with
+    per-job receipts, and — because submission is idempotent and
+    receipts are exactly-once — an interrupted sweep rerun against the
+    same queue resumes from its finished cells. Results are
+    bit-identical to the direct path.
     """
     if not sizes:
         raise SimulationError("no interval sizes given")
@@ -74,7 +84,19 @@ def sweep_interval_sizes(
     with trace.span(
         "sweep_interval_sizes", benchmark=benchmark, settings=len(sizes)
     ):
-        if resolve_jobs(jobs) > 1 and len(sizes) > 1:
+        if via_jobs is not None:
+            from repro.jobs.queue import JobQueue
+            from repro.jobs.service import run_sweep_via_jobs
+
+            queue = (
+                via_jobs
+                if isinstance(via_jobs, JobQueue)
+                else JobQueue(via_jobs)
+            )
+            runs_by_size = run_sweep_via_jobs(
+                benchmark, sizes, base_config, queue, workers=jobs
+            )
+        elif resolve_jobs(jobs) > 1 and len(sizes) > 1:
             cache = active_cache()
             cache_root = cache.root if cache is not None else None
             task_results = parallel_map(

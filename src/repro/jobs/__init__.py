@@ -1,0 +1,69 @@
+"""The job service: persistent queue -> workers -> typed receipts.
+
+The submit/queue/worker/artifact-store layer that turns the monolithic
+pipeline into a multi-tenant service. :mod:`repro.jobs.queue` is the
+crash-safe file-backed queue (claim-by-rename leases, lease timeouts,
+idempotent retry), :mod:`repro.jobs.worker` the executor registry and
+worker pool, :mod:`repro.jobs.receipts` the exactly-once provenance
+records, and :mod:`repro.jobs.service` the binding to the experiment
+pipeline (``repro serve`` / ``repro submit`` / ``repro jobs`` and the
+``--via-jobs`` sweep path). See ``docs/jobs.md``.
+"""
+
+from repro.jobs.queue import JOB_SCHEMA, JobQueue, job_id_for
+from repro.jobs.receipts import (
+    RECEIPT_SCHEMA,
+    RECEIPT_STATUSES,
+    JobReceipt,
+    exhausted_receipt,
+)
+from repro.jobs.service import (
+    BENCHMARK_JOB_KIND,
+    DEFAULT_QUEUE_DIR,
+    benchmark_job_spec,
+    collect_run,
+    decode_experiment_config,
+    default_queue_root,
+    encode_experiment_config,
+    ensure_default_executors,
+    record_job_metrics,
+    render_receipts,
+    run_sweep_via_jobs,
+    submit_benchmark,
+)
+from repro.jobs.worker import (
+    JobResult,
+    execute_record,
+    executor_for,
+    register_executor,
+    run_worker,
+    run_worker_pool,
+)
+
+__all__ = [
+    "JOB_SCHEMA",
+    "RECEIPT_SCHEMA",
+    "RECEIPT_STATUSES",
+    "BENCHMARK_JOB_KIND",
+    "DEFAULT_QUEUE_DIR",
+    "JobQueue",
+    "JobReceipt",
+    "JobResult",
+    "benchmark_job_spec",
+    "collect_run",
+    "decode_experiment_config",
+    "default_queue_root",
+    "encode_experiment_config",
+    "ensure_default_executors",
+    "execute_record",
+    "executor_for",
+    "exhausted_receipt",
+    "job_id_for",
+    "record_job_metrics",
+    "register_executor",
+    "render_receipts",
+    "run_sweep_via_jobs",
+    "run_worker",
+    "run_worker_pool",
+    "submit_benchmark",
+]

@@ -1,0 +1,341 @@
+"""Persistent file-backed work queue with crash-safe leases.
+
+One queue is one directory; every transition is a POSIX rename, so any
+number of submitter, worker, and reclaimer processes can share it with
+no daemon and no database:
+
+```
+<root>/
+  spool.jsonl           append-only submission log (audit trail)
+  pending/<id>.json     submitted, unclaimed job records
+  active/<id>.json      leased jobs; mtime = lease start
+  receipts/<aa>/<id>.json   exactly-once terminal receipts
+  artifacts/<aa>/<id>.pkl   pickled job results, content-addressed
+```
+
+The invariants:
+
+* **claim-by-rename** — a worker claims a job by renaming
+  ``pending/<id>.json`` to ``active/<id>.json``; the rename either
+  succeeds for exactly one claimant or raises ``FileNotFoundError``
+  for the losers. The fresh lease's clock starts with an ``utime``.
+* **lease timeout** — a worker that dies mid-job leaves its active
+  file behind; :meth:`JobQueue.reclaim_expired` takes it over with
+  another rename (to a stash name, so two reclaimers cannot both
+  requeue it), bumps the attempt count, and either requeues the job or
+  writes an ``exhausted`` receipt when attempts run out.
+* **idempotent retry** — the job id is the fingerprint of the job's
+  kind and payload, so resubmitting the same work is a no-op once a
+  successful receipt exists, and a resumed sweep can find its finished
+  cells by recomputing their ids.
+* **exactly-once receipts** — receipts are published with
+  ``os.link`` (fails with ``EEXIST`` for every writer but the first),
+  so a slow worker finishing after its lease was reclaimed cannot
+  overwrite the retry's receipt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import JobError
+from repro.jobs.receipts import JobReceipt, exhausted_receipt
+from repro.observability import metrics
+from repro.runtime.fingerprint import fingerprint
+from repro.runtime.locking import append_line
+
+JOB_SCHEMA = "repro.job/v1"
+
+PathLike = Union[str, Path]
+
+
+def job_id_for(kind: str, payload: Mapping[str, Any]) -> str:
+    """The content-derived job id: same work, same id, any process."""
+    return fingerprint("job", kind, dict(payload))
+
+
+class JobQueue:
+    """One work-queue directory and this handle's view of it."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        lease_seconds: float = 300.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise JobError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        if max_attempts < 1:
+            raise JobError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.root = Path(root)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.spool_path = self.root / "spool.jsonl"
+        self.pending_dir = self.root / "pending"
+        self.active_dir = self.root / "active"
+        self.receipts_dir = self.root / "receipts"
+        self.artifacts_dir = self.root / "artifacts"
+        for directory in (
+            self.pending_dir,
+            self.active_dir,
+            self.receipts_dir,
+            self.artifacts_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ---------------------------------------------------
+
+    def _pending_path(self, job_id: str) -> Path:
+        return self.pending_dir / f"{job_id}.json"
+
+    def _active_path(self, job_id: str) -> Path:
+        return self.active_dir / f"{job_id}.json"
+
+    def _receipt_path(self, job_id: str) -> Path:
+        return self.receipts_dir / job_id[:2] / f"{job_id}.json"
+
+    def _artifact_path(self, job_id: str) -> Path:
+        return self.artifacts_dir / job_id[:2] / f"{job_id}.pkl"
+
+    # -- submission ---------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        payload: Mapping[str, Any],
+        *,
+        retry: bool = False,
+    ) -> str:
+        """Queue one job; returns its content-derived id.
+
+        Submission is idempotent: a job whose successful receipt
+        already exists, or that is already pending or leased, is not
+        queued again. A job with a ``failed``/``exhausted`` receipt is
+        terminal and stays terminal unless ``retry=True``, which drops
+        the old receipt and queues a fresh attempt.
+        """
+        record = {
+            "schema": JOB_SCHEMA,
+            "id": job_id_for(kind, payload),
+            "kind": kind,
+            "payload": dict(payload),
+            "attempt": 0,
+            "submitted_at": time.time(),
+        }
+        job_id = record["id"]
+        receipt = self.receipt(job_id)
+        if receipt is not None:
+            if receipt.ok or not retry:
+                return job_id
+            self._receipt_path(job_id).unlink(missing_ok=True)
+        if self._pending_path(job_id).exists() or (
+            self._active_path(job_id).exists()
+        ):
+            return job_id
+        self._write_pending(record)
+        append_line(self.spool_path, json.dumps(record, sort_keys=True))
+        metrics.counter("jobs.submitted").inc()
+        return job_id
+
+    def _write_pending(self, record: Mapping[str, Any]) -> None:
+        """Publish a complete pending file with tmp-write + rename."""
+        path = self._pending_path(record["id"])
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- leasing ------------------------------------------------------
+
+    def claim(self, worker_id: str = "") -> Optional[Dict[str, Any]]:
+        """Lease one pending job, or ``None`` if nothing is claimable.
+
+        The rename is the lock: of any number of concurrent claimants,
+        exactly one sees it succeed; the rest get ``FileNotFoundError``
+        and move on to the next pending file.
+        """
+        for path in sorted(self.pending_dir.glob("*.json")):
+            target = self.active_dir / path.name
+            try:
+                os.rename(path, target)
+                os.utime(target)  # lease clock starts now, not at submit
+                return json.loads(target.read_text())
+            except FileNotFoundError:
+                continue  # lost the race (or an immediate reclaim)
+        return None
+
+    def release(self, job_id: str) -> None:
+        """Drop a lease after its receipt is written.
+
+        Releasing a lease that was already reclaimed (or that a stale
+        worker releases on behalf of a newer lease) is benign: the
+        job's terminal state lives in its exactly-once receipt, never
+        in the lease file.
+        """
+        try:
+            self._active_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def reclaim_expired(self, *, force: bool = False) -> int:
+        """Take over dead workers' leases; returns the number requeued.
+
+        A lease older than ``lease_seconds`` (or any lease, with
+        ``force=True`` — used by the pool after all its workers have
+        been joined) is atomically renamed to a stash name, so
+        concurrent reclaimers cannot both requeue the same job. A job
+        whose receipt appeared in the meantime was finished by a slow
+        worker and is simply dropped; otherwise its attempt count is
+        bumped and it is either requeued or, out of attempts, closed
+        with an ``exhausted`` receipt.
+        """
+        now = time.time()
+        requeued = 0
+        for path in sorted(self.active_dir.glob("*.json")):
+            try:
+                age = now - path.stat().st_mtime
+            except FileNotFoundError:
+                continue  # completed while we scanned
+            if not force and age <= self.lease_seconds:
+                continue
+            stash = path.with_suffix(".reclaim")
+            try:
+                os.rename(path, stash)
+            except FileNotFoundError:
+                continue  # finished, or another reclaimer won
+            try:
+                record = json.loads(stash.read_text())
+                job_id = record["id"]
+                if self.receipt(job_id) is not None:
+                    continue  # slow worker finished; lease was litter
+                record["attempt"] = int(record.get("attempt", 0)) + 1
+                if record["attempt"] >= self.max_attempts:
+                    self.write_receipt(
+                        exhausted_receipt(
+                            job_id, record["kind"], record["attempt"]
+                        )
+                    )
+                else:
+                    self._write_pending(record)
+                    requeued += 1
+            finally:
+                stash.unlink(missing_ok=True)
+        return requeued
+
+    # -- artifacts and receipts ---------------------------------------
+
+    def store_artifact(self, job_id: str, value: Any) -> str:
+        """Persist a job's result; returns its SHA-256 content hash."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._artifact_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return hashlib.sha256(payload).hexdigest()
+
+    def load_artifact(self, job_id: str) -> Any:
+        """Unpickle a finished job's stored result."""
+        path = self._artifact_path(job_id)
+        try:
+            return pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            raise JobError(
+                f"{self.root}: no artifact for job {job_id[:12]}"
+            ) from None
+
+    def write_receipt(self, receipt: JobReceipt) -> bool:
+        """Publish a receipt exactly once; True iff this writer won.
+
+        ``os.link`` of a fully-written temp file is the commit point:
+        it fails with ``FileExistsError`` for every writer but the
+        first, so a reclaimed job's slow original worker and its retry
+        can both try to close the job, and exactly one receipt ever
+        exists.
+        """
+        path = self._receipt_path(receipt.job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(
+                    receipt.to_record(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            os.unlink(tmp_name)
+
+    def receipt(self, job_id: str) -> Optional[JobReceipt]:
+        """The job's terminal receipt, or ``None`` while it is open."""
+        path = self._receipt_path(job_id)
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise JobError(f"{path}: corrupt receipt: {exc}") from exc
+        return JobReceipt.from_record(record)
+
+    def receipts(self) -> List[JobReceipt]:
+        """Every receipt in the queue, ordered by job id."""
+        return [
+            JobReceipt.from_record(json.loads(path.read_text()))
+            for path in sorted(self.receipts_dir.glob("*/*.json"))
+        ]
+
+    # -- status -------------------------------------------------------
+
+    def pending_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.pending_dir.glob("*.json"))
+
+    def active_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.active_dir.glob("*.json"))
+
+    def is_drained(self) -> bool:
+        """True when every submitted job has reached a terminal state."""
+        return not self.pending_ids() and not self.active_ids()
+
+    def counts(self) -> Dict[str, int]:
+        """Pending/active/terminal tallies for status displays."""
+        tallies = {
+            "pending": len(self.pending_ids()),
+            "active": len(self.active_ids()),
+            "ok": 0,
+            "failed": 0,
+            "exhausted": 0,
+        }
+        for receipt in self.receipts():
+            tallies[receipt.status] += 1
+        return tallies

@@ -1,0 +1,124 @@
+"""Typed job receipts: one job's provenance, written exactly once.
+
+A :class:`JobReceipt` is the job service's unit of proof. Every job —
+succeeded, failed, or abandoned after too many lost leases — ends in
+exactly one receipt stored content-addressed next to the artifacts
+(``receipts/<aa>/<job-id>.json``). The receipt records what ran (the
+equivalent command and the config fingerprint), what it consumed
+(input hashes), what it produced (artifact hashes), how long it took,
+how many executions were started, and how it ended — enough to decide,
+without re-running anything, whether a sweep can resume from this job
+or must retry it, and enough for the run ledger's drift sentinel to
+gate on failure and retry rates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import JobError
+
+RECEIPT_SCHEMA = "repro.receipt/v1"
+
+#: The terminal states a job can reach. ``ok`` and ``failed`` are
+#: written by the worker that executed the attempt; ``exhausted`` is
+#: written by the reclaimer when a job has burned every allowed
+#: attempt without a worker surviving long enough to write a receipt.
+RECEIPT_STATUSES = ("ok", "failed", "exhausted")
+
+
+@dataclass(frozen=True)
+class JobReceipt:
+    """The immutable record of one job's terminal state."""
+
+    job_id: str
+    kind: str
+    status: str
+    attempt: int
+    worker: str = ""
+    seconds: float = 0.0
+    command: List[str] = field(default_factory=list)
+    config_fingerprint: Optional[str] = None
+    input_hashes: Dict[str, str] = field(default_factory=dict)
+    artifact_hashes: Dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in RECEIPT_STATUSES:
+            raise JobError(
+                f"receipt status must be one of {RECEIPT_STATUSES}, "
+                f"got {self.status!r}"
+            )
+        if self.attempt < 1:
+            raise JobError(
+                f"receipt attempt must be >= 1, got {self.attempt}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def retries(self) -> int:
+        """Executions beyond the first (what the sentinel rates)."""
+        return max(0, self.attempt - 1)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "schema": RECEIPT_SCHEMA,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "seconds": self.seconds,
+            "command": list(self.command),
+            "config_fingerprint": self.config_fingerprint,
+            "input_hashes": dict(self.input_hashes),
+            "artifact_hashes": dict(self.artifact_hashes),
+            "error": self.error,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "JobReceipt":
+        if record.get("schema") != RECEIPT_SCHEMA:
+            raise JobError(
+                f"not a {RECEIPT_SCHEMA} record: "
+                f"schema={record.get('schema')!r}"
+            )
+        return cls(
+            job_id=record["job_id"],
+            kind=record["kind"],
+            status=record["status"],
+            attempt=int(record["attempt"]),
+            worker=record.get("worker", ""),
+            seconds=float(record.get("seconds", 0.0)),
+            command=list(record.get("command") or []),
+            config_fingerprint=record.get("config_fingerprint"),
+            input_hashes=dict(record.get("input_hashes") or {}),
+            artifact_hashes=dict(record.get("artifact_hashes") or {}),
+            error=record.get("error"),
+            created_at=float(record.get("created_at", 0.0)),
+        )
+
+
+def exhausted_receipt(
+    job_id: str, kind: str, attempt: int, worker: str = "reclaimer"
+) -> JobReceipt:
+    """The receipt the reclaimer writes for a job out of attempts."""
+    return JobReceipt(
+        job_id=job_id,
+        kind=kind,
+        status="exhausted",
+        attempt=attempt,
+        worker=worker,
+        error=(
+            f"lease lost {attempt} time(s); no worker survived to "
+            f"complete the job"
+        ),
+        created_at=time.time(),
+    )

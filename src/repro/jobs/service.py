@@ -1,0 +1,285 @@
+"""The job-service glue: experiment jobs, executors, and sweep sharding.
+
+This module binds the generic queue/worker machinery to the experiment
+pipeline:
+
+* an :class:`~repro.experiments.runner.ExperimentConfig` is lowered to
+  a pure-JSON payload (and back), so job ids are content-derived and
+  stable across processes;
+* the ``benchmark`` executor runs one benchmark through
+  :func:`~repro.experiments.runner.run_benchmark` exactly as the
+  direct path would — same pipeline, same ProfileCache — so a job's
+  artifact is bit-identical to an in-process run;
+* :func:`run_sweep_via_jobs` shards a sweep's cells through the queue
+  in bounded waves (backpressure), resumes from existing receipts, and
+  folds the jobs' outcomes back into the runner's in-process memo;
+* :func:`record_job_metrics` derives the ``jobs.*`` counters from the
+  receipts in the *parent* process, so they land in the run manifest
+  and the ledger's drift sentinel can gate on failure/retry rates no
+  matter which worker processes did the executing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.cmpsim.config import TABLE1_CONFIG
+from repro.compilation.targets import target_by_label
+from repro.errors import JobError
+from repro.experiments.runner import (
+    BenchmarkRun,
+    ExperimentConfig,
+    remember_run,
+    run_benchmark,
+)
+from repro.jobs.queue import JobQueue, job_id_for
+from repro.jobs.receipts import JobReceipt
+from repro.jobs.worker import (
+    JobResult,
+    register_executor,
+    run_worker_pool,
+)
+from repro.observability import metrics
+from repro.programs.inputs import ProgramInput
+from repro.runtime.config import resolve_jobs
+from repro.runtime.fingerprint import fingerprint
+from repro.simpoint.simpoint import SimPointConfig
+
+#: Default queue location: ``REPRO_QUEUE`` or a directory in the cwd.
+DEFAULT_QUEUE_DIR = "repro-queue"
+
+BENCHMARK_JOB_KIND = "benchmark"
+
+
+def default_queue_root() -> str:
+    """The queue the CLI uses absent ``--queue``: env or cwd."""
+    return os.environ.get("REPRO_QUEUE") or DEFAULT_QUEUE_DIR
+
+
+# -- config <-> JSON payload ------------------------------------------
+
+
+def encode_experiment_config(config: ExperimentConfig) -> Dict[str, Any]:
+    """Lower a config to plain JSON so payloads fingerprint stably.
+
+    Only configs with the default (Table 1) memory system are
+    encodable — a custom memory hierarchy is a nested dataclass tree
+    with no label to recover it by, and no experiment in the paper
+    varies it.
+    """
+    if config.memory != TABLE1_CONFIG:
+        raise JobError(
+            "job payloads only encode the default Table-1 memory "
+            "configuration; run custom memory configs via the direct "
+            "path instead"
+        )
+    return {
+        "interval_size": config.interval_size,
+        "simpoint": dataclasses.asdict(config.simpoint),
+        "program_input": dataclasses.asdict(config.program_input),
+        "targets": [target.label for target in config.targets],
+        "primary_index": config.primary_index,
+        "enable_signature_recovery": config.enable_signature_recovery,
+        "match_confidence": config.match_confidence,
+    }
+
+
+def decode_experiment_config(
+    payload: Mapping[str, Any]
+) -> ExperimentConfig:
+    """Rebuild the exact config a payload was encoded from."""
+    try:
+        return ExperimentConfig(
+            interval_size=int(payload["interval_size"]),
+            simpoint=SimPointConfig(**payload["simpoint"]),
+            program_input=ProgramInput(**payload["program_input"]),
+            targets=tuple(
+                target_by_label(label) for label in payload["targets"]
+            ),
+            primary_index=int(payload["primary_index"]),
+            enable_signature_recovery=bool(
+                payload["enable_signature_recovery"]
+            ),
+            match_confidence=payload.get("match_confidence"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobError(f"malformed experiment-config payload: {exc}") from exc
+
+
+def benchmark_job_spec(
+    benchmark: str, config: Optional[ExperimentConfig] = None
+):
+    """The (kind, payload) of one benchmark experiment job."""
+    config = config or ExperimentConfig()
+    payload = {
+        "benchmark": benchmark,
+        "config": encode_experiment_config(config),
+    }
+    return BENCHMARK_JOB_KIND, payload
+
+
+# -- executors --------------------------------------------------------
+
+
+def _execute_benchmark(payload: Mapping[str, Any]) -> JobResult:
+    """Worker-side: one benchmark's full experiment, serially.
+
+    ``jobs=1`` is load-bearing: pool workers are plain forked
+    processes, so without it a worker could spawn its own nested
+    process pool per benchmark.
+    """
+    benchmark = payload["benchmark"]
+    config = decode_experiment_config(payload["config"])
+    run = run_benchmark(benchmark, config, jobs=1)
+    return JobResult(
+        value=run,
+        input_hashes={
+            "benchmark": fingerprint("benchmark", benchmark),
+            "config": fingerprint("experiment-config", payload["config"]),
+        },
+        command=[
+            "repro", "submit", benchmark,
+            "--sizes", str(config.interval_size),
+        ],
+        # Matches ObservationSession.record_config, so a receipt can be
+        # joined against the manifests/ledger entries of equivalent runs.
+        config_fingerprint=fingerprint("config", config.cache_key()),
+    )
+
+
+def ensure_default_executors() -> None:
+    """Register the built-in executors (idempotent)."""
+    register_executor(
+        BENCHMARK_JOB_KIND, _execute_benchmark, replace=True
+    )
+
+
+# -- submission and collection ----------------------------------------
+
+
+def submit_benchmark(
+    queue: JobQueue,
+    benchmark: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    retry: bool = False,
+) -> str:
+    """Queue one benchmark experiment; returns the job id."""
+    kind, payload = benchmark_job_spec(benchmark, config)
+    return queue.submit(kind, payload, retry=retry)
+
+
+def collect_run(queue: JobQueue, job_id: str) -> BenchmarkRun:
+    """A finished benchmark job's run, installed in the runner memo."""
+    receipt = queue.receipt(job_id)
+    if receipt is None:
+        raise JobError(
+            f"job {job_id[:12]} has no receipt yet (still queued or "
+            f"running)"
+        )
+    if not receipt.ok:
+        raise JobError(
+            f"job {job_id[:12]} ended {receipt.status} after attempt "
+            f"{receipt.attempt}: {receipt.error}"
+        )
+    run = queue.load_artifact(job_id)
+    remember_run(run)
+    return run
+
+
+def record_job_metrics(
+    queue: JobQueue, job_ids: Iterable[str]
+) -> Dict[str, int]:
+    """Fold the jobs' receipt outcomes into this process's counters.
+
+    Executions happen in worker processes whose metric registries die
+    with them, so the authoritative ``jobs.completed`` / ``jobs.failed``
+    / ``jobs.exhausted`` / ``jobs.retries`` counts are derived from the
+    receipts here, parent-side — that is what flows into the manifest
+    and lets ``repro ledger check`` gate on failure and retry rates.
+    """
+    tallies = {"completed": 0, "failed": 0, "exhausted": 0, "retries": 0}
+    for job_id in job_ids:
+        receipt = queue.receipt(job_id)
+        if receipt is None:
+            continue
+        if receipt.ok:
+            tallies["completed"] += 1
+        else:
+            tallies[receipt.status] += 1
+        tallies["retries"] += receipt.retries
+    for name, value in tallies.items():
+        if value:
+            metrics.counter(f"jobs.{name}").inc(value)
+    return tallies
+
+
+# -- sweep sharding ---------------------------------------------------
+
+
+def run_sweep_via_jobs(
+    benchmark: str,
+    sizes: Sequence[int],
+    base_config: Optional[ExperimentConfig],
+    queue: JobQueue,
+    *,
+    workers: Optional[int] = None,
+) -> Dict[int, BenchmarkRun]:
+    """Run a sweep's cells through the queue; returns runs by size.
+
+    Cells are submitted in bounded waves (backpressure: at most
+    ``2 x workers`` jobs in flight, so a huge sweep never floods the
+    spool ahead of its workers) and each wave is drained by a worker
+    pool. Submission is idempotent, so an interrupted sweep rerun with
+    the same queue resumes: cells with successful receipts are *not*
+    re-executed — their artifacts are loaded straight from the store —
+    and only unfinished cells ever reach a worker. Results are
+    bit-identical to the direct path: the executor runs the same
+    pipeline, and a pickle round-trip preserves run equality.
+    """
+    ensure_default_executors()
+    base_config = base_config or ExperimentConfig()
+    cells = [
+        (size, dataclasses.replace(base_config, interval_size=size))
+        for size in sizes
+    ]
+    job_ids = {
+        size: job_id_for(*benchmark_job_spec(benchmark, config))
+        for size, config in cells
+    }
+    max_inflight = max(2 * resolve_jobs(workers), 4)
+    for start in range(0, len(cells), max_inflight):
+        wave = cells[start:start + max_inflight]
+        submitted = 0
+        for size, config in wave:
+            receipt = queue.receipt(job_ids[size])
+            if receipt is not None and receipt.ok:
+                continue  # resume: this cell already finished
+            submit_benchmark(queue, benchmark, config, retry=True)
+            submitted += 1
+        if submitted:
+            run_worker_pool(queue, workers)
+    runs = {size: collect_run(queue, job_ids[size]) for size, _ in cells}
+    record_job_metrics(queue, job_ids.values())
+    return runs
+
+
+def render_receipts(receipts: Sequence[JobReceipt]) -> str:
+    """The ``repro jobs`` receipts table."""
+    if not receipts:
+        return "(no receipts)"
+    lines = [
+        f"{'job':<14} {'kind':<10} {'status':<10} {'att':>3} "
+        f"{'seconds':>8} {'worker':<10} error",
+        "-" * 72,
+    ]
+    for receipt in receipts:
+        lines.append(
+            f"{receipt.job_id[:12]:<14} {receipt.kind:<10} "
+            f"{receipt.status:<10} {receipt.attempt:>3} "
+            f"{receipt.seconds:>8.2f} {receipt.worker:<10} "
+            f"{receipt.error or '-'}"
+        )
+    return "\n".join(lines)

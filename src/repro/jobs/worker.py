@@ -1,0 +1,211 @@
+"""Workers: claim jobs, run registered executors, write receipts.
+
+An *executor* is a module-level function ``payload -> JobResult`` for
+one job kind, registered with :func:`register_executor`. Workers never
+import job-specific code themselves; the registry is the seam between
+the generic queue machinery and the experiment pipeline (see
+:mod:`repro.jobs.service` for the default executors).
+
+:func:`run_worker` is one worker loop in the current process;
+:func:`run_worker_pool` forks a pool of them and drives the queue to a
+fully drained state, force-reclaiming the leases of any worker that
+died (or was killed) mid-job so the survivors retry them on the next
+round. Every execution attempt ends in a receipt — ``ok`` or
+``failed`` from the worker itself, ``exhausted`` from the reclaimer —
+so the pool terminates even when jobs crash deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import JobError
+from repro.jobs.queue import JobQueue
+from repro.jobs.receipts import JobReceipt
+from repro.runtime import parallel
+from repro.runtime.config import resolve_jobs
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What an executor hands back for the receipt and the artifact.
+
+    ``value`` is pickled into the queue's artifact store; the rest is
+    provenance copied into the :class:`~repro.jobs.receipts.JobReceipt`.
+    """
+
+    value: Any
+    input_hashes: Dict[str, str] = field(default_factory=dict)
+    command: List[str] = field(default_factory=list)
+    config_fingerprint: Optional[str] = None
+
+
+Executor = Callable[[Mapping[str, Any]], JobResult]
+
+_EXECUTORS: Dict[str, Executor] = {}
+
+
+def register_executor(
+    kind: str, fn: Executor, *, replace: bool = False
+) -> None:
+    """Install the executor for one job kind (module-level, picklable)."""
+    if kind in _EXECUTORS and not replace:
+        raise JobError(f"executor for kind {kind!r} already registered")
+    _EXECUTORS[kind] = fn
+
+
+def executor_for(kind: str) -> Executor:
+    try:
+        return _EXECUTORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_EXECUTORS)) or "(none)"
+        raise JobError(
+            f"no executor registered for job kind {kind!r}; known: {known}"
+        ) from None
+
+
+def execute_record(
+    queue: JobQueue, record: Mapping[str, Any], worker_id: str
+) -> JobReceipt:
+    """Run one claimed job to a terminal receipt and drop its lease.
+
+    An exception from the executor is a *failed job*, not a failed
+    worker: it is captured into a ``failed`` receipt so the worker
+    loop survives and the job does not retry (deterministic failures
+    would fail identically again). Only process death — which cannot
+    write a receipt — leads to retry, via lease reclaim.
+    """
+    job_id = record["id"]
+    kind = record["kind"]
+    attempt = int(record.get("attempt", 0)) + 1
+    start = time.perf_counter()
+    try:
+        result = executor_for(kind)(record["payload"])
+    except Exception as exc:  # noqa: BLE001 - captured into the receipt
+        receipt = JobReceipt(
+            job_id=job_id,
+            kind=kind,
+            status="failed",
+            attempt=attempt,
+            worker=worker_id,
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            created_at=time.time(),
+        )
+    else:
+        artifact_hash = queue.store_artifact(job_id, result.value)
+        receipt = JobReceipt(
+            job_id=job_id,
+            kind=kind,
+            status="ok",
+            attempt=attempt,
+            worker=worker_id,
+            seconds=time.perf_counter() - start,
+            command=list(result.command),
+            config_fingerprint=result.config_fingerprint,
+            input_hashes=dict(result.input_hashes),
+            artifact_hashes={"result": artifact_hash},
+            created_at=time.time(),
+        )
+    queue.write_receipt(receipt)
+    queue.release(job_id)
+    return receipt
+
+
+def run_worker(
+    queue: JobQueue,
+    worker_id: str = "worker",
+    *,
+    drain: bool = True,
+    poll_seconds: float = 0.05,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """One worker loop; returns the number of jobs executed.
+
+    With ``drain=True`` (the default) the loop exits once nothing is
+    claimable — leases held by *other* workers are their problem, and
+    the pool's force-reclaim handles them if those workers died. With
+    ``drain=False`` the worker polls forever (a long-lived server).
+    """
+    executed = 0
+    while True:
+        record = queue.claim(worker_id)
+        if record is None and queue.reclaim_expired():
+            record = queue.claim(worker_id)
+        if record is None:
+            if drain:
+                return executed
+            time.sleep(poll_seconds)
+            continue
+        execute_record(queue, record, worker_id)
+        executed += 1
+        if max_jobs is not None and executed >= max_jobs:
+            return executed
+
+
+def _pool_worker(
+    root: str, lease_seconds: float, max_attempts: int, worker_id: str
+) -> None:
+    """Forked pool member: reopen the queue and drain what it can."""
+    # Forked workers inherit the registered executors and runtime
+    # defaults; suppress any nested process pools the executors might
+    # otherwise spawn.
+    parallel._mark_worker()
+    run_worker(
+        JobQueue(
+            root, lease_seconds=lease_seconds, max_attempts=max_attempts
+        ),
+        worker_id,
+        drain=True,
+    )
+
+
+def run_worker_pool(
+    queue: JobQueue, workers: Optional[int] = None
+) -> None:
+    """Drive the queue to drained with a pool of forked workers.
+
+    Runs in rounds: fork ``workers`` drain-mode workers, join them,
+    then force-reclaim every leftover lease — after the join, any
+    still-active lease belongs to a worker that died (or was killed)
+    mid-job, so its job is requeued (or exhausted) for the next round.
+    Attempt counts bound the rounds: a job that kills its worker every
+    time ends ``exhausted`` rather than looping forever.
+    """
+    n_workers = resolve_jobs(workers)
+    rounds = 0
+    while True:
+        queue.reclaim_expired()
+        if queue.is_drained():
+            return
+        rounds += 1
+        if rounds > queue.max_attempts + 1:
+            raise JobError(
+                f"{queue.root}: queue not drained after {rounds - 1} "
+                f"worker-pool rounds; pending={queue.pending_ids()} "
+                f"active={queue.active_ids()}"
+            )
+        if n_workers <= 1 or parallel._in_worker:
+            run_worker(queue, "worker-0", drain=True)
+        else:
+            context = multiprocessing.get_context("fork")
+            processes = [
+                context.Process(
+                    target=_pool_worker,
+                    args=(
+                        str(queue.root),
+                        queue.lease_seconds,
+                        queue.max_attempts,
+                        f"worker-{index}",
+                    ),
+                )
+                for index in range(n_workers)
+            ]
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join()
+        queue.reclaim_expired(force=True)

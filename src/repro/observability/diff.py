@@ -14,10 +14,12 @@ On top of the diff, :func:`check_drift` applies
 — an *accuracy* violation when any error-table entry or bias row
 worsens beyond tolerance (or the cross-binary matcher's coverage or
 weakest-marker confidence falls), a *decision* violation when a chosen k
-flips, and a *performance* violation when a stage (or the total) slows
-down or the cache hit rate drops beyond tolerance. ``repro ledger
-check`` exits non-zero when any violation fires, which is what lets CI
-gate on drift.
+flips, a *performance* violation when a stage (or the total) slows
+down or the cache hit rate drops beyond tolerance, and a *reliability*
+violation when the candidate run's receipt-derived job counters show a
+failure or retry rate above its bounds. ``repro ledger check`` exits
+non-zero when any violation fires, which is what lets CI gate on
+drift.
 
 Timing tolerances are deliberately asymmetric and guarded by an
 absolute floor: wall-clock jitter on shared runners is real, so a
@@ -229,6 +231,12 @@ class DriftThresholds:
     marker's confidence may fall — together they make a matcher
     regression (markers silently dropping out, or surviving only at
     lower confidence) trip ``repro ledger check``.
+    ``max_job_failure_rate`` / ``max_job_retry_rate`` gate on the job
+    service's receipt-derived counters in the *candidate* run: the
+    fraction of jobs ending failed/exhausted, and retries per finished
+    job (the default 0.0 failure tolerance means any failed job is
+    drift; retries below a quarter per job are tolerated because a
+    reclaimed lease is recovery working, not silent corruption).
     """
 
     max_error_increase: float = 0.002
@@ -240,13 +248,15 @@ class DriftThresholds:
     forbid_k_change: bool = True
     max_coverage_drop: float = 0.02
     max_confidence_drop: float = 0.05
+    max_job_failure_rate: float = 0.0
+    max_job_retry_rate: float = 0.25
 
 
 @dataclass(frozen=True)
 class Violation:
     """One threshold breach, naming the offending field and delta."""
 
-    kind: str  # "accuracy" | "decision" | "performance"
+    kind: str  # "accuracy" | "decision" | "performance" | "reliability"
     delta: Delta
     message: str
 
@@ -358,6 +368,63 @@ def check_drift(
                     f"(> {limits.max_hit_rate_drop:.1%})",
                 )
             )
+
+    violations.extend(_job_rate_violations(diff, limits))
+    return violations
+
+
+def _job_counters(diff: RunDiff, side: str) -> dict:
+    values = {}
+    for delta in diff.section("counters"):
+        if delta.field.startswith("jobs."):
+            value = delta.old if side == "old" else delta.new
+            values[delta.field[len("jobs."):]] = value or 0.0
+    return values
+
+
+def _job_rates(counters: Mapping[str, float]) -> Tuple[Optional[float], Optional[float]]:
+    """(failure_rate, retry_rate) over a run's terminal job receipts."""
+    finished = (
+        counters.get("completed", 0.0)
+        + counters.get("failed", 0.0)
+        + counters.get("exhausted", 0.0)
+    )
+    if finished <= 0:
+        return None, None
+    bad = counters.get("failed", 0.0) + counters.get("exhausted", 0.0)
+    return bad / finished, counters.get("retries", 0.0) / finished
+
+
+def _job_rate_violations(
+    diff: RunDiff, limits: DriftThresholds
+) -> List[Violation]:
+    """Reliability gates over the candidate's receipt-derived counters.
+
+    Unlike the other gates these are absolute bounds on the *new* run,
+    not deltas: a failed or endlessly-retried job is a problem even if
+    the baseline was equally unhealthy.
+    """
+    old_failure, old_retry = _job_rates(_job_counters(diff, "old"))
+    new_failure, new_retry = _job_rates(_job_counters(diff, "new"))
+    violations: List[Violation] = []
+    if new_failure is not None and new_failure > limits.max_job_failure_rate:
+        violations.append(
+            Violation(
+                "reliability",
+                Delta("counters", "jobs.failure_rate", old_failure, new_failure),
+                f"job failure rate {new_failure:.1%} exceeds "
+                f"{limits.max_job_failure_rate:.1%}",
+            )
+        )
+    if new_retry is not None and new_retry > limits.max_job_retry_rate:
+        violations.append(
+            Violation(
+                "reliability",
+                Delta("counters", "jobs.retry_rate", old_retry, new_retry),
+                f"job retry rate {new_retry:.2f}/job exceeds "
+                f"{limits.max_job_retry_rate:.2f}/job",
+            )
+        )
     return violations
 
 

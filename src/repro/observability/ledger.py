@@ -11,7 +11,10 @@ after their full manifests have moved or been pruned.
 
 The ledger is deliberately plain JSONL:
 
-* appends are atomic enough for CI (one ``write`` of one line);
+* appends are truly atomic — one ``os.write`` through ``O_APPEND``
+  (see :mod:`repro.runtime.locking`), fsynced, under an advisory file
+  lock so concurrent workers can neither interleave bytes within a
+  line nor race the duplicate-run-id check;
 * it is greppable and diff-able without tooling;
 * unknown records (future schema versions) are skipped, not fatal.
 
@@ -31,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.errors import FileFormatError
 from repro.observability.manifest import load_manifest, upgrade_manifest
+from repro.runtime.locking import append_line, file_lock
 
 LEDGER_SCHEMA = "repro.ledger/v1"
 
@@ -218,18 +222,25 @@ class RunLedger:
         """Append one manifest's index record; returns the entry.
 
         Re-logging a run id already present is refused — the ledger is
-        append-only and one run is one record.
+        append-only and one run is one record. The duplicate check and
+        the append are one critical section under the ledger's advisory
+        lock, so two concurrent ``log`` calls for the same run id
+        cannot both pass the check; the append itself is a single
+        fsynced ``O_APPEND`` write, so concurrent writers cannot
+        interleave bytes within each other's lines.
         """
         entry = entry_from_manifest(manifest, manifest_path)
-        if any(
-            existing.run_id == entry.run_id for existing in self.entries()
-        ):
-            raise FileFormatError(
-                f"{self.path}: run {entry.run_id} is already logged"
-            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(entry.to_record(), sort_keys=True) + "\n")
+        line = json.dumps(entry.to_record(), sort_keys=True)
+        with file_lock(self.path):
+            if any(
+                existing.run_id == entry.run_id
+                for existing in self.entries()
+            ):
+                raise FileFormatError(
+                    f"{self.path}: run {entry.run_id} is already logged"
+                )
+            append_line(self.path, line)
         return entry
 
     def log_path(self, manifest_path: PathLike) -> LedgerEntry:

@@ -72,22 +72,49 @@ class ProfileCache:
         """Return the cached value for the key, computing it on a miss."""
         digest = fingerprint(kind, list(key_material))
         path = self._path(kind, digest)
+        payload: Optional[bytes]
         try:
             payload = path.read_bytes()
-            value = pickle.loads(payload)
-        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
-            pass  # miss, or corrupt entry: recompute and overwrite
-        else:
-            self.stats.hits += 1
-            self.stats.bytes_read += len(payload)
-            metrics.counter("cache.hits").inc()
-            metrics.counter("cache.bytes_read").inc(len(payload))
-            return value
+        except OSError:
+            payload = None  # plain miss (or unreadable): recompute
+        if payload is not None:
+            try:
+                value = pickle.loads(payload)
+            except (
+                pickle.UnpicklingError,
+                EOFError,
+                ValueError,
+                # A stale entry can reference a class that moved or
+                # disappeared in a refactor; unpickling then raises an
+                # import/attribute failure rather than a pickle error.
+                AttributeError,
+                ImportError,  # covers ModuleNotFoundError
+            ):
+                self._evict_stale(path)
+            else:
+                self.stats.hits += 1
+                self.stats.bytes_read += len(payload)
+                metrics.counter("cache.hits").inc()
+                metrics.counter("cache.bytes_read").inc(len(payload))
+                return value
         value = compute()
         self.stats.misses += 1
         metrics.counter("cache.misses").inc()
         self._write(path, value)
         return value
+
+    def _evict_stale(self, path: Path) -> None:
+        """Drop an entry whose bytes no longer unpickle in this process.
+
+        The digest still addresses the same key, so leaving the file in
+        place would crash every future lookup; deleting it turns the
+        stale entry into an ordinary miss that the recompute overwrites.
+        """
+        try:
+            path.unlink()
+        except OSError:
+            pass  # another handle already evicted it
+        metrics.counter("cache.stale_evictions").inc()
 
     def _write(self, path: Path, value: Any) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)

@@ -82,23 +82,55 @@ def parallel_map(
     n_jobs = min(resolve_jobs(jobs), len(work))
     if n_jobs <= 1 or _in_worker:
         return _serial_map(fn, work)
+    futures: List[concurrent.futures.Future] = []
     try:
         with trace.span("parallel_map", items=len(work), jobs=n_jobs):
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=n_jobs, initializer=_mark_worker
             ) as pool:
-                observed = list(
-                    pool.map(
-                        functools.partial(_observed_call, fn),
-                        enumerate(work),
-                    )
-                )
-    except ReproError:
-        raise  # a worker failed with a real library error
-    except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
-        # The pool itself could not run (restricted environment);
-        # results are identical either way, so fall back to serial.
+                call = functools.partial(_observed_call, fn)
+                try:
+                    for indexed in enumerate(work):
+                        futures.append(pool.submit(call, indexed))
+                except concurrent.futures.process.BrokenProcessPool:
+                    pass  # submitted futures already carry the failure
+                concurrent.futures.wait(futures)
+    except (OSError, PermissionError):
+        # The pool itself could not start (restricted environment);
+        # nothing ran, so the serial loop is a safe, identical retry.
+        metrics.counter("parallel.pool_fallback").inc()
         return _serial_map(fn, work)
+    observed = []
+    broken_index: Optional[int] = None
+    for index, future in enumerate(futures):
+        error = future.exception()
+        if error is None:
+            observed.append(future.result())
+        elif isinstance(
+            error, concurrent.futures.process.BrokenProcessPool
+        ):
+            if broken_index is None:
+                broken_index = index
+        else:
+            raise error  # fn failed for this item, as in the serial loop
+    if broken_index is None and len(futures) < len(work):
+        broken_index = len(futures)
+    if broken_index is not None:
+        if not observed:
+            # Every task was lost before any could run: the pool never
+            # really started (restricted environment). Nothing executed,
+            # so serial fallback cannot double-run a side effect.
+            metrics.counter("parallel.pool_fallback").inc()
+            return _serial_map(fn, work)
+        # A worker died *mid-run* after other tasks completed. Falling
+        # back here would silently re-execute the whole batch — for
+        # side-effectful tasks that is double execution, and it masks
+        # the crash. Surface it instead.
+        raise ReproError(
+            f"parallel_map: worker process died while running task "
+            f"{broken_index}/{len(work)}; {len(observed)} of "
+            f"{len(work)} tasks completed before the pool broke"
+        )
     # Merge snapshots in task-index order, never completion order:
     # gauge merging is last-write-wins, so any scheduling-dependent
     # order would let identical runs record different gauge values.

@@ -38,9 +38,12 @@ def _manifest(
     coverage=0.9,
     min_confidence=0.8,
     created_at=None,
+    jobs=None,
 ):
     registry = Registry()
     registry.counter("simpoint.kmeans_runs").inc(7)
+    for name, value in (jobs or {}).items():
+        registry.counter(f"jobs.{name}").inc(value)
     for value in (1.0, 3.0, 5.0, 17.0):
         registry.histogram("trace.replay_batch_events").observe(value)
     manifest = build_manifest(
@@ -298,6 +301,120 @@ class TestDriftSentinel:
         })
         assert thresholds.max_error_increase == 0.5
         assert thresholds.max_bias_shift == DriftThresholds().max_bias_shift
+
+
+class TestReliabilityDrift:
+    """The job service's receipt-derived counters gate the sentinel."""
+
+    def _diff(self, old_jobs=None, new_jobs=None):
+        return diff_runs(
+            entry_from_manifest(_manifest("run-a", jobs=old_jobs)),
+            entry_from_manifest(_manifest("run-b", jobs=new_jobs)),
+        )
+
+    def test_clean_job_counters_pass(self):
+        diff = self._diff(
+            new_jobs={"completed": 8, "failed": 0, "retries": 1}
+        )
+        assert check_drift(diff) == []
+
+    def test_any_failed_job_is_reliability_drift(self):
+        diff = self._diff(new_jobs={"completed": 7, "failed": 1})
+        violations = check_drift(diff)
+        assert [v.kind for v in violations] == ["reliability"]
+        assert violations[0].delta.field == "jobs.failure_rate"
+        assert "failure rate" in violations[0].message
+
+    def test_exhausted_jobs_count_as_failures(self):
+        diff = self._diff(new_jobs={"completed": 7, "exhausted": 1})
+        assert [v.kind for v in check_drift(diff)] == ["reliability"]
+
+    def test_excessive_retries_are_reliability_drift(self):
+        diff = self._diff(new_jobs={"completed": 4, "retries": 3})
+        violations = check_drift(diff)
+        assert [v.delta.field for v in violations] == ["jobs.retry_rate"]
+
+    def test_bounds_are_absolute_not_deltas(self):
+        # An equally-unhealthy baseline does not excuse the candidate.
+        diff = self._diff(
+            old_jobs={"completed": 7, "failed": 1},
+            new_jobs={"completed": 7, "failed": 1},
+        )
+        assert [v.kind for v in check_drift(diff)] == ["reliability"]
+
+    def test_runs_without_job_counters_are_exempt(self):
+        assert check_drift(self._diff()) == []
+
+    def test_thresholds_are_tunable(self):
+        diff = self._diff(new_jobs={"completed": 7, "failed": 1})
+        relaxed = check_drift(
+            diff, DriftThresholds(max_job_failure_rate=0.2)
+        )
+        assert relaxed == []
+
+    def test_thresholds_from_options_picks_up_job_rates(self):
+        thresholds = thresholds_from_options({
+            "max_job_failure_rate": 0.1,
+            "max_job_retry_rate": 2.0,
+        })
+        assert thresholds.max_job_failure_rate == 0.1
+        assert thresholds.max_job_retry_rate == 2.0
+
+    def test_cli_check_gates_on_job_failures(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        baseline = _write(tmp_path, "a.json", _manifest("run-a"))
+        unreliable = _write(
+            tmp_path, "bad.json",
+            _manifest("run-bad", jobs={"completed": 7, "failed": 1}),
+        )
+        assert main(["ledger", "--ledger", ledger, "log", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([
+            "ledger", "--ledger", ledger, "check", str(unreliable)
+        ]) == 1
+        assert "failure rate" in capsys.readouterr().out
+        # The CLI flag relaxes the tolerance.
+        assert main([
+            "ledger", "--ledger", ledger, "check",
+            "--max-job-failure-rate", "0.2", str(unreliable),
+        ]) == 0
+
+
+class TestAppendLocking:
+    """Regression: the ledger used to append via a buffered write that
+    the OS could interleave with a concurrent writer's; it now goes
+    through a single O_APPEND write under an advisory lock. (The
+    multi-process hammering lives in tests/test_runtime_jobs.py.)"""
+
+    def test_append_line_is_one_newline_terminated_write(self, tmp_path):
+        from repro.runtime.locking import append_line
+
+        path = tmp_path / "log.jsonl"
+        append_line(path, "alpha")
+        append_line(path, "beta\n")  # trailing newline not doubled
+        assert path.read_text() == "alpha\nbeta\n"
+
+    def test_file_lock_uses_a_sidecar_that_survives(self, tmp_path):
+        from repro.runtime.locking import file_lock, lock_path_for
+
+        path = tmp_path / "ledger.jsonl"
+        with file_lock(path):
+            assert lock_path_for(path).exists()
+        # The sidecar is never unlinked: unlinking would let a late
+        # locker grab a fresh inode while another holds the old one.
+        assert lock_path_for(path).exists()
+        with file_lock(path):  # re-lockable after release
+            pass
+
+    def test_log_manifest_writes_a_single_locked_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.log_manifest(_manifest("run-a"))
+        ledger.log_manifest(_manifest("run-b"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # each line parses on its own
 
 
 class TestMatchingDrift:

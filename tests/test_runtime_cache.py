@@ -12,6 +12,7 @@ from repro.core.pipeline import (
 )
 from repro.core.weights import phase_weights
 from repro.errors import ReproError
+from repro.observability import metrics
 from repro.profiling.bbv import collect_fli_bbvs
 from repro.profiling.callbranch import collect_call_branch_profile
 from repro.programs.inputs import ProgramInput, REF_INPUT, TEST_INPUT
@@ -102,6 +103,57 @@ class TestProfileCache:
         assert fresh.get_or_compute(
             "kind", ("key",), lambda: "unused"
         ) == "recomputed"
+
+    def test_stale_entry_naming_missing_module_is_evicted(self, tmp_path):
+        """Regression: an entry pickled before a refactor can reference
+        a module that no longer exists; loading it raises
+        ModuleNotFoundError, not a pickle error, and used to crash
+        every future lookup of that key."""
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute("kind", ("key",), lambda: "good")
+        entry = next(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"cgone_module_xyz\nKlass\n.")
+        with pytest.raises(ModuleNotFoundError):
+            pickle.loads(entry.read_bytes())  # the crash shape
+        with metrics.scoped_registry() as local:
+            value = cache.get_or_compute(
+                "kind", ("key",), lambda: "recomputed"
+            )
+        assert value == "recomputed"
+        assert local.snapshot()["counters"]["cache.stale_evictions"] == 1
+        # The stale bytes are gone; a fresh handle hits the rewrite.
+        fresh = cache_from_root(tmp_path)
+        assert fresh.get_or_compute(
+            "kind", ("key",), lambda: "unused"
+        ) == "recomputed"
+        assert fresh.stats.hits == 1
+
+    def test_stale_entry_naming_missing_attribute_is_evicted(
+        self, tmp_path
+    ):
+        """Same refactor scenario when the module survives but the
+        class moved out of it: unpickling raises AttributeError."""
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute("kind", ("key",), lambda: "good")
+        entry = next(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"crepro.errors\nNoSuchClass12345\n.")
+        with pytest.raises(AttributeError):
+            pickle.loads(entry.read_bytes())
+        with metrics.scoped_registry() as local:
+            value = cache.get_or_compute(
+                "kind", ("key",), lambda: "recomputed"
+            )
+        assert value == "recomputed"
+        assert local.snapshot()["counters"]["cache.stale_evictions"] == 1
+
+    def test_eviction_race_with_another_handle_is_benign(self, tmp_path):
+        """Two handles can race to evict the same stale entry; the
+        loser's unlink hits a missing file and must not raise."""
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute("kind", ("key",), lambda: "good")
+        entry = next(tmp_path.rglob("*.pkl"))
+        entry.unlink()  # the other handle got there first
+        cache._evict_stale(entry)  # must not raise
 
     def test_shared_root_across_handles(self, tmp_path):
         writer = ProfileCache(tmp_path)

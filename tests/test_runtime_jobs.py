@@ -1,0 +1,524 @@
+"""The job service: queue leases, receipts, workers, and stress tests.
+
+Covers the tentpole (claim-by-rename queue, lease reclaim, exactly-once
+receipts, worker pools, the ``--via-jobs`` sweep path with resume) and
+the multiprocessing stress cases the concurrency bugfixes exist for:
+one cache key and one ledger hammered by concurrent writers, and a
+queue surviving SIGKILLed workers with per-job attempt counts.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.errors import JobError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    clear_cache,
+    run_benchmark,
+)
+from repro.experiments.sweeps import sweep_interval_sizes
+from repro.jobs import (
+    JobQueue,
+    JobReceipt,
+    JobResult,
+    benchmark_job_spec,
+    collect_run,
+    decode_experiment_config,
+    encode_experiment_config,
+    ensure_default_executors,
+    execute_record,
+    job_id_for,
+    record_job_metrics,
+    register_executor,
+    run_worker,
+    run_worker_pool,
+    submit_benchmark,
+)
+from repro.jobs import service as job_service
+from repro.observability import metrics
+from repro.observability.ledger import RunLedger
+from repro.runtime import ProfileCache, runtime_session
+from repro.runtime.cache import cache_from_root
+from repro.simpoint.simpoint import SimPointConfig
+
+_FORK = multiprocessing.get_context("fork")
+
+#: Fast experiment settings for the end-to-end job tests.
+_FAST_CONFIG = ExperimentConfig(
+    interval_size=40_000, simpoint=SimPointConfig(max_k=3, n_init=2)
+)
+
+
+# -- module-level executors (workers fork, so plain globals work) -----
+
+_SCRATCH = {"dir": None}
+
+
+def _double(payload):
+    return JobResult(value=payload["x"] * 2)
+
+
+def _record_execution(payload):
+    """Touch a unique per-execution file so tests can count executions."""
+    path = os.path.join(
+        _SCRATCH["dir"], f"exec-{payload['x']}-{os.getpid()}"
+    )
+    open(path, "w").close()
+    return JobResult(value=payload["x"])
+
+
+def _fail(payload):
+    raise ValueError(f"cannot process {payload['x']}")
+
+
+def _kill_self(payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _kill_once_then_double(payload):
+    marker = os.path.join(_SCRATCH["dir"], f"killed-{payload['x']}")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return JobResult(value=payload["x"] * 2)
+
+
+@pytest.fixture
+def scratch(tmp_path):
+    _SCRATCH["dir"] = str(tmp_path)
+    yield tmp_path
+    _SCRATCH["dir"] = None
+
+
+class TestJobQueue:
+    def test_submit_is_idempotent_and_content_addressed(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        first = queue.submit("double", {"x": 3})
+        second = queue.submit("double", {"x": 3})
+        other = queue.submit("double", {"x": 4})
+        assert first == second == job_id_for("double", {"x": 3})
+        assert first != other
+        assert queue.pending_ids() == sorted([first, other])
+
+    def test_claim_lease_release_cycle(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job_id = queue.submit("double", {"x": 1})
+        record = queue.claim("w0")
+        assert record["id"] == job_id and record["attempt"] == 0
+        assert queue.pending_ids() == [] and queue.active_ids() == [job_id]
+        assert queue.claim("w1") is None  # nothing left to claim
+        queue.release(job_id)
+        assert queue.is_drained()
+
+    def test_reclaim_requeues_expired_lease_with_bumped_attempt(
+        self, tmp_path
+    ):
+        queue = JobQueue(tmp_path / "q", lease_seconds=0.01)
+        job_id = queue.submit("double", {"x": 1})
+        queue.claim("w0")
+        lease = queue.active_dir / f"{job_id}.json"
+        os.utime(lease, (0, 0))  # the leaseholder died long ago
+        assert queue.reclaim_expired() == 1
+        record = queue.claim("w1")
+        assert record["attempt"] == 1
+
+    def test_reclaim_exhausts_after_max_attempts(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_seconds=0.01, max_attempts=2)
+        job_id = queue.submit("double", {"x": 1})
+        for _ in range(2):
+            if queue.pending_ids():
+                queue.claim("w")
+            lease = queue.active_dir / f"{job_id}.json"
+            os.utime(lease, (0, 0))
+            queue.reclaim_expired()
+        receipt = queue.receipt(job_id)
+        assert receipt.status == "exhausted"
+        assert receipt.attempt == 2
+        assert queue.is_drained()
+
+    def test_receipts_are_exactly_once(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        first = JobReceipt(
+            job_id="a" * 64, kind="k", status="ok", attempt=1
+        )
+        second = JobReceipt(
+            job_id="a" * 64, kind="k", status="failed", attempt=2
+        )
+        assert queue.write_receipt(first) is True
+        assert queue.write_receipt(second) is False
+        assert queue.receipt("a" * 64).status == "ok"
+
+    def test_submit_after_ok_receipt_is_a_noop(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job_id = queue.submit("double", {"x": 5})
+        record = queue.claim("w")
+        register_executor("double", _double, replace=True)
+        execute_record(queue, record, "w")
+        assert queue.submit("double", {"x": 5}) == job_id
+        assert queue.pending_ids() == []
+
+    def test_retry_requeues_failed_jobs_only(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        register_executor("fail", _fail, replace=True)
+        job_id = queue.submit("fail", {"x": 9})
+        execute_record(queue, queue.claim("w"), "w")
+        assert queue.receipt(job_id).status == "failed"
+        # Terminal without retry=True ...
+        queue.submit("fail", {"x": 9})
+        assert queue.pending_ids() == []
+        # ... requeued with it.
+        queue.submit("fail", {"x": 9}, retry=True)
+        assert queue.pending_ids() == [job_id]
+        assert queue.receipt(job_id) is None
+
+    def test_artifact_roundtrip_and_hash(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        digest = queue.store_artifact("b" * 64, {"answer": 42})
+        assert len(digest) == 64
+        assert queue.load_artifact("b" * 64) == {"answer": 42}
+        with pytest.raises(JobError, match="no artifact"):
+            queue.load_artifact("c" * 64)
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(JobError):
+            JobQueue(tmp_path / "q", lease_seconds=0)
+        with pytest.raises(JobError):
+            JobQueue(tmp_path / "q", max_attempts=0)
+        with pytest.raises(JobError):
+            JobReceipt(job_id="x", kind="k", status="bogus", attempt=1)
+        with pytest.raises(JobError):
+            JobReceipt(job_id="x", kind="k", status="ok", attempt=0)
+
+
+class TestWorkers:
+    def test_run_worker_drains_and_writes_receipts(self, tmp_path):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q")
+        ids = [queue.submit("double", {"x": x}) for x in range(5)]
+        assert run_worker(queue, "w0") == 5
+        assert queue.is_drained()
+        for x, job_id in zip(range(5), ids):
+            receipt = queue.receipt(job_id)
+            assert receipt.ok and receipt.attempt == 1
+            assert receipt.worker == "w0"
+            assert queue.load_artifact(job_id) == x * 2
+
+    def test_executor_exception_is_a_failed_receipt_not_a_retry(
+        self, tmp_path
+    ):
+        register_executor("fail", _fail, replace=True)
+        queue = JobQueue(tmp_path / "q")
+        job_id = queue.submit("fail", {"x": 7})
+        assert run_worker(queue, "w0") == 1
+        receipt = queue.receipt(job_id)
+        assert receipt.status == "failed"
+        assert "ValueError: cannot process 7" in receipt.error
+        assert queue.is_drained()  # deterministic failures do not loop
+
+    def test_unknown_kind_is_a_failed_receipt(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job_id = queue.submit("no-such-kind-ever", {"x": 1})
+        run_worker(queue, "w0")
+        receipt = queue.receipt(job_id)
+        assert receipt.status == "failed"
+        assert "no executor registered" in receipt.error
+
+    def test_pool_executes_each_job_exactly_once(self, tmp_path, scratch):
+        register_executor("record", _record_execution, replace=True)
+        queue = JobQueue(tmp_path / "q", lease_seconds=300)
+        ids = [queue.submit("record", {"x": x}) for x in range(12)]
+        run_worker_pool(queue, 3)
+        assert queue.is_drained()
+        for x, job_id in zip(range(12), ids):
+            executions = list(scratch.glob(f"exec-{x}-*"))
+            assert len(executions) == 1, (
+                f"job {x} executed {len(executions)} times"
+            )
+            assert queue.receipt(job_id).ok
+
+    def test_pool_survives_sigkilled_worker_and_records_attempts(
+        self, tmp_path, scratch
+    ):
+        register_executor("kill-once", _kill_once_then_double, replace=True)
+        queue = JobQueue(tmp_path / "q", lease_seconds=300)
+        ids = {x: queue.submit("kill-once", {"x": x}) for x in (3, 4)}
+        run_worker_pool(queue, 2)
+        assert queue.is_drained()
+        for x, job_id in ids.items():
+            receipt = queue.receipt(job_id)
+            assert receipt.ok
+            assert receipt.attempt == 2  # first execution was SIGKILLed
+            assert queue.load_artifact(job_id) == x * 2
+
+    def test_pool_exhausts_a_job_that_always_kills_its_worker(
+        self, tmp_path
+    ):
+        register_executor("kill-always", _kill_self, replace=True)
+        queue = JobQueue(tmp_path / "q", max_attempts=2)
+        job_id = queue.submit("kill-always", {"x": 1})
+        run_worker_pool(queue, 2)
+        receipt = queue.receipt(job_id)
+        assert receipt.status == "exhausted"
+        assert receipt.attempt == 2
+        assert queue.is_drained()
+
+    def test_record_job_metrics_derives_counters_from_receipts(
+        self, tmp_path, scratch
+    ):
+        register_executor("kill-once", _kill_once_then_double, replace=True)
+        register_executor("fail", _fail, replace=True)
+        queue = JobQueue(tmp_path / "q")
+        ids = [
+            queue.submit("kill-once", {"x": 1}),
+            queue.submit("fail", {"x": 2}),
+        ]
+        run_worker_pool(queue, 2)
+        with metrics.scoped_registry() as local:
+            tallies = record_job_metrics(queue, ids)
+        assert tallies == {
+            "completed": 1, "failed": 1, "exhausted": 0, "retries": 1,
+        }
+        counters = local.snapshot()["counters"]
+        assert counters["jobs.completed"] == 1
+        assert counters["jobs.failed"] == 1
+        assert counters["jobs.retries"] == 1
+
+
+class TestExperimentJobs:
+    def test_config_payload_roundtrip(self):
+        config = ExperimentConfig(
+            interval_size=50_000,
+            simpoint=SimPointConfig(max_k=4, n_init=2),
+            match_confidence=0.9,
+        )
+        payload = encode_experiment_config(config)
+        json.dumps(payload)  # must be pure JSON
+        assert decode_experiment_config(payload) == config
+
+    def test_non_default_memory_config_rejected(self):
+        import dataclasses
+
+        from repro.cmpsim.config import TABLE1_CONFIG
+
+        level = dataclasses.replace(
+            TABLE1_CONFIG.levels[0], capacity=1 << 14
+        )
+        custom = dataclasses.replace(
+            TABLE1_CONFIG,
+            levels=(level,) + TABLE1_CONFIG.levels[1:],
+        )
+        with pytest.raises(JobError, match="memory"):
+            encode_experiment_config(
+                ExperimentConfig(memory=custom)
+            )
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(JobError, match="malformed"):
+            decode_experiment_config({"interval_size": 1})
+
+    def test_benchmark_job_bit_identical_to_direct_run(self, tmp_path):
+        ensure_default_executors()
+        cache = ProfileCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "q")
+        with runtime_session(cache=cache):
+            clear_cache()
+            job_id = submit_benchmark(queue, "art", _FAST_CONFIG)
+            run_worker_pool(queue, 2)
+            via_job = collect_run(queue, job_id)
+            clear_cache()
+            direct = run_benchmark("art", _FAST_CONFIG, jobs=1)
+        clear_cache()
+        assert via_job == direct
+        receipt = queue.receipt(job_id)
+        assert receipt.ok and receipt.attempt == 1
+        assert receipt.config_fingerprint is not None
+        assert receipt.input_hashes["benchmark"]
+        assert receipt.artifact_hashes["result"]
+
+    def test_sweep_via_jobs_bit_identical_and_resumable(
+        self, tmp_path, monkeypatch
+    ):
+        sizes = [30_000, 60_000]
+        cache = ProfileCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "q")
+        with runtime_session(cache=cache):
+            clear_cache()
+            direct = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=1
+            )
+            clear_cache()
+            via_jobs = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=2, via_jobs=queue
+            )
+            assert via_jobs == direct  # bit-identical error tables
+            # Resume: every cell has an ok receipt, so a rerun must not
+            # execute anything — a bomb executor proves it.
+            def _bomb(payload):
+                raise AssertionError("resumed sweep re-executed a cell")
+
+            monkeypatch.setattr(job_service, "_execute_benchmark", _bomb)
+            clear_cache()
+            resumed = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=2, via_jobs=queue
+            )
+        clear_cache()
+        assert resumed == direct
+        for size in sizes:
+            kind, payload = benchmark_job_spec(
+                "art",
+                dataclasses.replace(_FAST_CONFIG, interval_size=size),
+            )
+            receipt = queue.receipt(job_id_for(kind, payload))
+            assert receipt.ok and receipt.attempt == 1
+
+    def test_sweep_via_jobs_recovers_from_midrun_worker_kill(
+        self, tmp_path, scratch, monkeypatch
+    ):
+        """The acceptance scenario: a worker is SIGKILLed mid-sweep; the
+        queue reclaims its lease, retries, records the attempt count,
+        and the final tables are bit-identical to the direct path."""
+        sizes = [30_000, 60_000]
+        cache = ProfileCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "q", lease_seconds=300)
+        real_executor = job_service._execute_benchmark
+
+        def _kill_first_execution(payload):
+            # Kill only the 30k cell's first execution — keyed to one
+            # job so exactly one receipt ends with attempt == 2.
+            marker = os.path.join(_SCRATCH["dir"], "sweep-killed")
+            if payload["config"]["interval_size"] == 30_000 and (
+                not os.path.exists(marker)
+            ):
+                open(marker, "w").close()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_executor(payload)
+
+        with runtime_session(cache=cache):
+            clear_cache()
+            direct = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=1
+            )
+            clear_cache()
+            monkeypatch.setattr(
+                job_service, "_execute_benchmark", _kill_first_execution
+            )
+            via_jobs = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=2, via_jobs=queue
+            )
+        clear_cache()
+        assert via_jobs == direct
+        receipts = queue.receipts()
+        assert len(receipts) == 2 and all(r.ok for r in receipts)
+        attempts = sorted(r.attempt for r in receipts)
+        assert attempts == [1, 2]  # exactly one job survived a SIGKILL
+
+
+# -- multiprocessing stress: shared cache key and shared ledger -------
+
+
+def _hammer_cache_key(root, barrier_dir, index):
+    """One writer process: everyone races get_or_compute on ONE key."""
+    cache = cache_from_root(root)
+    value = cache.get_or_compute(
+        "stress", ("shared-key",), lambda: {"payload": list(range(200))}
+    )
+    assert value == {"payload": list(range(200))}
+    open(os.path.join(barrier_dir, f"done-{index}"), "w").close()
+
+
+def _hammer_ledger(path, run_id):
+    from tests.test_observability_ledger import _manifest
+
+    RunLedger(path).log_manifest(_manifest(run_id))
+
+
+def _race_duplicate_run_id(path, index, outcome_dir):
+    from repro.errors import FileFormatError
+    from tests.test_observability_ledger import _manifest
+
+    try:
+        RunLedger(path).log_manifest(_manifest("contested-run"))
+    except FileFormatError:
+        return
+    open(os.path.join(outcome_dir, f"won-{index}"), "w").close()
+
+
+class TestConcurrencyStress:
+    def test_one_cache_key_hammered_by_concurrent_writers(self, tmp_path):
+        """Many processes race one key — including over a stale entry
+        that unpickles to a missing module — and all must succeed."""
+        root = tmp_path / "cache"
+        cache = ProfileCache(root)
+        # Seed the address with a stale pickle referencing a module
+        # that no longer exists (the refactor scenario).
+        digest_path = None
+        cache.get_or_compute("stress", ("shared-key",), lambda: "seed")
+        digest_path = next(root.rglob("*.pkl"))
+        digest_path.write_bytes(b"cgone_module_xyz\nKlass\n.")
+        workers = [
+            _FORK.Process(
+                target=_hammer_cache_key,
+                args=(str(root), str(tmp_path), index),
+            )
+            for index in range(6)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert len(list(tmp_path.glob("done-*"))) == 6
+        # The stale entry was evicted and rewritten with a good value.
+        fresh = cache_from_root(root)
+        assert fresh.get_or_compute(
+            "stress", ("shared-key",), lambda: "unused"
+        ) == {"payload": list(range(200))}
+
+    def test_one_ledger_hammered_by_concurrent_writers(self, tmp_path):
+        """No interleaved or corrupt lines under concurrent appends."""
+        path = tmp_path / "ledger.jsonl"
+        writers = [
+            _FORK.Process(
+                target=_hammer_ledger, args=(str(path), f"run-{index:03d}")
+            )
+            for index in range(8)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join()
+        assert all(writer.exitcode == 0 for writer in writers)
+        # Every line must parse on its own (entries() raises on any
+        # corrupt line) and every run id must have landed exactly once.
+        entries = RunLedger(path).entries()
+        assert sorted(e.run_id for e in entries) == [
+            f"run-{index:03d}" for index in range(8)
+        ]
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_duplicate_run_id_refusal_is_race_free(self, tmp_path):
+        """Exactly one of many concurrent same-run-id logs may win."""
+        path = tmp_path / "ledger.jsonl"
+        outcome = tmp_path / "outcome"
+        outcome.mkdir()
+        racers = [
+            _FORK.Process(
+                target=_race_duplicate_run_id,
+                args=(str(path), index, str(outcome)),
+            )
+            for index in range(6)
+        ]
+        for racer in racers:
+            racer.start()
+        for racer in racers:
+            racer.join()
+        assert all(racer.exitcode == 0 for racer in racers)
+        entries = RunLedger(path).entries()
+        assert [e.run_id for e in entries] == ["contested-run"]
+        assert len(list(outcome.glob("won-*"))) == 1

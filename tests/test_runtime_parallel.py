@@ -1,6 +1,8 @@
 """Tests for process-pool fan-out: determinism, fallback, propagation."""
 
+import concurrent.futures
 import os
+import signal
 
 import pytest
 
@@ -10,7 +12,9 @@ from repro.core.pipeline import (
     run_per_binary_simpoints,
 )
 from repro.errors import ReproError, SimulationError
+from repro.observability import metrics
 from repro.runtime import parallel_map, runtime_session
+from repro.runtime import parallel
 from repro.simpoint.simpoint import SimPointConfig
 
 from tests.conftest import MICRO_INTERVAL
@@ -33,6 +37,22 @@ def _raise_repro_error(value):
 
 def _raise_value_error(value):
     raise ValueError(f"worker failed on {value}")
+
+
+def _die_on_two(value):
+    # Task 2 only runs after a worker finished task 0 or 1, so the
+    # pool always breaks with at least one success in hand.
+    if value == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _die_in_worker(value):
+    # Kills every pool worker but is harmless in the main process, so
+    # the serial fallback after a zero-success pool run can finish.
+    if parallel._in_worker:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
 
 
 def _nested_fanout(value):
@@ -93,6 +113,42 @@ class TestParallelMap:
     def test_nested_fanout_degrades_to_serial(self):
         results = parallel_map(_nested_fanout, [1, 10], jobs=2)
         assert results == [[1, 4], [100, 121]]
+
+
+class TestBrokenPoolHandling:
+    """Regression: a worker dying mid-run used to be silently retried
+    serially — including its side effects — masquerading as the
+    startup-failure fallback. Now only genuine startup failures fall
+    back; a mid-run death with work already done is an error naming
+    the task that killed the pool."""
+
+    def test_midrun_worker_death_raises_and_names_the_task(self):
+        with pytest.raises(
+            ReproError,
+            match=r"worker process died while running task 2/6",
+        ):
+            parallel_map(_die_on_two, range(6), jobs=2)
+
+    def test_pool_startup_failure_falls_back_to_serial(self, monkeypatch):
+        def _no_pool(*args, **kwargs):
+            raise OSError("process spawn forbidden")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        with metrics.scoped_registry() as local:
+            results = parallel_map(_square, range(6), jobs=2)
+        assert results == [i * i for i in range(6)]
+        assert local.snapshot()["counters"]["parallel.pool_fallback"] == 1
+
+    def test_zero_successes_still_falls_back_to_serial(self):
+        """All workers dying before any task completes is
+        indistinguishable from a pool that never started — fall back
+        serially (in the main process, where the fn is harmless)."""
+        with metrics.scoped_registry() as local:
+            results = parallel_map(_die_in_worker, range(4), jobs=2)
+        assert results == [i * 10 for i in range(4)]
+        assert local.snapshot()["counters"]["parallel.pool_fallback"] == 1
 
 
 class TestPipelineParallelEquivalence:
