@@ -12,7 +12,7 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
-		--benchmark-json BENCH_PR4.json
+		--benchmark-json BENCH_PR8.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -1,0 +1,101 @@
+"""Sweep-level sim-result reuse: cold vs. warm wall time.
+
+The content-keyed simulation cache (:mod:`repro.cmpsim.simcache`) keys
+detailed results by (binary content, region boundaries + warmup
+policy, CMP$im configuration), so a re-run sweep only re-simulates
+cells whose key actually changed. These benchmarks quantify the PR's
+acceptance criterion: a warm re-run of the interval-size sweep is at
+least 3x faster than the cold run that primed the cache, with
+byte-identical error tables against the uncached path.
+
+Execution order matters (uncached -> cold -> warm share state through
+the module-level ``RESULTS`` dict); pytest-benchmark runs the tests in
+file order, and each later test skips if an earlier stage is missing
+(e.g. under ``-k``).
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, clear_cache
+from repro.experiments.sweeps import sweep_interval_sizes
+from repro.observability import metrics
+from repro.runtime import ProfileCache, runtime_session
+from repro.simpoint.simpoint import SimPointConfig
+
+from benchmarks.conftest import run_once
+
+SIZES = (50_000, 100_000, 200_000)
+CONFIG = ExperimentConfig(simpoint=SimPointConfig(max_k=3, n_init=2))
+
+#: Tables, wall times, and sim-cache tallies shared across the stages.
+RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("simcache-bench")
+
+
+def _timed_sweep(cache):
+    """One full interval-size sweep; returns (tables, seconds, sim)."""
+    with runtime_session(cache=cache):
+        clear_cache()  # drop the in-process memo; only disk may help
+        with metrics.scoped_registry() as local:
+            start = time.perf_counter()
+            tables = sweep_interval_sizes(
+                "gcc", list(SIZES), CONFIG, jobs=1
+            )
+            elapsed = time.perf_counter() - start
+    counters = local.snapshot()["counters"]
+    sim = {
+        key: counters.get(f"cache.sim.{key}", 0)
+        for key in ("hits", "misses")
+    }
+    return tables, elapsed, sim
+
+
+def test_perf_sweep_uncached(benchmark):
+    """Baseline: the sweep with no cache at all."""
+    tables, elapsed, sim = run_once(benchmark, lambda: _timed_sweep(None))
+    assert sim == {"hits": 0, "misses": 0}
+    RESULTS["uncached"] = (tables, elapsed)
+
+
+def test_perf_sweep_cold(benchmark, shared_cache_dir):
+    """First cached sweep: pays full simulation, primes the cache."""
+    cache = ProfileCache(shared_cache_dir)
+    tables, elapsed, sim = run_once(
+        benchmark, lambda: _timed_sweep(cache)
+    )
+    assert sim["hits"] == 0 and sim["misses"] > 0
+    benchmark.extra_info["sim_misses"] = sim["misses"]
+    RESULTS["cold"] = (tables, elapsed, sim)
+
+
+def test_perf_sweep_warm(benchmark, shared_cache_dir):
+    """Warm re-run: every detailed simulation served from the cache."""
+    if "uncached" not in RESULTS or "cold" not in RESULTS:
+        pytest.skip("needs the uncached and cold stages first")
+    cache = ProfileCache(shared_cache_dir)
+    tables, elapsed, sim = run_once(
+        benchmark, lambda: _timed_sweep(cache)
+    )
+    uncached_tables, _ = RESULTS["uncached"]
+    cold_tables, cold_elapsed, cold_sim = RESULTS["cold"]
+    # Bit-identical error tables: warm == cold == uncached.
+    assert pickle.dumps(tables) == pickle.dumps(cold_tables)
+    assert pickle.dumps(tables) == pickle.dumps(uncached_tables)
+    assert sim["misses"] == 0
+    assert sim["hits"] == cold_sim["misses"]
+    benchmark.extra_info["sim_hit_rate"] = 1.0
+    benchmark.extra_info["cold_seconds"] = round(cold_elapsed, 3)
+    benchmark.extra_info["warm_seconds"] = round(elapsed, 3)
+    benchmark.extra_info["speedup"] = round(cold_elapsed / elapsed, 2)
+    # The acceptance criterion: warm >= 3x faster than cold.
+    assert cold_elapsed >= 3 * elapsed, (
+        f"warm sweep not >=3x faster: cold {cold_elapsed:.2f}s vs "
+        f"warm {elapsed:.2f}s"
+    )

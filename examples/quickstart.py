@@ -19,7 +19,8 @@ import argparse
 
 from repro import build_benchmark, compile_program
 from repro.analysis.estimate import estimate_from_points
-from repro.cmpsim.simulator import CMPSim, FLITracker, IntervalStats
+from repro.cmpsim.simcache import cached_full_run
+from repro.cmpsim.simulator import IntervalStats
 from repro.compilation.targets import TARGET_32U
 from repro.observability import observe, trace
 from repro.profiling.bbv import collect_fli_bbvs
@@ -62,9 +63,12 @@ def run(session=None) -> None:
         )
 
     # 3. Detailed simulation: one full run, tracking per-interval CPI.
+    # Content-keyed: with a cache configured (REPRO_CACHE_DIR), a
+    # repeat run reuses the sim result instead of re-simulating, with
+    # byte-identical output either way.
     with trace.span("simulate"):
-        tracker = FLITracker(INTERVAL_SIZE)
-        stats = CMPSim(binary).run_full(trackers=(tracker,)).stats
+        tracked = cached_full_run(binary, fli_interval_size=INTERVAL_SIZE)
+        stats = tracked.stats
     print(f"\nfull simulation: {stats.instructions:,} instructions, "
           f"CPI {stats.cpi:.3f}")
 
@@ -74,13 +78,13 @@ def run(session=None) -> None:
             binary.name,
             "fli",
             [(p.interval_index, p.weight) for p in simpoint.points],
-            tracker.intervals,
+            tracked.fli_intervals,
             IntervalStats(
                 instructions=stats.instructions, cycles=stats.cycles
             ),
         )
     sim_instr = sum(
-        tracker.intervals[p.interval_index].instructions
+        tracked.fli_intervals[p.interval_index].instructions
         for p in simpoint.points
     )
     print(f"sampled estimate: CPI {estimate.estimated_cpi:.3f} "
@@ -95,7 +99,7 @@ def run(session=None) -> None:
 
         rows = phase_table(
             simpoint.labels,
-            tracker.intervals,
+            tracked.fli_intervals,
             {p.cluster: p.interval_index for p in simpoint.points},
             top=simpoint.k,
         )

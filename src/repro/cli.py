@@ -47,6 +47,14 @@ results are bit-identical to earlier versions; below 1.0 the pipeline
 degrades gracefully on inlining-renamed or compiler-decorated symbols
 by accepting confidence-scored fuzzy matches at or above ``T``.
 
+Caching
+-------
+Every command accepts ``--cache-dir``/``--no-cache`` for the on-disk
+profile cache and ``--no-sim-cache`` (env ``REPRO_NO_SIM_CACHE``) to
+disable content-keyed reuse of detailed-simulation results while
+keeping profile caching. Simulation reuse never changes results —
+outputs are bit-identical with the cache hot, cold, or disabled.
+
 Observability
 -------------
 Every command accepts ``--trace-out FILE`` (env ``REPRO_TRACE_OUT``)
@@ -497,6 +505,13 @@ def _add_runtime_flags(
         help="disable the on-disk profile cache",
     )
     parser.add_argument(
+        "--no-sim-cache", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="disable content-keyed reuse of detailed-simulation "
+             "results (env REPRO_NO_SIM_CACHE); results are "
+             "bit-identical either way, only wall time changes",
+    )
+    parser.add_argument(
         "--match-confidence", type=float, default=default, metavar="T",
         help="fuzzy marker-match acceptance threshold in (0, 1] "
              "(default: REPRO_MATCH_CONFIDENCE or 1.0 = exact only); "
@@ -756,6 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="max job retries per completed job (default 0.25)",
     )
     ledger_check.add_argument(
+        "--min-sim-hit-rate", type=float, default=None, metavar="X",
+        dest="min_sim_hit_rate",
+        help="minimum sim-result reuse ratio the candidate must reach "
+             "(default: off — cold runs legitimately sit at 0)",
+    )
+    ledger_check.add_argument(
         "--allow-k-change", dest="forbid_k_change",
         action="store_const", const=False, default=None,
         help="do not treat a chosen-k flip as drift",
@@ -788,15 +809,19 @@ def _resolve_runtime(args: argparse.Namespace):
     jobs = args.jobs
     if jobs is None and not os.environ.get("REPRO_JOBS"):
         jobs = os.cpu_count() or 1
+    no_sim_cache = args.no_sim_cache or bool(
+        os.environ.get("REPRO_NO_SIM_CACHE")
+    )
+    sim_cache = False if no_sim_cache else None
     no_cache = args.no_cache or bool(os.environ.get("REPRO_NO_CACHE"))
     if no_cache:
-        return jobs, None
+        return jobs, None, sim_cache
     cache_dir = (
         args.cache_dir
         or os.environ.get("REPRO_CACHE_DIR")
         or os.path.join(os.path.expanduser("~"), ".cache", "repro")
     )
-    return jobs, ProfileCache(cache_dir)
+    return jobs, ProfileCache(cache_dir), sim_cache
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -804,11 +829,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.runtime import runtime_session
 
     args = build_parser().parse_args(argv)
-    jobs, cache = _resolve_runtime(args)
+    jobs, cache, sim_cache = _resolve_runtime(args)
     try:
         with runtime_session(
             jobs=jobs, cache=cache,
             match_confidence=args.match_confidence,
+            sim_cache=sim_cache,
         ):
             with observe(
                 trace_out=args.trace_out,

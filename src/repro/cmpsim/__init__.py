@@ -42,6 +42,12 @@ from repro.cmpsim.simulator import (
     VLITracker,
     regions_from_mapped_points,
 )
+from repro.cmpsim.simcache import (
+    SIMRESULT_KIND,
+    TrackedRun,
+    cached_full_run,
+    cached_region_run,
+)
 
 __all__ = [
     "BIG_LLC_CONFIG",
@@ -69,4 +75,8 @@ __all__ = [
     "RegionSpec",
     "VLITracker",
     "regions_from_mapped_points",
+    "SIMRESULT_KIND",
+    "TrackedRun",
+    "cached_full_run",
+    "cached_region_run",
 ]

@@ -24,13 +24,8 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.estimate import MethodEstimate, estimate_from_points
 from repro.cmpsim.config import MemoryConfig, TABLE1_CONFIG
-from repro.cmpsim.simulator import (
-    CMPSim,
-    FLITracker,
-    IntervalStats,
-    SimulationStats,
-    VLITracker,
-)
+from repro.cmpsim.simcache import cached_full_run
+from repro.cmpsim.simulator import IntervalStats, SimulationStats
 from repro.compilation.binary import Binary
 from repro.compilation.compiler import compile_standard_binaries
 from repro.compilation.targets import STANDARD_TARGETS, Target
@@ -174,34 +169,34 @@ def _fli_estimate(
     binary: Binary,
     intervals: Sequence[Interval],
     simpoint: SimPointResult,
-    tracker: FLITracker,
+    tracked: Sequence[IntervalStats],
     stats: SimulationStats,
 ) -> MethodEstimate:
-    if len(tracker.intervals) != len(intervals):
+    if len(tracked) != len(intervals):
         raise SimulationError(
             f"{binary.name}: FLI profile found {len(intervals)} intervals "
-            f"but detailed simulation tracked {len(tracker.intervals)}"
+            f"but detailed simulation tracked {len(tracked)}"
         )
     point_weights = [
         (point.interval_index, point.weight) for point in simpoint.points
     ]
     true = IntervalStats(instructions=stats.instructions, cycles=stats.cycles)
     return estimate_from_points(
-        binary.name, "fli", point_weights, tracker.intervals, true
+        binary.name, "fli", point_weights, tracked, true
     )
 
 
 def _vli_estimate(
     binary: Binary,
     cross: CrossBinaryResult,
-    tracker: VLITracker,
+    tracked: Sequence[IntervalStats],
     stats: SimulationStats,
 ) -> MethodEstimate:
     expected = len(cross.intervals)
-    if len(tracker.intervals) != expected:
+    if len(tracked) != expected:
         raise SimulationError(
             f"{binary.name}: expected {expected} mapped intervals, "
-            f"tracked {len(tracker.intervals)}"
+            f"tracked {len(tracked)}"
         )
     weights = cross.weights_for(binary.name)
     point_weights = [
@@ -210,7 +205,7 @@ def _vli_estimate(
     ]
     true = IntervalStats(instructions=stats.instructions, cycles=stats.cycles)
     return estimate_from_points(
-        binary.name, "vli", point_weights, tracker.intervals, true
+        binary.name, "vli", point_weights, tracked, true
     )
 
 
@@ -223,24 +218,34 @@ def _outcome_task(task):
     )
     fli_simpoint = run_simpoint(fli_profile, config.simpoint)
 
-    fli_tracker = FLITracker(config.interval_size)
-    vli_tracker = VLITracker(
-        cross.marker_set.table_for(binary.name), cross.boundaries
+    # The detailed simulation — the dominant repeated cost of a sweep —
+    # is keyed by content and reused across runs whenever a cache is
+    # active (the sim-cache knob can veto reuse without touching the
+    # profiling caches above).
+    tracked = cached_full_run(
+        binary,
+        memory=config.memory,
+        program_input=config.program_input,
+        fli_interval_size=config.interval_size,
+        vli_table=cross.marker_set.table_for(binary.name),
+        vli_boundaries=cross.boundaries,
+        cache=cache,
     )
-    sim = CMPSim(binary, config.memory, config.program_input)
-    stats = sim.run_full(trackers=(fli_tracker, vli_tracker)).stats
+    stats = tracked.stats
 
     outcome = BinaryOutcome(
         target=target,
         binary_name=binary.name,
         stats=stats,
-        fli_intervals=tuple(fli_tracker.intervals),
-        vli_intervals=tuple(vli_tracker.intervals),
+        fli_intervals=tracked.fli_intervals,
+        vli_intervals=tracked.vli_intervals,
         fli_simpoint=fli_simpoint,
         fli_estimate=_fli_estimate(
-            binary, fli_profile, fli_simpoint, fli_tracker, stats
+            binary, fli_profile, fli_simpoint, tracked.fli_intervals, stats
         ),
-        vli_estimate=_vli_estimate(binary, cross, vli_tracker, stats),
+        vli_estimate=_vli_estimate(
+            binary, cross, tracked.vli_intervals, stats
+        ),
         vli_weights=cross.weights_for(binary.name),
     )
     return outcome, (cache.stats if cache is not None else None)

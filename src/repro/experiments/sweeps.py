@@ -10,7 +10,12 @@ Design note: sweeps that only change *clustering* parameters (maxK,
 early tolerance) re-cluster the primary profile and re-derive
 estimates from the cached detailed-simulation statistics, so they cost
 milliseconds; sweeps that change the *interval structure* (interval
-size) must re-run the full experiment per setting.
+size) must re-run the full experiment per setting. Those full
+experiments consult the content-keyed sim-result cache
+(:mod:`repro.cmpsim.simcache`) through the runner — on both the direct
+and ``via_jobs`` paths — so a re-run sweep only re-simulates cells
+whose inputs actually changed, and a warm sweep costs profiling plus
+clustering only.
 """
 
 from __future__ import annotations

@@ -43,6 +43,10 @@ class JobReceipt:
     config_fingerprint: Optional[str] = None
     input_hashes: Dict[str, str] = field(default_factory=dict)
     artifact_hashes: Dict[str, str] = field(default_factory=dict)
+    #: Sim-result cache tallies of the successful execution
+    #: (hits/misses/stale_evictions); empty for failed jobs and for
+    #: receipts written before the field existed.
+    sim_cache: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
     created_at: float = 0.0
 
@@ -79,6 +83,7 @@ class JobReceipt:
             "config_fingerprint": self.config_fingerprint,
             "input_hashes": dict(self.input_hashes),
             "artifact_hashes": dict(self.artifact_hashes),
+            "sim_cache": dict(self.sim_cache),
             "error": self.error,
             "created_at": self.created_at,
         }
@@ -101,6 +106,10 @@ class JobReceipt:
             config_fingerprint=record.get("config_fingerprint"),
             input_hashes=dict(record.get("input_hashes") or {}),
             artifact_hashes=dict(record.get("artifact_hashes") or {}),
+            sim_cache={
+                key: int(value)
+                for key, value in (record.get("sim_cache") or {}).items()
+            },
             error=record.get("error"),
             created_at=float(record.get("created_at", 0.0)),
         )

@@ -132,7 +132,22 @@ def _execute_benchmark(payload: Mapping[str, Any]) -> JobResult:
     """
     benchmark = payload["benchmark"]
     config = decode_experiment_config(payload["config"])
-    run = run_benchmark(benchmark, config, jobs=1)
+    # A scoped registry makes the execution's sim-cache tallies exactly
+    # attributable to this job: forked workers' registries die with
+    # them, and when the pool degrades to in-process execution the
+    # scope keeps the receipt tallies from double-counting against the
+    # parent's own counters (record_job_metrics folds them back in,
+    # receipt-derived, exactly once). Everything else the execution
+    # counted is merged into the enclosing registry as before.
+    with metrics.scoped_registry() as local:
+        run = run_benchmark(benchmark, config, jobs=1)
+    snapshot = local.snapshot()
+    counters = snapshot.get("counters") or {}
+    sim_cache = {
+        key: int(counters.pop(f"cache.sim.{key}", 0))
+        for key in ("hits", "misses", "stale_evictions")
+    }
+    metrics.merge(snapshot)
     return JobResult(
         value=run,
         input_hashes={
@@ -146,6 +161,7 @@ def _execute_benchmark(payload: Mapping[str, Any]) -> JobResult:
         # Matches ObservationSession.record_config, so a receipt can be
         # joined against the manifests/ledger entries of equivalent runs.
         config_fingerprint=fingerprint("config", config.cache_key()),
+        sim_cache=sim_cache,
     )
 
 
@@ -201,6 +217,7 @@ def record_job_metrics(
     and lets ``repro ledger check`` gate on failure and retry rates.
     """
     tallies = {"completed": 0, "failed": 0, "exhausted": 0, "retries": 0}
+    sim_tallies = {"hits": 0, "misses": 0, "stale_evictions": 0}
     for job_id in job_ids:
         receipt = queue.receipt(job_id)
         if receipt is None:
@@ -210,9 +227,18 @@ def record_job_metrics(
         else:
             tallies[receipt.status] += 1
         tallies["retries"] += receipt.retries
+        for key, value in receipt.sim_cache.items():
+            if key in sim_tallies:
+                sim_tallies[key] += int(value)
     for name, value in tallies.items():
         if value:
             metrics.counter(f"jobs.{name}").inc(value)
+    # Per-region sim-cache reuse travels in the receipts, so the
+    # manifest's reuse ratio covers --via-jobs sweeps no matter which
+    # worker processes did the executing.
+    for name, value in sim_tallies.items():
+        if value:
+            metrics.counter(f"cache.sim.{name}").inc(value)
     return tallies
 
 

@@ -41,6 +41,11 @@ class JobResult:
     input_hashes: Dict[str, str] = field(default_factory=dict)
     command: List[str] = field(default_factory=list)
     config_fingerprint: Optional[str] = None
+    #: Sim-result cache tallies of this execution (hits/misses/
+    #: stale_evictions), so a sweep's per-region reuse is auditable
+    #: from receipts and foldable into the submitting process's
+    #: metrics even when the executor ran in a forked worker.
+    sim_cache: Dict[str, int] = field(default_factory=dict)
 
 
 Executor = Callable[[Mapping[str, Any]], JobResult]
@@ -108,6 +113,7 @@ def execute_record(
             config_fingerprint=result.config_fingerprint,
             input_hashes=dict(result.input_hashes),
             artifact_hashes={"result": artifact_hash},
+            sim_cache=dict(result.sim_cache),
             created_at=time.time(),
         )
     queue.write_receipt(receipt)

@@ -237,6 +237,11 @@ class DriftThresholds:
     job (the default 0.0 failure tolerance means any failed job is
     drift; retries below a quarter per job are tolerated because a
     reclaimed lease is recovery working, not silent corruption).
+    ``min_sim_hit_rate`` is an absolute floor on the candidate run's
+    sim-result reuse ratio (``cache: sim.reuse_ratio``). It is off by
+    default — cold runs legitimately have ratio 0 — and is meant for
+    warm CI runs, where a silent cache-key bust (the reuse ratio
+    collapsing although nothing changed) should read as drift.
     """
 
     max_error_increase: float = 0.002
@@ -250,6 +255,7 @@ class DriftThresholds:
     max_confidence_drop: float = 0.05
     max_job_failure_rate: float = 0.0
     max_job_retry_rate: float = 0.25
+    min_sim_hit_rate: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -369,8 +375,42 @@ def check_drift(
                 )
             )
 
+    violations.extend(_sim_hit_rate_violations(diff, limits))
     violations.extend(_job_rate_violations(diff, limits))
     return violations
+
+
+def _sim_hit_rate_violations(
+    diff: RunDiff, limits: DriftThresholds
+) -> List[Violation]:
+    """Absolute floor on the candidate's sim-result reuse ratio.
+
+    Like the job-rate gates this bounds the *new* run, not a delta: a
+    warm CI run whose reuse ratio collapsed is a cache-key bust no
+    matter what the baseline did. A candidate that recorded no sim
+    block at all (older manifest, or caching disabled) counts as
+    ratio 0 — with the floor armed, that is exactly the failure the
+    gate exists to surface.
+    """
+    if limits.min_sim_hit_rate is None:
+        return []
+    old_ratio: Optional[float] = None
+    new_ratio = 0.0
+    for delta in diff.section("cache"):
+        if delta.field == "sim.reuse_ratio":
+            old_ratio = delta.old
+            if delta.new is not None:
+                new_ratio = delta.new
+    if new_ratio >= limits.min_sim_hit_rate:
+        return []
+    return [
+        Violation(
+            "performance",
+            Delta("cache", "sim.reuse_ratio", old_ratio, new_ratio),
+            f"sim-result reuse ratio {new_ratio:.1%} below floor "
+            f"{limits.min_sim_hit_rate:.1%}",
+        )
+    ]
 
 
 def _job_counters(diff: RunDiff, side: str) -> dict:

@@ -68,6 +68,26 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
         )
     else:
         lines.append("cache: no lookups (cache disabled or unused)")
+    kinds: Dict[str, Any] = cache.get("kinds") or {}
+    for kind in sorted(kinds):
+        row = kinds[kind]
+        kind_lookups = row.get("hits", 0) + row.get("misses", 0)
+        if not kind_lookups:
+            continue
+        lines.append(
+            f"  {kind}: {row.get('hits', 0)} hits / "
+            f"{row.get('misses', 0)} misses "
+            f"({row.get('hit_rate', 0.0):.1%} hit rate), "
+            f"{row.get('stale_evictions', 0)} stale evicted"
+        )
+    sim = cache.get("sim") or {}
+    sim_lookups = sim.get("hits", 0) + sim.get("misses", 0)
+    if sim_lookups:
+        lines.append(
+            f"sim-result reuse: {sim.get('hits', 0)} of "
+            f"{sim_lookups} region lookups "
+            f"({sim.get('reuse_ratio', 0.0):.1%})"
+        )
 
     clusterings: Dict[str, Any] = manifest.get("clusterings") or {}
     lines.append("")

@@ -151,6 +151,33 @@ def _flatten_matching(row: Mapping[str, Any]) -> Dict[str, float]:
     return flat
 
 
+def _flatten_cache(block: Mapping[str, Any]) -> Dict[str, float]:
+    """One manifest cache block as flat numbers for the differ.
+
+    The aggregate counters pass through; the nested per-kind rows and
+    the sim-reuse summary flatten to ``<kind>.<counter>`` and
+    ``sim.<counter>`` keys so the drift sentinel can gate on (for
+    example) ``sim.reuse_ratio`` like any other numeric field.
+    """
+    flat: Dict[str, float] = {
+        key: float(value)
+        for key, value in block.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    for kind, row in (block.get("kinds") or {}).items():
+        if not isinstance(row, dict):
+            continue
+        for key, value in row.items():
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                flat[f"{kind}.{key}"] = float(value)
+    for key, value in (block.get("sim") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[f"sim.{key}"] = float(value)
+    return flat
+
+
 def entry_from_manifest(
     manifest: Mapping[str, Any],
     manifest_path: Optional[PathLike] = None,
@@ -174,7 +201,7 @@ def entry_from_manifest(
             stage["name"]: float(stage["seconds"])
             for stage in manifest.get("stages") or []
         },
-        cache=dict(manifest.get("cache") or {}),
+        cache=_flatten_cache(manifest.get("cache") or {}),
         clusterings={
             name: {
                 key: entry[key]

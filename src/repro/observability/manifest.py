@@ -109,6 +109,11 @@ def build_manifest(
 
     ``cache_stats`` is a :class:`repro.runtime.cache.CacheStats` (or
     ``None`` for a cache-less run, which records all-zero counters).
+    The cache block also carries ``kinds`` (the same counters broken
+    down per entry kind) and ``sim`` (sim-result reuse tallies plus
+    the per-run reuse ratio, derived from the ``cache.sim.*`` metric
+    counters — the metrics registry is the one place those arrive from
+    every execution path, including ``--via-jobs`` receipts).
     ``bias`` maps ``name -> cluster -> row`` where each row carries the
     phase's ``weight``, ``true_cpi``, ``sp_cpi``, and signed ``bias``.
     ``matching`` maps program name to the cross-binary matcher summary
@@ -116,7 +121,7 @@ def build_manifest(
     counts, per-binary-pair coverage).
     """
     if cache_stats is not None:
-        cache_block = {
+        cache_block: Dict[str, Any] = {
             "hits": cache_stats.hits,
             "misses": cache_stats.misses,
             "hit_rate": cache_stats.hit_rate,
@@ -125,6 +130,30 @@ def build_manifest(
         }
     else:
         cache_block = {key: 0 for key in _CACHE_KEYS}
+    kinds = getattr(cache_stats, "by_kind", None) or {}
+    cache_block["kinds"] = {
+        kind: {
+            "hits": row.hits,
+            "misses": row.misses,
+            "hit_rate": row.hit_rate,
+            "stale_evictions": row.stale_evictions,
+            "bytes_read": row.bytes_read,
+            "bytes_written": row.bytes_written,
+        }
+        for kind, row in sorted(kinds.items())
+    }
+    counters = dict(metrics_snapshot or {}).get("counters") or {}
+    sim_hits = int(counters.get("cache.sim.hits", 0))
+    sim_misses = int(counters.get("cache.sim.misses", 0))
+    sim_lookups = sim_hits + sim_misses
+    cache_block["sim"] = {
+        "hits": sim_hits,
+        "misses": sim_misses,
+        "stale_evictions": int(
+            counters.get("cache.sim.stale_evictions", 0)
+        ),
+        "reuse_ratio": sim_hits / sim_lookups if sim_lookups else 0.0,
+    }
     return {
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id if run_id is not None else new_run_id(),
@@ -258,6 +287,15 @@ def validate_manifest(data: Any) -> Dict[str, Any]:
     for key in _CACHE_KEYS:
         if not isinstance(cache.get(key), (int, float)):
             raise FileFormatError(f"manifest cache missing counter {key!r}")
+    # Optional cache sub-blocks (absent from pre-existing documents):
+    # per-kind counter rows and the sim-result reuse summary.
+    for block_name in ("kinds", "sim"):
+        if block_name in cache and not isinstance(
+            cache[block_name], dict
+        ):
+            raise FileFormatError(
+                f"manifest cache {block_name} must be an object"
+            )
     for section in ("clusterings", "errors", "metrics", "bias", "matching"):
         if not isinstance(data[section], dict):
             raise FileFormatError(f"manifest {section} must be an object")

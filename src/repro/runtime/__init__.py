@@ -22,7 +22,12 @@ return, and the pool only changes *where* each deterministic profile is
 computed, never in what order results are consumed.
 """
 
-from repro.runtime.cache import CacheStats, ProfileCache, cache_from_root
+from repro.runtime.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    ProfileCache,
+    cache_from_root,
+)
 from repro.runtime.config import (
     active_cache,
     configure,
@@ -30,11 +35,14 @@ from repro.runtime.config import (
     runtime_session,
     set_cache,
     set_jobs,
+    set_sim_cache,
+    sim_cache_enabled,
 )
 from repro.runtime.fingerprint import fingerprint
 from repro.runtime.parallel import parallel_map
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "CacheStats",
     "ProfileCache",
     "active_cache",
@@ -46,4 +54,6 @@ __all__ = [
     "runtime_session",
     "set_cache",
     "set_jobs",
+    "set_sim_cache",
+    "sim_cache_enabled",
 ]

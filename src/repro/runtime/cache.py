@@ -4,14 +4,19 @@ Every entry is stored under ``<root>/<kind>/<aa>/<digest>.pkl`` where
 ``digest`` is the :func:`~repro.runtime.fingerprint.fingerprint` of the
 full key material — for profiles that is ``(binary, program input,
 params)``, so *any* change to the binary's code, the input, or the
-consumer parameters produces a different address. There is no explicit
-invalidation: stale entries are simply never addressed again.
+consumer parameters produces a different address. The module-level
+:data:`CACHE_FORMAT_VERSION` is salted into every digest: bumping it
+after a result-schema change invalidates the whole cache cleanly
+instead of relying on stale-pickle eviction at read time. There is no
+explicit invalidation beyond that: stale entries are simply never
+addressed again.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent worker
 processes can share one cache directory; a corrupt or unreadable entry
 is treated as a miss and rewritten. :class:`CacheStats` counts hits,
-misses, and bytes moved, and worker-process deltas can be merged back
-into the parent's stats.
+misses, stale evictions, and bytes moved — both in aggregate and per
+entry kind — and worker-process deltas can be merged back into the
+parent's stats.
 """
 
 from __future__ import annotations
@@ -19,23 +24,35 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import CacheError
 from repro.observability import metrics
 from repro.runtime.fingerprint import fingerprint
 
+# Salted into every entry digest. Bump whenever the pickled payload
+# schema of any kind changes incompatibly: old entries stop being
+# addressed at all, so no process ever reads a payload written under a
+# different layout.
+CACHE_FORMAT_VERSION = 2
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss/traffic counters for one cache handle."""
+    """Hit/miss/traffic counters for one cache handle.
+
+    ``by_kind`` breaks the same counters down per entry kind (the
+    nested entries leave their own ``by_kind`` empty).
+    """
 
     hits: int = 0
     misses: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    stale_evictions: int = 0
+    by_kind: Dict[str, "CacheStats"] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -45,12 +62,22 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def for_kind(self, kind: str) -> "CacheStats":
+        """The per-kind counter row, created on first use."""
+        row = self.by_kind.get(kind)
+        if row is None:
+            row = self.by_kind[kind] = CacheStats()
+        return row
+
     def merge(self, other: "CacheStats") -> None:
         """Fold another handle's counters (e.g. a worker's) into this."""
         self.hits += other.hits
         self.misses += other.misses
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
+        self.stale_evictions += other.stale_evictions
+        for kind, row in other.by_kind.items():
+            self.for_kind(kind).merge(row)
 
 
 class ProfileCache:
@@ -63,14 +90,20 @@ class ProfileCache:
     def _path(self, kind: str, digest: str) -> Path:
         return self.root / kind / digest[:2] / f"{digest}.pkl"
 
-    def get_or_compute(
-        self,
-        kind: str,
-        key_material: Sequence[Any],
-        compute: Callable[[], Any],
-    ) -> Any:
-        """Return the cached value for the key, computing it on a miss."""
-        digest = fingerprint(kind, list(key_material))
+    def _digest(self, kind: str, key_material: Sequence[Any]) -> str:
+        return fingerprint(kind, CACHE_FORMAT_VERSION, list(key_material))
+
+    def lookup(
+        self, kind: str, key_material: Sequence[Any]
+    ) -> Tuple[bool, Any]:
+        """Probe the cache: ``(True, value)`` on a hit, else
+        ``(False, None)``.
+
+        Counts the probe as a hit or miss (aggregate and per kind) but
+        never computes or writes anything — callers that batch many
+        probes (per-region reuse) pair this with :meth:`store`.
+        """
+        digest = self._digest(kind, key_material)
         path = self._path(kind, digest)
         payload: Optional[bytes]
         try:
@@ -90,20 +123,45 @@ class ProfileCache:
                 AttributeError,
                 ImportError,  # covers ModuleNotFoundError
             ):
-                self._evict_stale(path)
+                self._evict_stale(kind, path)
             else:
                 self.stats.hits += 1
                 self.stats.bytes_read += len(payload)
+                row = self.stats.for_kind(kind)
+                row.hits += 1
+                row.bytes_read += len(payload)
                 metrics.counter("cache.hits").inc()
+                metrics.counter(f"cache.{kind}.hits").inc()
                 metrics.counter("cache.bytes_read").inc(len(payload))
-                return value
-        value = compute()
+                return True, value
         self.stats.misses += 1
+        self.stats.for_kind(kind).misses += 1
         metrics.counter("cache.misses").inc()
-        self._write(path, value)
+        metrics.counter(f"cache.{kind}.misses").inc()
+        return False, None
+
+    def store(
+        self, kind: str, key_material: Sequence[Any], value: Any
+    ) -> None:
+        """Write one entry (atomic; safe against concurrent writers)."""
+        digest = self._digest(kind, key_material)
+        self._write(kind, self._path(kind, digest), value)
+
+    def get_or_compute(
+        self,
+        kind: str,
+        key_material: Sequence[Any],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached value for the key, computing it on a miss."""
+        found, value = self.lookup(kind, key_material)
+        if found:
+            return value
+        value = compute()
+        self.store(kind, key_material, value)
         return value
 
-    def _evict_stale(self, path: Path) -> None:
+    def _evict_stale(self, kind: str, path: Path) -> None:
         """Drop an entry whose bytes no longer unpickle in this process.
 
         The digest still addresses the same key, so leaving the file in
@@ -114,9 +172,12 @@ class ProfileCache:
             path.unlink()
         except OSError:
             pass  # another handle already evicted it
+        self.stats.stale_evictions += 1
+        self.stats.for_kind(kind).stale_evictions += 1
         metrics.counter("cache.stale_evictions").inc()
+        metrics.counter(f"cache.{kind}.stale_evictions").inc()
 
-    def _write(self, path: Path, value: Any) -> None:
+    def _write(self, kind: str, path: Path, value: Any) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -138,6 +199,7 @@ class ProfileCache:
                 f"cannot write cache entry {path}: {exc}"
             ) from exc
         self.stats.bytes_written += len(payload)
+        self.stats.for_kind(kind).bytes_written += len(payload)
         metrics.counter("cache.bytes_written").inc(len(payload))
 
 

@@ -33,6 +33,7 @@ _UNSET = object()
 _default_jobs: Optional[int] = None
 _cache: object = _UNSET  # _UNSET -> fall back to the environment
 _default_match_confidence: Optional[float] = None
+_default_sim_cache: Optional[bool] = None
 
 
 def set_jobs(jobs: Optional[int]) -> None:
@@ -121,6 +122,31 @@ def active_cache() -> Optional[ProfileCache]:
     return None
 
 
+def set_sim_cache(enabled: Optional[bool]) -> None:
+    """Install (or clear, with ``None``) the sim-result reuse default."""
+    global _default_sim_cache
+    _default_sim_cache = None if enabled is None else bool(enabled)
+
+
+def sim_cache_enabled(enabled: Optional[bool] = None) -> bool:
+    """Whether detailed-simulation results may be reused from the cache.
+
+    Resolution order: explicit argument, ``REPRO_NO_SIM_CACHE`` (set →
+    disabled), process default from :func:`set_sim_cache` (the CLI's
+    ``--no-sim-cache`` flag lands here), then enabled. Reuse also
+    requires an active profile cache — this knob only gates the
+    ``"simresult"`` kind, so profiling caches keep working when it is
+    off (results are bit-identical either way).
+    """
+    if enabled is not None:
+        return enabled
+    if os.environ.get("REPRO_NO_SIM_CACHE"):
+        return False
+    if _default_sim_cache is not None:
+        return _default_sim_cache
+    return True
+
+
 def trace_replay_enabled(use_trace: Optional[bool] = None) -> bool:
     """Whether a profiling consumer should replay a compiled trace.
 
@@ -137,10 +163,12 @@ def configure(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     no_cache: bool = False,
     match_confidence: Optional[float] = None,
+    no_sim_cache: bool = False,
 ) -> Optional[ProfileCache]:
     """One-shot setup used by the CLI; returns the installed cache."""
     set_jobs(jobs)
     set_match_confidence(match_confidence)
+    set_sim_cache(False if no_sim_cache else None)
     if no_cache:
         set_cache(None)
         return None
@@ -154,14 +182,27 @@ def runtime_session(
     jobs: Optional[int] = None,
     cache: Optional[ProfileCache] = None,
     match_confidence: Optional[float] = None,
+    sim_cache: Optional[bool] = None,
 ) -> Iterator[None]:
     """Temporarily install runtime defaults (tests use this)."""
     global _cache, _default_jobs, _default_match_confidence
-    saved = (_cache, _default_jobs, _default_match_confidence)
+    global _default_sim_cache
+    saved = (
+        _cache,
+        _default_jobs,
+        _default_match_confidence,
+        _default_sim_cache,
+    )
     try:
         _default_jobs = jobs
         _cache = cache
         _default_match_confidence = match_confidence
+        _default_sim_cache = sim_cache
         yield
     finally:
-        _cache, _default_jobs, _default_match_confidence = saved
+        (
+            _cache,
+            _default_jobs,
+            _default_match_confidence,
+            _default_sim_cache,
+        ) = saved

@@ -153,7 +153,7 @@ class TestProfileCache:
         cache.get_or_compute("kind", ("key",), lambda: "good")
         entry = next(tmp_path.rglob("*.pkl"))
         entry.unlink()  # the other handle got there first
-        cache._evict_stale(entry)  # must not raise
+        cache._evict_stale("kind", entry)  # must not raise
 
     def test_shared_root_across_handles(self, tmp_path):
         writer = ProfileCache(tmp_path)
@@ -174,6 +174,55 @@ class TestProfileCache:
 
     def test_cache_from_root_none(self):
         assert cache_from_root(None) is None
+
+    def test_per_kind_counters(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        with metrics.scoped_registry() as local:
+            cache.get_or_compute("alpha", ("a",), lambda: "a")
+            cache.get_or_compute("alpha", ("a",), lambda: "a")
+            cache.get_or_compute("beta", ("b",), lambda: "b")
+        alpha = cache.stats.by_kind["alpha"]
+        beta = cache.stats.by_kind["beta"]
+        assert (alpha.hits, alpha.misses) == (1, 1)
+        assert (beta.hits, beta.misses) == (0, 1)
+        assert alpha.bytes_written > 0 and alpha.bytes_read > 0
+        assert beta.bytes_read == 0
+        # Kinds sum to the aggregate.
+        assert alpha.hits + beta.hits == cache.stats.hits
+        assert alpha.misses + beta.misses == cache.stats.misses
+        counters = local.snapshot()["counters"]
+        assert counters["cache.alpha.hits"] == 1
+        assert counters["cache.alpha.misses"] == 1
+        assert counters["cache.beta.misses"] == 1
+        assert "cache.beta.hits" not in counters
+
+    def test_merge_folds_per_kind_rows(self, tmp_path):
+        parent = ProfileCache(tmp_path)
+        parent.get_or_compute("alpha", ("a",), lambda: "a")
+        worker = ProfileCache(tmp_path)
+        worker.get_or_compute("alpha", ("a",), lambda: "unused")  # hit
+        worker.get_or_compute("beta", ("b",), lambda: "b")
+        merge_stats(parent, [worker.stats])
+        alpha = parent.stats.by_kind["alpha"]
+        assert (alpha.hits, alpha.misses) == (1, 1)
+        assert parent.stats.by_kind["beta"].misses == 1
+
+    def test_format_version_salts_every_key(self, tmp_path, monkeypatch):
+        from repro.runtime import cache as cache_module
+
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute("kind", ("key",), lambda: "v-current")
+        monkeypatch.setattr(
+            cache_module,
+            "CACHE_FORMAT_VERSION",
+            cache_module.CACHE_FORMAT_VERSION + 1,
+        )
+        # Same key under a bumped format version: the old entry is
+        # simply never addressed — a clean miss, no eviction.
+        value = cache.get_or_compute("kind", ("key",), lambda: "v-next")
+        assert value == "v-next"
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert cache.stats.stale_evictions == 0
 
 
 class TestRuntimeConfig:

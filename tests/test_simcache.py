@@ -1,0 +1,414 @@
+"""Content-keyed reuse of detailed-simulation results.
+
+Covers the key schema (stability and sensitivity), full-run and
+per-region reuse with bit-identity against the uncached path, the
+escape hatches, sweep-level reuse on both the direct and ``--via-jobs``
+paths, and the observability surface (manifest sim block, ledger
+flattening, drift gate).
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cmpsim.config import TABLE1_CONFIG
+from repro.cmpsim.simcache import (
+    SIMRESULT_KIND,
+    TrackedRun,
+    cached_full_run,
+    cached_region_run,
+    full_run_key,
+    region_run_keys,
+)
+from repro.cmpsim.simulator import CMPSim, RegionSpec
+from repro.core.matching import find_mappable_points
+from repro.core.vli import collect_vli_bbvs
+from repro.errors import SimulationError
+from repro.experiments.runner import ExperimentConfig, clear_cache
+from repro.experiments.sweeps import sweep_interval_sizes
+from repro.jobs import JobQueue, ensure_default_executors
+from repro.observability import metrics
+from repro.observability.diff import (
+    DriftThresholds,
+    check_drift,
+    diff_runs,
+)
+from repro.observability.ledger import entry_from_manifest
+from repro.observability.manifest import build_manifest, validate_manifest
+from repro.observability.metrics import Registry
+from repro.profiling.callbranch import collect_call_branch_profile
+from repro.programs.inputs import REF_INPUT, TEST_INPUT
+from repro.runtime import ProfileCache, fingerprint, runtime_session
+from repro.simpoint.simpoint import SimPointConfig
+
+from tests.conftest import MICRO_INTERVAL
+
+#: Fast experiment settings for the sweep-level reuse tests.
+_FAST_CONFIG = ExperimentConfig(
+    interval_size=40_000, simpoint=SimPointConfig(max_k=3, n_init=2)
+)
+
+
+@pytest.fixture(scope="module")
+def marked(micro_binary_list):
+    """(binary, marker table, VLI intervals) for the micro 32u binary."""
+    profiles = [
+        (binary, collect_call_branch_profile(binary))
+        for binary in micro_binary_list
+    ]
+    marker_set, _ = find_mappable_points(profiles)
+    binary = micro_binary_list[0]
+    intervals = collect_vli_bbvs(binary, marker_set, MICRO_INTERVAL)
+    return binary, marker_set.table_for(binary.name), intervals
+
+
+def _regions(intervals):
+    return [
+        RegionSpec(label=0, start=intervals[1].start_coord,
+                   end=intervals[1].end_coord),
+        RegionSpec(label=1, start=intervals[3].start_coord,
+                   end=intervals[3].end_coord),
+    ]
+
+
+class TestKeySchema:
+    def test_full_run_key_is_stable(self, micro_binary_32u):
+        def key():
+            return fingerprint(full_run_key(
+                micro_binary_32u, TABLE1_CONFIG, REF_INPUT,
+                MICRO_INTERVAL, None, None,
+            ))
+
+        assert key() == key()
+
+    def test_full_run_key_tracks_every_input(self, marked,
+                                             micro_binary_32o):
+        binary, table, intervals = marked
+        boundaries = tuple(
+            interval.start_coord for interval in intervals[1:]
+        )
+        base = full_run_key(
+            binary, TABLE1_CONFIG, REF_INPUT, MICRO_INTERVAL,
+            table, boundaries,
+        )
+        variants = [
+            # Different binary content.
+            full_run_key(micro_binary_32o, TABLE1_CONFIG, REF_INPUT,
+                         MICRO_INTERVAL, table, boundaries),
+            # Different CMPSim memory configuration.
+            full_run_key(binary,
+                         dataclasses.replace(TABLE1_CONFIG,
+                                             dram_latency=999),
+                         REF_INPUT, MICRO_INTERVAL, table, boundaries),
+            # Different program input.
+            full_run_key(binary, TABLE1_CONFIG, TEST_INPUT,
+                         MICRO_INTERVAL, table, boundaries),
+            # Different FLI tracker granularity.
+            full_run_key(binary, TABLE1_CONFIG, REF_INPUT,
+                         MICRO_INTERVAL * 2, table, boundaries),
+            # Different VLI boundaries.
+            full_run_key(binary, TABLE1_CONFIG, REF_INPUT,
+                         MICRO_INTERVAL, table, boundaries[:-1]),
+        ]
+        digests = {fingerprint(variant) for variant in variants}
+        assert fingerprint(base) not in digests
+        assert len(digests) == len(variants)
+
+    def test_region_keys_cover_the_prefix_only(self, marked):
+        binary, table, intervals = marked
+        regions = _regions(intervals)
+        keys, tail = region_run_keys(
+            binary, regions, table, True, TABLE1_CONFIG, REF_INPUT
+        )
+        assert len(keys) == len(regions)
+        # A boundary edit to region 1 leaves region 0's key untouched
+        # but changes region 1's and the tail's.
+        moved = [
+            regions[0],
+            RegionSpec(label=1, start=intervals[2].start_coord,
+                       end=intervals[3].end_coord),
+        ]
+        moved_keys, moved_tail = region_run_keys(
+            binary, moved, table, True, TABLE1_CONFIG, REF_INPUT
+        )
+        assert fingerprint(keys[0]) == fingerprint(moved_keys[0])
+        assert fingerprint(keys[1]) != fingerprint(moved_keys[1])
+        assert fingerprint(tail) != fingerprint(moved_tail)
+
+    def test_warmup_policy_changes_region_keys(self, marked):
+        binary, table, intervals = marked
+        regions = _regions(intervals)
+        warm_keys, _ = region_run_keys(
+            binary, regions, table, True, TABLE1_CONFIG, REF_INPUT
+        )
+        cold_keys, _ = region_run_keys(
+            binary, regions, table, False, TABLE1_CONFIG, REF_INPUT
+        )
+        assert all(
+            fingerprint(warm) != fingerprint(cold)
+            for warm, cold in zip(warm_keys, cold_keys)
+        )
+
+
+class TestCachedFullRun:
+    def test_warm_run_bit_identical_and_counted(self, marked, tmp_path):
+        binary, table, intervals = marked
+        boundaries = tuple(
+            interval.start_coord for interval in intervals[1:]
+        )
+        kwargs = dict(
+            fli_interval_size=MICRO_INTERVAL,
+            vli_table=table,
+            vli_boundaries=boundaries,
+        )
+        direct = cached_full_run(binary, use_sim_cache=False, **kwargs)
+        cache = ProfileCache(tmp_path)
+        with metrics.scoped_registry() as local:
+            cold = cached_full_run(binary, cache=cache, **kwargs)
+            warm = cached_full_run(binary, cache=cache, **kwargs)
+        assert isinstance(direct, TrackedRun)
+        assert pickle.dumps(direct) == pickle.dumps(cold)
+        assert pickle.dumps(direct) == pickle.dumps(warm)
+        row = cache.stats.by_kind[SIMRESULT_KIND]
+        assert (row.hits, row.misses) == (1, 1)
+        counters = local.snapshot()["counters"]
+        assert counters["cache.sim.hits"] == 1
+        assert counters["cache.sim.misses"] == 1
+
+    def test_batched_flag_is_not_part_of_the_key(self, micro_binary_32u,
+                                                 tmp_path):
+        cache = ProfileCache(tmp_path)
+        batched = cached_full_run(
+            micro_binary_32u, fli_interval_size=MICRO_INTERVAL,
+            cache=cache, batched=True,
+        )
+        scalar = cached_full_run(
+            micro_binary_32u, fli_interval_size=MICRO_INTERVAL,
+            cache=cache, batched=False,
+        )
+        assert pickle.dumps(batched) == pickle.dumps(scalar)
+        row = cache.stats.by_kind[SIMRESULT_KIND]
+        assert (row.hits, row.misses) == (1, 1)
+
+    def test_escape_hatches_disable_reuse(self, micro_binary_32u,
+                                          tmp_path, monkeypatch):
+        cache = ProfileCache(tmp_path)
+        kwargs = dict(fli_interval_size=MICRO_INTERVAL, cache=cache)
+        # Per-call veto.
+        cached_full_run(micro_binary_32u, use_sim_cache=False, **kwargs)
+        assert SIMRESULT_KIND not in cache.stats.by_kind
+        # Process default (the CLI's --no-sim-cache lands here).
+        with runtime_session(sim_cache=False):
+            cached_full_run(micro_binary_32u, **kwargs)
+        assert SIMRESULT_KIND not in cache.stats.by_kind
+        # Environment veto.
+        monkeypatch.setenv("REPRO_NO_SIM_CACHE", "1")
+        cached_full_run(micro_binary_32u, **kwargs)
+        assert SIMRESULT_KIND not in cache.stats.by_kind
+        monkeypatch.delenv("REPRO_NO_SIM_CACHE")
+        # And with every hatch open, reuse resumes.
+        cached_full_run(micro_binary_32u, **kwargs)
+        assert cache.stats.by_kind[SIMRESULT_KIND].misses == 1
+
+
+class TestCachedRegionRun:
+    def test_full_hit_skips_simulation_entirely(self, marked, tmp_path,
+                                                monkeypatch):
+        binary, table, intervals = marked
+        regions = _regions(intervals)
+        direct = CMPSim(binary).run_regions(regions, table, warm=True)
+        cache = ProfileCache(tmp_path)
+        cold = cached_region_run(binary, regions, table, cache=cache)
+        assert pickle.dumps(cold) == pickle.dumps(direct)
+
+        def _bomb(self, *args, **kwargs):
+            raise AssertionError("warm region run re-simulated")
+
+        monkeypatch.setattr(CMPSim, "run_regions", _bomb)
+        with metrics.scoped_registry() as local:
+            warm = cached_region_run(binary, regions, table, cache=cache)
+        assert pickle.dumps(warm) == pickle.dumps(direct)
+        counters = local.snapshot()["counters"]
+        # One per-region probe per region; the tail entry is run-level
+        # bookkeeping and deliberately outside the sim counters.
+        assert counters["cache.sim.hits"] == len(regions)
+        assert "cache.sim.misses" not in counters
+
+    def test_boundary_edit_reuses_the_unchanged_prefix(self, marked,
+                                                       tmp_path):
+        binary, table, intervals = marked
+        regions = _regions(intervals)
+        cache = ProfileCache(tmp_path)
+        cached_region_run(binary, regions, table, cache=cache)
+        moved = [
+            regions[0],
+            RegionSpec(label=1, start=intervals[2].start_coord,
+                       end=intervals[3].end_coord),
+        ]
+        direct = CMPSim(binary).run_regions(moved, table, warm=True)
+        with metrics.scoped_registry() as local:
+            result = cached_region_run(binary, moved, table, cache=cache)
+        assert pickle.dumps(result) == pickle.dumps(direct)
+        counters = local.snapshot()["counters"]
+        assert counters["cache.sim.hits"] == 1  # region 0's prefix key
+        assert counters["cache.sim.misses"] == 1  # the edited region
+        # And the refilled entries serve the edited list in full.
+        fresh = cached_region_run(binary, moved, table, cache=cache)
+        assert pickle.dumps(fresh) == pickle.dumps(direct)
+
+    def test_invalid_region_lists_still_raise(self, marked, tmp_path):
+        binary, table, intervals = marked
+        bad = [
+            RegionSpec(label=0, start=intervals[1].start_coord,
+                       end=intervals[1].end_coord),
+            RegionSpec(label=1, start=None,
+                       end=intervals[3].end_coord),
+        ]
+        cache = ProfileCache(tmp_path)
+        for _ in range(2):  # the failure must not poison the cache
+            with pytest.raises(SimulationError, match="first region"):
+                cached_region_run(binary, bad, table, cache=cache)
+
+
+class TestSweepReuse:
+    def test_warm_sweep_bit_identical_to_cold_and_uncached(self,
+                                                           tmp_path):
+        sizes = [30_000, 60_000]
+        with runtime_session(cache=None):
+            clear_cache()
+            uncached = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=1
+            )
+        cache = ProfileCache(tmp_path)
+        with runtime_session(cache=cache):
+            clear_cache()
+            with metrics.scoped_registry() as cold_registry:
+                cold = sweep_interval_sizes(
+                    "art", sizes, _FAST_CONFIG, jobs=1
+                )
+            clear_cache()
+            with metrics.scoped_registry() as warm_registry:
+                warm = sweep_interval_sizes(
+                    "art", sizes, _FAST_CONFIG, jobs=1
+                )
+        clear_cache()
+        assert uncached == cold == warm
+        cold_counters = cold_registry.snapshot()["counters"]
+        warm_counters = warm_registry.snapshot()["counters"]
+        assert "cache.sim.hits" not in cold_counters
+        assert cold_counters["cache.sim.misses"] > 0
+        assert "cache.sim.misses" not in warm_counters
+        assert (
+            warm_counters["cache.sim.hits"]
+            == cold_counters["cache.sim.misses"]
+        )
+
+    def test_via_jobs_sweep_reuses_and_receipts_count_hits(self,
+                                                           tmp_path):
+        sizes = [30_000, 60_000]
+        ensure_default_executors()
+        cache = ProfileCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "q")
+        with runtime_session(cache=cache):
+            clear_cache()
+            direct = sweep_interval_sizes(
+                "art", sizes, _FAST_CONFIG, jobs=1
+            )
+            clear_cache()
+            with metrics.scoped_registry() as local:
+                via_jobs = sweep_interval_sizes(
+                    "art", sizes, _FAST_CONFIG, jobs=2, via_jobs=queue
+                )
+        clear_cache()
+        assert via_jobs == direct  # bit-identical tables, warm or not
+        receipts = queue.receipts()
+        assert receipts and all(receipt.ok for receipt in receipts)
+        hits = sum(
+            receipt.sim_cache.get("hits", 0) for receipt in receipts
+        )
+        misses = sum(
+            receipt.sim_cache.get("misses", 0) for receipt in receipts
+        )
+        assert hits > 0 and misses == 0  # the direct pass primed it all
+        counters = local.snapshot()["counters"]
+        # record_job_metrics folds receipt tallies into the parent's
+        # counters exactly once.
+        assert counters["cache.sim.hits"] == hits
+
+
+class TestObservabilitySurface:
+    def _manifest(self, run_id, *, hits, misses, cache_stats=None):
+        registry = Registry()
+        if hits:
+            registry.counter("cache.sim.hits").inc(hits)
+        if misses:
+            registry.counter("cache.sim.misses").inc(misses)
+        return build_manifest(
+            total_seconds=1.0,
+            stages={"profile": 1.0},
+            metrics_snapshot=registry.snapshot(),
+            cache_stats=cache_stats,
+            config_fingerprint="fp-sim",
+            run_id=run_id,
+        )
+
+    def test_manifest_carries_kinds_and_sim_blocks(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute(SIMRESULT_KIND, ("key",), lambda: "value")
+        cache.get_or_compute(SIMRESULT_KIND, ("key",), lambda: "unused")
+        manifest = self._manifest(
+            "run-sim", hits=1, misses=1, cache_stats=cache.stats
+        )
+        validate_manifest(manifest)
+        kinds = manifest["cache"]["kinds"]
+        assert kinds[SIMRESULT_KIND]["hits"] == 1
+        assert kinds[SIMRESULT_KIND]["misses"] == 1
+        sim = manifest["cache"]["sim"]
+        assert sim == {
+            "hits": 1, "misses": 1, "stale_evictions": 0,
+            "reuse_ratio": 0.5,
+        }
+
+    def test_ledger_flattens_cache_sub_blocks(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute(SIMRESULT_KIND, ("key",), lambda: "value")
+        manifest = self._manifest(
+            "run-flat", hits=3, misses=1, cache_stats=cache.stats
+        )
+        entry = entry_from_manifest(manifest)
+        assert entry.cache["sim.reuse_ratio"] == 0.75
+        assert entry.cache[f"{SIMRESULT_KIND}.misses"] == 1
+        assert entry.cache["hits"] == 0  # aggregate counters survive
+
+    def test_min_sim_hit_rate_gate(self):
+        old = entry_from_manifest(
+            self._manifest("run-a", hits=4, misses=0)
+        )
+        warm = entry_from_manifest(
+            self._manifest("run-b", hits=4, misses=0)
+        )
+        cold = entry_from_manifest(
+            self._manifest("run-c", hits=0, misses=4)
+        )
+        # Off by default: a cold candidate is not drift.
+        assert check_drift(diff_runs(old, cold)) == []
+        limits = DriftThresholds(min_sim_hit_rate=0.5)
+        assert check_drift(diff_runs(old, warm), limits) == []
+        violations = check_drift(diff_runs(old, cold), limits)
+        assert [v.kind for v in violations] == ["performance"]
+        assert violations[0].delta.field == "sim.reuse_ratio"
+
+    def test_inspect_renders_kinds_and_sim_lines(self, tmp_path):
+        from repro.observability.inspect import render_manifest
+
+        cache = ProfileCache(tmp_path)
+        cache.get_or_compute(SIMRESULT_KIND, ("key",), lambda: "value")
+        cache.get_or_compute(SIMRESULT_KIND, ("key",), lambda: "unused")
+        manifest = self._manifest(
+            "run-render", hits=1, misses=1, cache_stats=cache.stats
+        )
+        rendered = render_manifest(manifest)
+        assert f"{SIMRESULT_KIND}: 1 hits / 1 misses" in rendered
+        assert "sim-result reuse: 1 of 2 region lookups (50.0%)" \
+            in rendered
