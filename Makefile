@@ -12,7 +12,7 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
-		--benchmark-json BENCH_PR8.json
+		--benchmark-json BENCH_PR9.json
 
 figures:
 	$(PYTHON) -m repro figures

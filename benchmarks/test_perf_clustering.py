@@ -1,0 +1,208 @@
+"""The clustering stage of the gcc sweep: kernels, fan-out, reuse.
+
+Stages re-cluster gcc's FLI profile under several ``max_k`` budgets —
+exactly the work :func:`repro.experiments.sweeps.sweep_max_k` redoes
+per cell — through each acceleration in turn:
+
+1. reference kernel, serial, uncached (the pre-engine baseline),
+2. Hamerly-pruned kernel (bit-identical; records the distance-row
+   saving, which at 15 projected dimensions outruns the wall-clock
+   saving because the GEMM it avoids is cheap),
+3. pruned kernel + parallel restart fan-out (bit-identical),
+4. cold content-keyed cache (pays compute, primes the cache),
+5. warm cache (reuse ratio 1.0; the PR's acceptance criterion —
+   the clustering stage at least 2x faster than the reference run).
+
+Execution order matters (stages share state through the module-level
+``RESULTS`` dict); pytest-benchmark runs tests in file order, and each
+later test skips if an earlier stage is missing (e.g. under ``-k``).
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.compilation.compiler import compile_standard_binaries
+from repro.compilation.targets import STANDARD_TARGETS
+from repro.observability import metrics
+from repro.profiling.bbv import collect_fli_bbvs
+from repro.programs.suite import build_benchmark
+from repro.runtime import ProfileCache
+from repro.simpoint.clustercache import cached_choose_clustering
+from repro.simpoint.projection import DEFAULT_DIMENSIONS, project
+from repro.simpoint.select import choose_clustering
+from repro.simpoint.vectors import build_vector_set
+
+from benchmarks.conftest import run_once
+
+#: Fine-grained intervals make the clustering stage the dominant cost.
+INTERVAL_SIZE = 5_000
+#: The re-clustering budgets of the sweep (one clustering each).
+BUDGETS = (6, 8, 10)
+
+#: Choices, wall times, and counters shared across the stages.
+RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def gcc_profile():
+    """gcc's projected FLI profile: (points, weights)."""
+    program = build_benchmark("gcc")
+    binary = compile_standard_binaries(
+        program, STANDARD_TARGETS[:1]
+    )[STANDARD_TARGETS[0]]
+    intervals = collect_fli_bbvs(binary, INTERVAL_SIZE)
+    vectors = build_vector_set(intervals)
+    points = project(vectors.matrix, DEFAULT_DIMENSIONS, 2007)
+    return points, vectors.weights
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("clustering-bench")
+
+
+def _pickled(choices):
+    """Per-choice pickles for bit-identity checks.
+
+    Choices that crossed a process pool or the cache are unpickled
+    copies: equal in content, but a *list* of them pickles differently
+    than freshly computed ones (the serial list shares interned
+    dict-key strings, which pickle memoizes). Per-choice pickles are
+    free of that aliasing and compare the actual payload.
+    """
+    return [pickle.dumps(choice) for choice in choices]
+
+
+def _timed_stage(points, weights, *, use_pruned, jobs, cache=None):
+    """Re-cluster under every budget; (choices, seconds, counters)."""
+    with metrics.scoped_registry() as local:
+        start = time.perf_counter()
+        choices = [
+            cached_choose_clustering(
+                points, weights, max_k=budget, use_pruned=use_pruned,
+                jobs=jobs, cache=cache,
+                use_clustering_cache=cache is not None,
+            )
+            if cache is not None
+            else choose_clustering(
+                points, weights, max_k=budget, use_pruned=use_pruned,
+                jobs=jobs,
+            )
+            for budget in BUDGETS
+        ]
+        elapsed = time.perf_counter() - start
+    return choices, elapsed, local.snapshot()["counters"]
+
+
+def test_perf_clustering_reference(benchmark, gcc_profile):
+    """Baseline: the reference Lloyd kernel, serial, no cache."""
+    points, weights = gcc_profile
+    choices, elapsed, counters = run_once(
+        benchmark,
+        lambda: _timed_stage(points, weights, use_pruned=False, jobs=1),
+    )
+    assert "simpoint.kmeans_pruned_points" not in counters
+    benchmark.extra_info["distance_rows"] = counters[
+        "simpoint.kmeans_distance_rows"
+    ]
+    RESULTS["reference"] = (choices, elapsed, counters)
+
+
+def test_perf_clustering_pruned(benchmark, gcc_profile):
+    """Pruned kernel: bit-identical, fewer distance rows."""
+    if "reference" not in RESULTS:
+        pytest.skip("needs the reference stage first")
+    points, weights = gcc_profile
+    choices, elapsed, counters = run_once(
+        benchmark,
+        lambda: _timed_stage(points, weights, use_pruned=True, jobs=1),
+    )
+    ref_choices, ref_elapsed, ref_counters = RESULTS["reference"]
+    assert _pickled(choices) == _pickled(ref_choices)
+    assert counters["simpoint.kmeans_pruned_points"] > 0
+    assert (
+        counters["simpoint.kmeans_distance_rows"]
+        < ref_counters["simpoint.kmeans_distance_rows"]
+    )
+    benchmark.extra_info["pruned_points"] = counters[
+        "simpoint.kmeans_pruned_points"
+    ]
+    benchmark.extra_info["distance_rows"] = counters[
+        "simpoint.kmeans_distance_rows"
+    ]
+    benchmark.extra_info["row_saving"] = round(
+        1
+        - counters["simpoint.kmeans_distance_rows"]
+        / ref_counters["simpoint.kmeans_distance_rows"],
+        3,
+    )
+    benchmark.extra_info["speedup_vs_reference"] = round(
+        ref_elapsed / elapsed, 2
+    )
+    RESULTS["pruned"] = (choices, elapsed)
+
+
+def test_perf_clustering_parallel(benchmark, gcc_profile):
+    """Pruned kernel + restart fan-out: still bit-identical."""
+    if "reference" not in RESULTS:
+        pytest.skip("needs the reference stage first")
+    points, weights = gcc_profile
+    choices, elapsed, _ = run_once(
+        benchmark,
+        lambda: _timed_stage(points, weights, use_pruned=True, jobs=4),
+    )
+    ref_choices, ref_elapsed, _ = RESULTS["reference"]
+    assert _pickled(choices) == _pickled(ref_choices)
+    benchmark.extra_info["speedup_vs_reference"] = round(
+        ref_elapsed / elapsed, 2
+    )
+    RESULTS["parallel"] = (choices, elapsed)
+
+
+def test_perf_clustering_cold_cache(benchmark, gcc_profile,
+                                    shared_cache_dir):
+    """First cached sweep: pays full clustering, primes the cache."""
+    if "reference" not in RESULTS:
+        pytest.skip("needs the reference stage first")
+    points, weights = gcc_profile
+    cache = ProfileCache(shared_cache_dir)
+    choices, elapsed, counters = run_once(
+        benchmark,
+        lambda: _timed_stage(points, weights, use_pruned=True, jobs=1,
+                             cache=cache),
+    )
+    ref_choices, _, _ = RESULTS["reference"]
+    assert _pickled(choices) == _pickled(ref_choices)
+    assert counters["cache.clustering.misses"] == len(BUDGETS)
+    assert "cache.clustering.hits" not in counters
+    RESULTS["cold"] = (choices, elapsed, counters)
+
+
+def test_perf_clustering_warm_cache(benchmark, gcc_profile,
+                                    shared_cache_dir):
+    """Warm re-sweep: every clustering served from the cache."""
+    if "reference" not in RESULTS or "cold" not in RESULTS:
+        pytest.skip("needs the reference and cold stages first")
+    points, weights = gcc_profile
+    cache = ProfileCache(shared_cache_dir)
+    choices, elapsed, counters = run_once(
+        benchmark,
+        lambda: _timed_stage(points, weights, use_pruned=True, jobs=1,
+                             cache=cache),
+    )
+    ref_choices, ref_elapsed, _ = RESULTS["reference"]
+    assert _pickled(choices) == _pickled(ref_choices)
+    assert counters["cache.clustering.hits"] == len(BUDGETS)
+    assert "cache.clustering.misses" not in counters
+    benchmark.extra_info["clustering_reuse_ratio"] = 1.0
+    benchmark.extra_info["reference_seconds"] = round(ref_elapsed, 3)
+    benchmark.extra_info["warm_seconds"] = round(elapsed, 3)
+    benchmark.extra_info["speedup"] = round(ref_elapsed / elapsed, 2)
+    # The acceptance criterion: the clustering stage of a repeated
+    # sweep runs at least 2x faster than the reference baseline.
+    assert ref_elapsed >= 2 * elapsed, (
+        f"warm clustering stage not >=2x faster: reference "
+        f"{ref_elapsed:.2f}s vs warm {elapsed:.2f}s"
+    )

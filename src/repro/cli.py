@@ -50,10 +50,12 @@ by accepting confidence-scored fuzzy matches at or above ``T``.
 Caching
 -------
 Every command accepts ``--cache-dir``/``--no-cache`` for the on-disk
-profile cache and ``--no-sim-cache`` (env ``REPRO_NO_SIM_CACHE``) to
-disable content-keyed reuse of detailed-simulation results while
-keeping profile caching. Simulation reuse never changes results —
-outputs are bit-identical with the cache hot, cold, or disabled.
+profile cache, ``--no-sim-cache`` (env ``REPRO_NO_SIM_CACHE``) to
+disable content-keyed reuse of detailed-simulation results, and
+``--no-clustering-cache`` (env ``REPRO_NO_CLUSTERING_CACHE``) to
+disable content-keyed reuse of chosen clusterings, each while keeping
+profile caching. Neither kind of reuse ever changes results — outputs
+are bit-identical with the cache hot, cold, or disabled.
 
 Observability
 -------------
@@ -512,6 +514,13 @@ def _add_runtime_flags(
              "bit-identical either way, only wall time changes",
     )
     parser.add_argument(
+        "--no-clustering-cache", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="disable content-keyed reuse of chosen clusterings "
+             "(env REPRO_NO_CLUSTERING_CACHE); results are "
+             "bit-identical either way, only wall time changes",
+    )
+    parser.add_argument(
         "--match-confidence", type=float, default=default, metavar="T",
         help="fuzzy marker-match acceptance threshold in (0, 1] "
              "(default: REPRO_MATCH_CONFIDENCE or 1.0 = exact only); "
@@ -777,6 +786,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: off — cold runs legitimately sit at 0)",
     )
     ledger_check.add_argument(
+        "--min-clustering-hit-rate", type=float, default=None,
+        metavar="X", dest="min_clustering_hit_rate",
+        help="minimum clustering reuse ratio the candidate must reach "
+             "(default: off — cold runs legitimately sit at 0)",
+    )
+    ledger_check.add_argument(
         "--allow-k-change", dest="forbid_k_change",
         action="store_const", const=False, default=None,
         help="do not treat a chosen-k flip as drift",
@@ -813,15 +828,19 @@ def _resolve_runtime(args: argparse.Namespace):
         os.environ.get("REPRO_NO_SIM_CACHE")
     )
     sim_cache = False if no_sim_cache else None
+    no_clustering_cache = args.no_clustering_cache or bool(
+        os.environ.get("REPRO_NO_CLUSTERING_CACHE")
+    )
+    clustering_cache = False if no_clustering_cache else None
     no_cache = args.no_cache or bool(os.environ.get("REPRO_NO_CACHE"))
     if no_cache:
-        return jobs, None, sim_cache
+        return jobs, None, sim_cache, clustering_cache
     cache_dir = (
         args.cache_dir
         or os.environ.get("REPRO_CACHE_DIR")
         or os.path.join(os.path.expanduser("~"), ".cache", "repro")
     )
-    return jobs, ProfileCache(cache_dir), sim_cache
+    return jobs, ProfileCache(cache_dir), sim_cache, clustering_cache
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -829,12 +848,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.runtime import runtime_session
 
     args = build_parser().parse_args(argv)
-    jobs, cache, sim_cache = _resolve_runtime(args)
+    jobs, cache, sim_cache, clustering_cache = _resolve_runtime(args)
     try:
         with runtime_session(
             jobs=jobs, cache=cache,
             match_confidence=args.match_confidence,
             sim_cache=sim_cache,
+            clustering_cache=clustering_cache,
         ):
             with observe(
                 trace_out=args.trace_out,

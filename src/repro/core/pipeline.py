@@ -181,7 +181,9 @@ def run_cross_binary_simpoint(
     metrics.counter("pipeline.intervals_profiled").inc(len(intervals))
     # Step 4: SimPoint on the primary binary's VLI BBVs.
     with trace.span("simpoint", intervals=len(intervals)):
-        simpoint_result = run_simpoint(intervals, config.simpoint)
+        simpoint_result = run_simpoint(
+            intervals, config.simpoint, jobs=jobs, cache=cache
+        )
     # Step 5: map simulation points to all binaries (definitional).
     with trace.span("map_points"):
         mapped_points = map_simulation_points(intervals, simpoint_result)
@@ -231,7 +233,9 @@ def run_per_binary_simpoint(
         )
     metrics.counter("pipeline.intervals_profiled").inc(len(intervals))
     with trace.span("fli_simpoint", binary=binary.name):
-        result = run_simpoint(intervals, config or SimPointConfig())
+        result = run_simpoint(
+            intervals, config or SimPointConfig(), cache=cache
+        )
     return intervals, result
 
 

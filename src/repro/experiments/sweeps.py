@@ -36,7 +36,7 @@ from repro.experiments.runner import (
     remember_run,
     run_benchmark,
 )
-from repro.runtime.cache import merge_stats
+from repro.runtime.cache import cache_from_root, merge_stats
 from repro.runtime.config import active_cache, resolve_jobs
 from repro.runtime.parallel import parallel_map
 from repro.simpoint.early import run_early_simpoint
@@ -193,8 +193,12 @@ class MaxKSweepPoint:
 
 def _recluster_task(task):
     """Worker: re-cluster one profile under one configuration."""
-    intervals, config = task
-    return run_simpoint(list(intervals), config)
+    intervals, config, cache_root, task_jobs = task
+    cache = cache_from_root(cache_root)
+    result = run_simpoint(
+        list(intervals), config, jobs=task_jobs, cache=cache
+    )
+    return result, (cache.stats if cache is not None else None)
 
 
 def sweep_max_k(
@@ -206,20 +210,29 @@ def sweep_max_k(
     """Re-cluster a cached run's VLI profile under several budgets.
 
     The re-clusterings are independent, so with ``jobs`` > 1 they fan
-    out over worker processes.
+    out over worker processes; a serial sweep instead hands the job
+    budget to each clustering's own (k, restart) fan-out. Either way
+    the content-keyed clustering cache is consulted per cell.
     """
     if not budgets:
         raise SimulationError("no budgets given")
     results: Dict[int, MaxKSweepPoint] = {}
     with trace.span("sweep_max_k", settings=len(budgets)):
-        simpoint_results = parallel_map(
+        cache = active_cache()
+        cache_root = cache.root if cache is not None else None
+        fanned = min(resolve_jobs(jobs), len(budgets)) > 1
+        task_jobs = 1 if fanned else jobs
+        task_results = parallel_map(
             _recluster_task,
             [
-                (run.cross.intervals, SimPointConfig(max_k=budget))
+                (run.cross.intervals, SimPointConfig(max_k=budget),
+                 cache_root, task_jobs)
                 for budget in budgets
             ],
             jobs=jobs,
         )
+        merge_stats(cache, [stats for _, stats in task_results])
+        simpoint_results = [result for result, _ in task_results]
     for budget, simpoint_result in zip(budgets, simpoint_results):
         results[budget] = MaxKSweepPoint(
             max_k=budget,
@@ -242,7 +255,10 @@ class EarlySweepPoint:
 
 
 def sweep_early_tolerance(
-    run: BenchmarkRun, tolerances: Sequence[float]
+    run: BenchmarkRun,
+    tolerances: Sequence[float],
+    *,
+    jobs: Optional[int] = None,
 ) -> Dict[float, EarlySweepPoint]:
     """Early-point tolerance sweep over a cached run's VLI profile."""
     if not tolerances:
@@ -251,8 +267,11 @@ def sweep_early_tolerance(
     results: Dict[float, EarlySweepPoint] = {}
     with trace.span("sweep_early_tolerance", settings=len(tolerances)):
         for tolerance in tolerances:
+            # Every tolerance reuses one cached clustering (the key is
+            # tolerance-independent); only the first call clusters.
             early = run_early_simpoint(
-                intervals, SimPointConfig(), tolerance=tolerance
+                intervals, SimPointConfig(), tolerance=tolerance,
+                jobs=jobs,
             )
             results[tolerance] = EarlySweepPoint(
                 tolerance=tolerance,

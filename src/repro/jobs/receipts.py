@@ -47,6 +47,8 @@ class JobReceipt:
     #: (hits/misses/stale_evictions); empty for failed jobs and for
     #: receipts written before the field existed.
     sim_cache: Dict[str, int] = field(default_factory=dict)
+    #: Clustering cache tallies, same contract as ``sim_cache``.
+    clustering_cache: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
     created_at: float = 0.0
 
@@ -84,6 +86,7 @@ class JobReceipt:
             "input_hashes": dict(self.input_hashes),
             "artifact_hashes": dict(self.artifact_hashes),
             "sim_cache": dict(self.sim_cache),
+            "clustering_cache": dict(self.clustering_cache),
             "error": self.error,
             "created_at": self.created_at,
         }
@@ -109,6 +112,12 @@ class JobReceipt:
             sim_cache={
                 key: int(value)
                 for key, value in (record.get("sim_cache") or {}).items()
+            },
+            clustering_cache={
+                key: int(value)
+                for key, value in (
+                    record.get("clustering_cache") or {}
+                ).items()
             },
             error=record.get("error"),
             created_at=float(record.get("created_at", 0.0)),

@@ -147,6 +147,10 @@ def _execute_benchmark(payload: Mapping[str, Any]) -> JobResult:
         key: int(counters.pop(f"cache.sim.{key}", 0))
         for key in ("hits", "misses", "stale_evictions")
     }
+    clustering_cache = {
+        key: int(counters.pop(f"cache.clustering.{key}", 0))
+        for key in ("hits", "misses", "stale_evictions")
+    }
     metrics.merge(snapshot)
     return JobResult(
         value=run,
@@ -162,6 +166,7 @@ def _execute_benchmark(payload: Mapping[str, Any]) -> JobResult:
         # joined against the manifests/ledger entries of equivalent runs.
         config_fingerprint=fingerprint("config", config.cache_key()),
         sim_cache=sim_cache,
+        clustering_cache=clustering_cache,
     )
 
 
@@ -218,6 +223,7 @@ def record_job_metrics(
     """
     tallies = {"completed": 0, "failed": 0, "exhausted": 0, "retries": 0}
     sim_tallies = {"hits": 0, "misses": 0, "stale_evictions": 0}
+    clustering_tallies = {"hits": 0, "misses": 0, "stale_evictions": 0}
     for job_id in job_ids:
         receipt = queue.receipt(job_id)
         if receipt is None:
@@ -230,15 +236,21 @@ def record_job_metrics(
         for key, value in receipt.sim_cache.items():
             if key in sim_tallies:
                 sim_tallies[key] += int(value)
+        for key, value in receipt.clustering_cache.items():
+            if key in clustering_tallies:
+                clustering_tallies[key] += int(value)
     for name, value in tallies.items():
         if value:
             metrics.counter(f"jobs.{name}").inc(value)
-    # Per-region sim-cache reuse travels in the receipts, so the
-    # manifest's reuse ratio covers --via-jobs sweeps no matter which
-    # worker processes did the executing.
+    # Per-region sim-cache and per-profile clustering reuse travel in
+    # the receipts, so the manifest's reuse ratios cover --via-jobs
+    # sweeps no matter which worker processes did the executing.
     for name, value in sim_tallies.items():
         if value:
             metrics.counter(f"cache.sim.{name}").inc(value)
+    for name, value in clustering_tallies.items():
+        if value:
+            metrics.counter(f"cache.clustering.{name}").inc(value)
     return tallies
 
 

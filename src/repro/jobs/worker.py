@@ -46,6 +46,9 @@ class JobResult:
     #: from receipts and foldable into the submitting process's
     #: metrics even when the executor ran in a forked worker.
     sim_cache: Dict[str, int] = field(default_factory=dict)
+    #: Clustering cache tallies of this execution, same contract as
+    #: ``sim_cache`` for the ``"clustering"`` kind.
+    clustering_cache: Dict[str, int] = field(default_factory=dict)
 
 
 Executor = Callable[[Mapping[str, Any]], JobResult]
@@ -114,6 +117,7 @@ def execute_record(
             input_hashes=dict(result.input_hashes),
             artifact_hashes={"result": artifact_hash},
             sim_cache=dict(result.sim_cache),
+            clustering_cache=dict(result.clustering_cache),
             created_at=time.time(),
         )
     queue.write_receipt(receipt)

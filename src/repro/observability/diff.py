@@ -242,6 +242,8 @@ class DriftThresholds:
     default — cold runs legitimately have ratio 0 — and is meant for
     warm CI runs, where a silent cache-key bust (the reuse ratio
     collapsing although nothing changed) should read as drift.
+    ``min_clustering_hit_rate`` is the same floor for the clustering
+    reuse ratio (``cache: clustering.reuse_ratio``).
     """
 
     max_error_increase: float = 0.002
@@ -256,6 +258,7 @@ class DriftThresholds:
     max_job_failure_rate: float = 0.0
     max_job_retry_rate: float = 0.25
     min_sim_hit_rate: Optional[float] = None
+    min_clustering_hit_rate: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -375,40 +378,56 @@ def check_drift(
                 )
             )
 
-    violations.extend(_sim_hit_rate_violations(diff, limits))
+    violations.extend(
+        _reuse_ratio_violations(
+            diff, limits.min_sim_hit_rate, "sim", "sim-result"
+        )
+    )
+    violations.extend(
+        _reuse_ratio_violations(
+            diff,
+            limits.min_clustering_hit_rate,
+            "clustering",
+            "clustering",
+        )
+    )
     violations.extend(_job_rate_violations(diff, limits))
     return violations
 
 
-def _sim_hit_rate_violations(
-    diff: RunDiff, limits: DriftThresholds
+def _reuse_ratio_violations(
+    diff: RunDiff,
+    floor: Optional[float],
+    summary: str,
+    label: str,
 ) -> List[Violation]:
-    """Absolute floor on the candidate's sim-result reuse ratio.
+    """Absolute floor on a candidate content-keyed reuse ratio.
 
     Like the job-rate gates this bounds the *new* run, not a delta: a
     warm CI run whose reuse ratio collapsed is a cache-key bust no
-    matter what the baseline did. A candidate that recorded no sim
+    matter what the baseline did. A candidate that recorded no such
     block at all (older manifest, or caching disabled) counts as
     ratio 0 — with the floor armed, that is exactly the failure the
     gate exists to surface.
     """
-    if limits.min_sim_hit_rate is None:
+    if floor is None:
         return []
+    field = f"{summary}.reuse_ratio"
     old_ratio: Optional[float] = None
     new_ratio = 0.0
     for delta in diff.section("cache"):
-        if delta.field == "sim.reuse_ratio":
+        if delta.field == field:
             old_ratio = delta.old
             if delta.new is not None:
                 new_ratio = delta.new
-    if new_ratio >= limits.min_sim_hit_rate:
+    if new_ratio >= floor:
         return []
     return [
         Violation(
             "performance",
-            Delta("cache", "sim.reuse_ratio", old_ratio, new_ratio),
-            f"sim-result reuse ratio {new_ratio:.1%} below floor "
-            f"{limits.min_sim_hit_rate:.1%}",
+            Delta("cache", field, old_ratio, new_ratio),
+            f"{label} reuse ratio {new_ratio:.1%} below floor "
+            f"{floor:.1%}",
         )
     ]
 

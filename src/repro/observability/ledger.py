@@ -155,9 +155,10 @@ def _flatten_cache(block: Mapping[str, Any]) -> Dict[str, float]:
     """One manifest cache block as flat numbers for the differ.
 
     The aggregate counters pass through; the nested per-kind rows and
-    the sim-reuse summary flatten to ``<kind>.<counter>`` and
-    ``sim.<counter>`` keys so the drift sentinel can gate on (for
-    example) ``sim.reuse_ratio`` like any other numeric field.
+    the content-keyed reuse summaries flatten to ``<kind>.<counter>``,
+    ``sim.<counter>``, and ``clustering.<counter>`` keys so the drift
+    sentinel can gate on (for example) ``sim.reuse_ratio`` or
+    ``clustering.reuse_ratio`` like any other numeric field.
     """
     flat: Dict[str, float] = {
         key: float(value)
@@ -172,9 +173,16 @@ def _flatten_cache(block: Mapping[str, Any]) -> Dict[str, float]:
                 value, bool
             ):
                 flat[f"{kind}.{key}"] = float(value)
-    for key, value in (block.get("sim") or {}).items():
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
-            flat[f"sim.{key}"] = float(value)
+    # Summaries flatten after the kind rows, so where the "clustering"
+    # summary shares key names with the "clustering" kind row, the
+    # summary (metric-counter-derived, --via-jobs-receipt-inclusive)
+    # values win.
+    for summary in ("sim", "clustering"):
+        for key, value in (block.get(summary) or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                flat[f"{summary}.{key}"] = float(value)
     return flat
 
 

@@ -110,10 +110,11 @@ def build_manifest(
     ``cache_stats`` is a :class:`repro.runtime.cache.CacheStats` (or
     ``None`` for a cache-less run, which records all-zero counters).
     The cache block also carries ``kinds`` (the same counters broken
-    down per entry kind) and ``sim`` (sim-result reuse tallies plus
-    the per-run reuse ratio, derived from the ``cache.sim.*`` metric
-    counters — the metrics registry is the one place those arrive from
-    every execution path, including ``--via-jobs`` receipts).
+    down per entry kind) plus ``sim`` and ``clustering`` (content-keyed
+    reuse tallies and per-run reuse ratios, derived from the
+    ``cache.sim.*`` / ``cache.clustering.*`` metric counters — the
+    metrics registry is the one place those arrive from every
+    execution path, including ``--via-jobs`` receipts).
     ``bias`` maps ``name -> cluster -> row`` where each row carries the
     phase's ``weight``, ``true_cpi``, ``sp_cpi``, and signed ``bias``.
     ``matching`` maps program name to the cross-binary matcher summary
@@ -143,17 +144,21 @@ def build_manifest(
         for kind, row in sorted(kinds.items())
     }
     counters = dict(metrics_snapshot or {}).get("counters") or {}
-    sim_hits = int(counters.get("cache.sim.hits", 0))
-    sim_misses = int(counters.get("cache.sim.misses", 0))
-    sim_lookups = sim_hits + sim_misses
-    cache_block["sim"] = {
-        "hits": sim_hits,
-        "misses": sim_misses,
-        "stale_evictions": int(
-            counters.get("cache.sim.stale_evictions", 0)
-        ),
-        "reuse_ratio": sim_hits / sim_lookups if sim_lookups else 0.0,
-    }
+    # Content-keyed reuse summaries, one per mirrored cache kind: the
+    # "sim" (detailed-simulation) and "clustering" tallies plus their
+    # per-run reuse ratios.
+    for block_name in ("sim", "clustering"):
+        hits = int(counters.get(f"cache.{block_name}.hits", 0))
+        misses = int(counters.get(f"cache.{block_name}.misses", 0))
+        lookups = hits + misses
+        cache_block[block_name] = {
+            "hits": hits,
+            "misses": misses,
+            "stale_evictions": int(
+                counters.get(f"cache.{block_name}.stale_evictions", 0)
+            ),
+            "reuse_ratio": hits / lookups if lookups else 0.0,
+        }
     return {
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id if run_id is not None else new_run_id(),
@@ -288,8 +293,8 @@ def validate_manifest(data: Any) -> Dict[str, Any]:
         if not isinstance(cache.get(key), (int, float)):
             raise FileFormatError(f"manifest cache missing counter {key!r}")
     # Optional cache sub-blocks (absent from pre-existing documents):
-    # per-kind counter rows and the sim-result reuse summary.
-    for block_name in ("kinds", "sim"):
+    # per-kind counter rows and the content-keyed reuse summaries.
+    for block_name in ("kinds", "sim", "clustering"):
         if block_name in cache and not isinstance(
             cache[block_name], dict
         ):

@@ -30,10 +30,13 @@ from repro.runtime.cache import (
 )
 from repro.runtime.config import (
     active_cache,
+    clustering_cache_enabled,
     configure,
+    pruned_kmeans_enabled,
     resolve_jobs,
     runtime_session,
     set_cache,
+    set_clustering_cache,
     set_jobs,
     set_sim_cache,
     sim_cache_enabled,
@@ -47,12 +50,15 @@ __all__ = [
     "ProfileCache",
     "active_cache",
     "cache_from_root",
+    "clustering_cache_enabled",
     "configure",
     "fingerprint",
     "parallel_map",
+    "pruned_kmeans_enabled",
     "resolve_jobs",
     "runtime_session",
     "set_cache",
+    "set_clustering_cache",
     "set_jobs",
     "set_sim_cache",
     "sim_cache_enabled",

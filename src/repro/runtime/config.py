@@ -34,6 +34,7 @@ _default_jobs: Optional[int] = None
 _cache: object = _UNSET  # _UNSET -> fall back to the environment
 _default_match_confidence: Optional[float] = None
 _default_sim_cache: Optional[bool] = None
+_default_clustering_cache: Optional[bool] = None
 
 
 def set_jobs(jobs: Optional[int]) -> None:
@@ -147,6 +148,44 @@ def sim_cache_enabled(enabled: Optional[bool] = None) -> bool:
     return True
 
 
+def set_clustering_cache(enabled: Optional[bool]) -> None:
+    """Install (or clear, with ``None``) the clustering reuse default."""
+    global _default_clustering_cache
+    _default_clustering_cache = None if enabled is None else bool(enabled)
+
+
+def clustering_cache_enabled(enabled: Optional[bool] = None) -> bool:
+    """Whether chosen clusterings may be reused from the cache.
+
+    Resolution order: explicit argument, ``REPRO_NO_CLUSTERING_CACHE``
+    (set → disabled), process default from :func:`set_clustering_cache`
+    (the CLI's ``--no-clustering-cache`` flag lands here), then
+    enabled. Reuse also requires an active profile cache — this knob
+    only gates the ``"clustering"`` kind, so profiling caches keep
+    working when it is off (results are bit-identical either way).
+    """
+    if enabled is not None:
+        return enabled
+    if os.environ.get("REPRO_NO_CLUSTERING_CACHE"):
+        return False
+    if _default_clustering_cache is not None:
+        return _default_clustering_cache
+    return True
+
+
+def pruned_kmeans_enabled(use_pruned: Optional[bool] = None) -> bool:
+    """Whether the Lloyd iteration should use the Hamerly-pruned kernel.
+
+    An explicit ``use_pruned`` argument wins; otherwise pruning is on
+    unless ``REPRO_NO_PRUNED_KMEANS`` is set in the environment
+    (results are bit-identical either way — the knob exists for
+    debugging and for timing the reference kernel).
+    """
+    if use_pruned is not None:
+        return use_pruned
+    return not os.environ.get("REPRO_NO_PRUNED_KMEANS")
+
+
 def trace_replay_enabled(use_trace: Optional[bool] = None) -> bool:
     """Whether a profiling consumer should replay a compiled trace.
 
@@ -164,11 +203,13 @@ def configure(
     no_cache: bool = False,
     match_confidence: Optional[float] = None,
     no_sim_cache: bool = False,
+    no_clustering_cache: bool = False,
 ) -> Optional[ProfileCache]:
     """One-shot setup used by the CLI; returns the installed cache."""
     set_jobs(jobs)
     set_match_confidence(match_confidence)
     set_sim_cache(False if no_sim_cache else None)
+    set_clustering_cache(False if no_clustering_cache else None)
     if no_cache:
         set_cache(None)
         return None
@@ -183,21 +224,24 @@ def runtime_session(
     cache: Optional[ProfileCache] = None,
     match_confidence: Optional[float] = None,
     sim_cache: Optional[bool] = None,
+    clustering_cache: Optional[bool] = None,
 ) -> Iterator[None]:
     """Temporarily install runtime defaults (tests use this)."""
     global _cache, _default_jobs, _default_match_confidence
-    global _default_sim_cache
+    global _default_sim_cache, _default_clustering_cache
     saved = (
         _cache,
         _default_jobs,
         _default_match_confidence,
         _default_sim_cache,
+        _default_clustering_cache,
     )
     try:
         _default_jobs = jobs
         _cache = cache
         _default_match_confidence = match_confidence
         _default_sim_cache = sim_cache
+        _default_clustering_cache = clustering_cache
         yield
     finally:
         (
@@ -205,4 +249,5 @@ def runtime_session(
             _default_jobs,
             _default_match_confidence,
             _default_sim_cache,
+            _default_clustering_cache,
         ) = saved

@@ -20,6 +20,11 @@ used by the paper (Section 2.3):
 """
 
 from repro.simpoint.bic import bic_score
+from repro.simpoint.clustercache import (
+    CLUSTERING_KIND,
+    cached_choose_clustering,
+    clustering_key,
+)
 from repro.simpoint.early import (
     EarlySimPointResult,
     pick_early_simulation_points,
@@ -42,6 +47,9 @@ from repro.simpoint.vectors import VectorSet, build_vector_set
 
 __all__ = [
     "bic_score",
+    "CLUSTERING_KIND",
+    "cached_choose_clustering",
+    "clustering_key",
     "EarlySimPointResult",
     "pick_early_simulation_points",
     "run_early_simpoint",

@@ -29,8 +29,9 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.profiling.intervals import Interval
+from repro.simpoint.clustercache import cached_choose_clustering
 from repro.simpoint.projection import project
-from repro.simpoint.select import RepresentativePick, choose_clustering
+from repro.simpoint.select import RepresentativePick
 from repro.simpoint.simpoint import (
     SimPointConfig,
     SimPointResult,
@@ -100,18 +101,21 @@ def run_early_simpoint(
     intervals: Sequence[Interval],
     config: SimPointConfig = SimPointConfig(),
     tolerance: float = 0.3,
+    *,
+    jobs: "int | None" = None,
 ) -> EarlySimPointResult:
     """SimPoint with early representative selection.
 
     Clustering (and therefore phase labels, k, and weights) is
-    identical to :func:`~repro.simpoint.simpoint.run_simpoint`; only
-    the representative choice differs.
+    identical to :func:`~repro.simpoint.simpoint.run_simpoint` with
+    exhaustive search; only the representative choice differs — so
+    early sweeps share cached clusterings with the classic pipeline.
     """
     vector_set = build_vector_set(intervals)
     projected = project(
         vector_set.matrix, config.dimensions, config.projection_seed
     )
-    choice = choose_clustering(
+    choice = cached_choose_clustering(
         projected,
         vector_set.weights,
         max_k=config.max_k,
@@ -119,6 +123,8 @@ def run_early_simpoint(
         n_init=config.n_init,
         max_iter=config.max_iter,
         seed=config.kmeans_seed,
+        k_search="exhaustive",
+        jobs=jobs,
     )
     early_picks = pick_early_simulation_points(
         projected, vector_set.weights, choice.result, tolerance

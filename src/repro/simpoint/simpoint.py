@@ -16,12 +16,10 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.profiling.intervals import Interval
+from repro.runtime.cache import ProfileCache
+from repro.simpoint.clustercache import cached_choose_clustering
 from repro.simpoint.projection import DEFAULT_DIMENSIONS, project
-from repro.simpoint.select import (
-    choose_clustering,
-    choose_clustering_binary_search,
-    pick_simulation_points,
-)
+from repro.simpoint.select import pick_simulation_points
 from repro.simpoint.vectors import build_vector_set
 
 
@@ -98,18 +96,23 @@ class SimPointResult:
 def run_simpoint(
     intervals: Sequence[Interval],
     config: SimPointConfig = SimPointConfig(),
+    *,
+    jobs: "int | None" = None,
+    cache: "ProfileCache | None" = None,
+    use_clustering_cache: "bool | None" = None,
 ) -> SimPointResult:
-    """Run the full SimPoint pipeline over profiled intervals."""
+    """Run the full SimPoint pipeline over profiled intervals.
+
+    ``jobs`` fans the clustering stage's (k, restart) tasks over worker
+    processes; ``cache`` / ``use_clustering_cache`` control
+    content-keyed clustering reuse (defaults: the runtime
+    configuration). All combinations are bit-identical.
+    """
     vector_set = build_vector_set(intervals)
     projected = project(
         vector_set.matrix, config.dimensions, config.projection_seed
     )
-    chooser = (
-        choose_clustering
-        if config.k_search == "exhaustive"
-        else choose_clustering_binary_search
-    )
-    choice = chooser(
+    choice = cached_choose_clustering(
         projected,
         vector_set.weights,
         max_k=config.max_k,
@@ -117,6 +120,10 @@ def run_simpoint(
         n_init=config.n_init,
         max_iter=config.max_iter,
         seed=config.kmeans_seed,
+        k_search=config.k_search,
+        jobs=jobs,
+        cache=cache,
+        use_clustering_cache=use_clustering_cache,
     )
     picks = pick_simulation_points(
         projected, vector_set.weights, choice.result
