@@ -37,6 +37,23 @@ Commands
     failed or exhausted.
 ``jobs [--queue DIR]``
     Show the queue's pending/active tallies and its receipts.
+``top [--queue DIR] [--once] [--json] [--interval S]``
+    Live fleet dashboard over a queue: pending depth, active leases
+    with ages, live/stale workers (journal heartbeats), throughput,
+    failure/retry rates, and queue-wait/execution/lease-age
+    quantiles. Refreshes every ``--interval`` seconds until
+    interrupted; ``--once`` prints one frame, ``--json`` one
+    machine-readable snapshot (for scripting and CI).
+``report sweep [--queue DIR] [--benchmark NAME]``
+    Receipt-driven sweep progress: every benchmark cell the spool has
+    seen, joined against its receipt — completion, attempts, wall
+    seconds, and the paper's per-interval-size error columns (chosen
+    k, average FLI/VLI CPI error) loaded from finished artifacts.
+
+Queue commands accept ``--events`` (env ``REPRO_EVENTS``) to journal
+every queue/worker/sweep transition to ``<queue>/events.jsonl`` as
+``repro.events/v1`` lines — what ``top`` uses for worker liveness and
+queue-wait quantiles. Disabled by default at zero cost.
 
 Matching
 --------
@@ -233,6 +250,8 @@ def _cmd_regions(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
     from repro.errors import FileFormatError
     from repro.observability.inspect import render_manifest
     from repro.observability.manifest import load_manifest
@@ -244,6 +263,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         # corrupt files are user-facing conditions here.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        # The validated (and, for v1 inputs, upgraded) document — the
+        # machine-readable twin of the rendered view.
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
     print(render_manifest(manifest))
     return 0
 
@@ -357,7 +381,48 @@ def _resolve_queue(args: argparse.Namespace):
         args.queue or default_queue_root(),
         lease_seconds=args.lease_seconds,
         max_attempts=args.max_attempts,
+        events=getattr(args, "events", None),
     )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.observability.status import queue_status, render_status
+
+    queue = _resolve_queue(args)
+    if args.json:
+        print(json.dumps(queue_status(queue).to_payload(), sort_keys=True))
+        return 0
+    if args.once:
+        print(render_status(queue_status(queue)))
+        return 0
+    try:
+        while True:
+            frame = render_status(queue_status(queue))
+            # Clear screen + home, one whole frame per refresh.
+            sys.stdout.write(f"\x1b[2J\x1b[H{frame}\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.jobs.service import render_sweep_report, sweep_report
+
+    queue = _resolve_queue(args)
+    report = sweep_report(
+        queue, args.benchmark, load_errors=not args.no_errors
+    )
+    if args.json:
+        print(json.dumps(report.to_payload(), sort_keys=True))
+        return 0
+    print(render_sweep_report(report))
+    return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -619,6 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
     )
     inspect.add_argument("manifest", help="path to a manifest.json")
+    inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the validated manifest as machine-readable JSON "
+             "instead of the rendered view",
+    )
 
     queue_common = argparse.ArgumentParser(add_help=False)
     queue_common.add_argument(
@@ -635,6 +705,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=3, metavar="N",
         help="executions allowed per job before it is marked "
              "exhausted (default 3)",
+    )
+    queue_common.add_argument(
+        "--events", action="store_const", const=True, default=None,
+        help="journal queue/worker lifecycle events to "
+             "<queue>/events.jsonl (default: REPRO_EVENTS, else off)",
     )
 
     submit = sub.add_parser(
@@ -670,6 +745,50 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common, queue_common],
     )
     del jobs_cmd  # flags only; the handler reads the shared options
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard for a work queue",
+        parents=[common, queue_common],
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit instead of refreshing",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable status snapshot and exit",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between dashboard refreshes (default 2)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="receipt-driven reports over a work queue",
+        parents=[common],
+    )
+    rsub = report.add_subparsers(dest="report_command", required=True)
+    report_sweep = rsub.add_parser(
+        "sweep",
+        help="per-cell progress, ETA, and error tables for a "
+             "--via-jobs sweep",
+        parents=[queue_common],
+    )
+    report_sweep.add_argument(
+        "--benchmark", default=None, choices=benchmark_names(),
+        help="restrict the report to one benchmark's cells",
+    )
+    report_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the report as machine-readable JSON",
+    )
+    report_sweep.add_argument(
+        "--no-errors", action="store_true",
+        help="skip loading result artifacts for the k/CPI-error "
+             "columns (faster on large queues)",
+    )
 
     ledger = sub.add_parser(
         "ledger",
@@ -780,6 +899,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="max job retries per completed job (default 0.25)",
     )
     ledger_check.add_argument(
+        "--max-queue-wait-p95", type=float, default=None, metavar="S",
+        dest="max_queue_wait_p95",
+        help="absolute ceiling on the candidate's p95 job queue-wait "
+             "seconds (default: off — needs the event journal)",
+    )
+    ledger_check.add_argument(
         "--min-sim-hit-rate", type=float, default=None, metavar="X",
         dest="min_sim_hit_rate",
         help="minimum sim-result reuse ratio the candidate must reach "
@@ -812,6 +937,8 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "serve": _cmd_serve,
     "jobs": _cmd_jobs,
+    "top": _cmd_top,
+    "report": _cmd_report,
 }
 
 

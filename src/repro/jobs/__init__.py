@@ -20,6 +20,8 @@ from repro.jobs.receipts import (
 from repro.jobs.service import (
     BENCHMARK_JOB_KIND,
     DEFAULT_QUEUE_DIR,
+    SweepReport,
+    SweepReportRow,
     benchmark_job_spec,
     collect_run,
     decode_experiment_config,
@@ -28,8 +30,10 @@ from repro.jobs.service import (
     ensure_default_executors,
     record_job_metrics,
     render_receipts,
+    render_sweep_report,
     run_sweep_via_jobs,
     submit_benchmark,
+    sweep_report,
 )
 from repro.jobs.worker import (
     JobResult,
@@ -49,6 +53,8 @@ __all__ = [
     "JobQueue",
     "JobReceipt",
     "JobResult",
+    "SweepReport",
+    "SweepReportRow",
     "benchmark_job_spec",
     "collect_run",
     "decode_experiment_config",
@@ -62,8 +68,10 @@ __all__ = [
     "record_job_metrics",
     "register_executor",
     "render_receipts",
+    "render_sweep_report",
     "run_sweep_via_jobs",
     "run_worker",
     "run_worker_pool",
     "submit_benchmark",
+    "sweep_report",
 ]

@@ -8,9 +8,10 @@ no daemon and no database:
 <root>/
   spool.jsonl           append-only submission log (audit trail)
   pending/<id>.json     submitted, unclaimed job records
-  active/<id>.json      leased jobs; mtime = lease start
+  active/<id>.json      leased jobs; lease_expires_at stamped inside
   receipts/<aa>/<id>.json   exactly-once terminal receipts
   artifacts/<aa>/<id>.pkl   pickled job results, content-addressed
+  events.jsonl          optional repro.events/v1 journal (see below)
 ```
 
 The invariants:
@@ -18,12 +19,19 @@ The invariants:
 * **claim-by-rename** — a worker claims a job by renaming
   ``pending/<id>.json`` to ``active/<id>.json``; the rename either
   succeeds for exactly one claimant or raises ``FileNotFoundError``
-  for the losers. The fresh lease's clock starts with an ``utime``.
+  for the losers. The winner then stamps ``lease_expires_at`` (and
+  ``leased_at``/``leased_by``) *inside* the active record, so the
+  lease clock is an explicit instant, not filesystem metadata —
+  coarse-timestamp filesystems and submit/claim clock skew cannot
+  expire a fresh lease. The file's mtime is still refreshed as a
+  conservative fallback clock for the instants between the rename and
+  the stamp landing.
 * **lease timeout** — a worker that dies mid-job leaves its active
-  file behind; :meth:`JobQueue.reclaim_expired` takes it over with
-  another rename (to a stash name, so two reclaimers cannot both
-  requeue it), bumps the attempt count, and either requeues the job or
-  writes an ``exhausted`` receipt when attempts run out.
+  file behind; :meth:`JobQueue.reclaim_expired` compares ``now``
+  against the stamped ``lease_expires_at`` and takes expired leases
+  over with another rename (to a stash name, so two reclaimers cannot
+  both requeue it), bumps the attempt count, and either requeues the
+  job or writes an ``exhausted`` receipt when attempts run out.
 * **idempotent retry** — the job id is the fingerprint of the job's
   kind and payload, so resubmitting the same work is a no-op once a
   successful receipt exists, and a resumed sweep can find its finished
@@ -32,6 +40,13 @@ The invariants:
   ``os.link`` (fails with ``EEXIST`` for every writer but the first),
   so a slow worker finishing after its lease was reclaimed cannot
   overwrite the retry's receipt.
+
+With events enabled (``events=True`` or ``REPRO_EVENTS``), every
+transition additionally appends one ``repro.events/v1`` line to the
+queue's ``events.jsonl`` (see :mod:`repro.observability.events`).
+Disabled — the default — the journal handle is ``None`` and every
+emit site is a single ``is None`` test, so queue behavior and output
+are bit-identical to the un-instrumented queue.
 """
 
 from __future__ import annotations
@@ -48,6 +63,7 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 from repro.errors import JobError
 from repro.jobs.receipts import JobReceipt, exhausted_receipt
 from repro.observability import metrics
+from repro.observability.events import EventJournal, events_enabled
 from repro.runtime.fingerprint import fingerprint
 from repro.runtime.locking import append_line
 
@@ -70,6 +86,7 @@ class JobQueue:
         *,
         lease_seconds: float = 300.0,
         max_attempts: int = 3,
+        events: Optional[bool] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise JobError(
@@ -87,6 +104,14 @@ class JobQueue:
         self.active_dir = self.root / "active"
         self.receipts_dir = self.root / "receipts"
         self.artifacts_dir = self.root / "artifacts"
+        self.events_path = self.root / "events.jsonl"
+        #: ``None`` when events are disabled — the no-op fast path:
+        #: every emit site is one attribute read + ``is None`` test.
+        self.journal: Optional[EventJournal] = (
+            EventJournal(self.events_path)
+            if events_enabled(events)
+            else None
+        )
         for directory in (
             self.pending_dir,
             self.active_dir,
@@ -94,6 +119,13 @@ class JobQueue:
             self.artifacts_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Journal one fleet event, or do nothing with events off."""
+        journal = self.journal
+        if journal is None:
+            return
+        journal.emit(event, **fields)
 
     # -- addressing ---------------------------------------------------
 
@@ -147,11 +179,16 @@ class JobQueue:
         self._write_pending(record)
         append_line(self.spool_path, json.dumps(record, sort_keys=True))
         metrics.counter("jobs.submitted").inc()
+        self.emit("job.submitted", job_id=job_id, kind=kind, attempt=0)
         return job_id
 
     def _write_pending(self, record: Mapping[str, Any]) -> None:
         """Publish a complete pending file with tmp-write + rename."""
-        path = self._pending_path(record["id"])
+        self._write_record(self._pending_path(record["id"]), record)
+
+    def _write_record(
+        self, path: Path, record: Mapping[str, Any]
+    ) -> None:
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -171,16 +208,36 @@ class JobQueue:
 
         The rename is the lock: of any number of concurrent claimants,
         exactly one sees it succeed; the rest get ``FileNotFoundError``
-        and move on to the next pending file.
+        and move on to the next pending file. The winner stamps the
+        lease — ``leased_at``/``leased_by`` and the explicit
+        ``lease_expires_at`` instant the reclaimer compares against —
+        into the active record itself. The ``utime`` before the stamp
+        only refreshes the mtime *fallback* clock (renames preserve
+        the pending file's mtime, which dates from submit), covering
+        the instants before the rewritten record lands.
         """
         for path in sorted(self.pending_dir.glob("*.json")):
             target = self.active_dir / path.name
             try:
                 os.rename(path, target)
-                os.utime(target)  # lease clock starts now, not at submit
-                return json.loads(target.read_text())
+                os.utime(target)
+                record = json.loads(target.read_text())
             except FileNotFoundError:
                 continue  # lost the race (or an immediate reclaim)
+            now = time.time()
+            record["leased_at"] = now
+            record["leased_by"] = worker_id
+            record["lease_expires_at"] = now + self.lease_seconds
+            self._write_record(target, record)
+            self.emit(
+                "job.claimed",
+                job_id=record["id"],
+                kind=record.get("kind"),
+                worker=worker_id or None,
+                attempt=int(record.get("attempt", 0)),
+                lease_expires_at=record["lease_expires_at"],
+            )
+            return record
         return None
 
     def release(self, job_id: str) -> None:
@@ -211,11 +268,7 @@ class JobQueue:
         now = time.time()
         requeued = 0
         for path in sorted(self.active_dir.glob("*.json")):
-            try:
-                age = now - path.stat().st_mtime
-            except FileNotFoundError:
-                continue  # completed while we scanned
-            if not force and age <= self.lease_seconds:
+            if not force and not self._lease_expired(path, now):
                 continue
             stash = path.with_suffix(".reclaim")
             try:
@@ -228,18 +281,58 @@ class JobQueue:
                 if self.receipt(job_id) is not None:
                     continue  # slow worker finished; lease was litter
                 record["attempt"] = int(record.get("attempt", 0)) + 1
+                # Requeued records shed their lease stamps: pending
+                # files describe work, leases describe custody.
+                for stamp in ("leased_at", "leased_by", "lease_expires_at"):
+                    record.pop(stamp, None)
                 if record["attempt"] >= self.max_attempts:
                     self.write_receipt(
                         exhausted_receipt(
                             job_id, record["kind"], record["attempt"]
                         )
                     )
+                    self.emit(
+                        "job.exhausted",
+                        job_id=job_id,
+                        kind=record.get("kind"),
+                        attempt=record["attempt"],
+                    )
                 else:
                     self._write_pending(record)
                     requeued += 1
+                    self.emit(
+                        "job.reclaimed",
+                        job_id=job_id,
+                        kind=record.get("kind"),
+                        attempt=record["attempt"],
+                    )
             finally:
                 stash.unlink(missing_ok=True)
         return requeued
+
+    def _lease_expired(self, path: Path, now: float) -> bool:
+        """Whether one active file's lease has run out at ``now``.
+
+        The authoritative clock is the ``lease_expires_at`` instant the
+        claimer stamped into the record — an explicit wall-clock
+        deadline immune to filesystem timestamp granularity and to the
+        submit-time mtime a rename preserves. A record caught in the
+        instants before the stamp lands (or written by an older build)
+        falls back to the just-``utime``\\ d mtime plus the lease
+        duration, which is conservative in exactly the right direction:
+        a fresh claim can never read as already expired.
+        """
+        try:
+            record = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return False  # completed or mid-publish while we scanned
+        expires_at = record.get("lease_expires_at")
+        if not isinstance(expires_at, (int, float)):
+            try:
+                expires_at = path.stat().st_mtime + self.lease_seconds
+            except FileNotFoundError:
+                return False
+        return now > expires_at
 
     # -- artifacts and receipts ---------------------------------------
 
@@ -293,6 +386,18 @@ class JobQueue:
                 os.link(tmp_name, path)
             except FileExistsError:
                 return False
+            # Only the winning writer journals the receipt, so receipt
+            # events reconcile 1:1 with the receipts on disk.
+            self.emit(
+                "job.receipt",
+                job_id=receipt.job_id,
+                kind=receipt.kind,
+                status=receipt.status,
+                attempt=receipt.attempt,
+                worker=receipt.worker or None,
+                seconds=receipt.seconds,
+                config_fingerprint=receipt.config_fingerprint,
+            )
             return True
         finally:
             os.unlink(tmp_name)

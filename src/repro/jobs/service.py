@@ -22,8 +22,10 @@ pipeline:
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.cmpsim.config import TABLE1_CONFIG
 from repro.compilation.targets import target_by_label
@@ -42,6 +44,11 @@ from repro.jobs.worker import (
     run_worker_pool,
 )
 from repro.observability import metrics
+from repro.observability.events import (
+    lease_age_samples,
+    queue_wait_samples,
+    read_events,
+)
 from repro.programs.inputs import ProgramInput
 from repro.runtime.config import resolve_jobs
 from repro.runtime.fingerprint import fingerprint
@@ -220,7 +227,17 @@ def record_job_metrics(
     / ``jobs.exhausted`` / ``jobs.retries`` counts are derived from the
     receipts here, parent-side — that is what flows into the manifest
     and lets ``repro ledger check`` gate on failure and retry rates.
+
+    Alongside the counters, fleet-health *histograms* are folded in:
+    every executed receipt's wall seconds land in
+    ``jobs.execution_seconds``, and when the queue has an event
+    journal, per-claim queue waits and per-lease lifetimes (derived by
+    pairing the jobs' journal events) land in
+    ``jobs.queue_wait_seconds`` / ``jobs.lease_age_seconds`` — which is
+    how those quantiles reach the manifest, the ledger, and the
+    ``--max-queue-wait-p95`` drift gate.
     """
+    job_ids = list(job_ids)
     tallies = {"completed": 0, "failed": 0, "exhausted": 0, "retries": 0}
     sim_tallies = {"hits": 0, "misses": 0, "stale_evictions": 0}
     clustering_tallies = {"hits": 0, "misses": 0, "stale_evictions": 0}
@@ -233,6 +250,12 @@ def record_job_metrics(
         else:
             tallies[receipt.status] += 1
         tallies["retries"] += receipt.retries
+        if receipt.status != "exhausted":
+            # Exhausted receipts never executed to completion; their
+            # zero seconds would only distort the distribution.
+            metrics.histogram("jobs.execution_seconds").observe(
+                receipt.seconds
+            )
         for key, value in receipt.sim_cache.items():
             if key in sim_tallies:
                 sim_tallies[key] += int(value)
@@ -251,6 +274,17 @@ def record_job_metrics(
     for name, value in clustering_tallies.items():
         if value:
             metrics.counter(f"cache.clustering.{name}").inc(value)
+    if queue.events_path.exists():
+        wanted = set(job_ids)
+        job_events = [
+            event
+            for event in read_events(queue.events_path)
+            if event.get("job_id") in wanted
+        ]
+        for wait in queue_wait_samples(job_events):
+            metrics.histogram("jobs.queue_wait_seconds").observe(wait)
+        for age in lease_age_samples(job_events):
+            metrics.histogram("jobs.lease_age_seconds").observe(age)
     return tallies
 
 
@@ -287,8 +321,17 @@ def run_sweep_via_jobs(
         size: job_id_for(*benchmark_job_spec(benchmark, config))
         for size, config in cells
     }
+    config_fingerprint = fingerprint("config", base_config.cache_key())
+    queue.emit(
+        "sweep.started",
+        benchmark=benchmark,
+        cells=len(cells),
+        config_fingerprint=config_fingerprint,
+    )
     max_inflight = max(2 * resolve_jobs(workers), 4)
-    for start in range(0, len(cells), max_inflight):
+    for wave_index, start in enumerate(
+        range(0, len(cells), max_inflight)
+    ):
         wave = cells[start:start + max_inflight]
         submitted = 0
         for size, config in wave:
@@ -297,11 +340,256 @@ def run_sweep_via_jobs(
                 continue  # resume: this cell already finished
             submit_benchmark(queue, benchmark, config, retry=True)
             submitted += 1
+        queue.emit(
+            "sweep.wave",
+            benchmark=benchmark,
+            wave=wave_index,
+            submitted=submitted,
+            resumed=len(wave) - submitted,
+            config_fingerprint=config_fingerprint,
+        )
         if submitted:
             run_worker_pool(queue, workers)
     runs = {size: collect_run(queue, job_ids[size]) for size, _ in cells}
     record_job_metrics(queue, job_ids.values())
+    queue.emit(
+        "sweep.finished",
+        benchmark=benchmark,
+        cells=len(cells),
+        config_fingerprint=config_fingerprint,
+    )
     return runs
+
+
+# -- receipt-driven sweep reports --------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepReportRow:
+    """One sweep cell's progress, joined from spool and receipt."""
+
+    benchmark: str
+    interval_size: int
+    job_id: str
+    #: ``ok``/``failed``/``exhausted`` from the receipt, or the live
+    #: ``active``/``pending`` state, or ``missing`` for a spooled job
+    #: the queue no longer knows (manually cleaned directories).
+    status: str
+    attempt: int = 0
+    seconds: Optional[float] = None
+    worker: str = ""
+    error: Optional[str] = None
+    k: Optional[int] = None
+    fli_cpi_error: Optional[float] = None
+    vli_cpi_error: Optional[float] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepReport:
+    """Receipt-driven progress of the sweeps a queue has seen."""
+
+    root: str
+    generated_at: float
+    rows: List[SweepReportRow]
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for row in self.rows if row.status == "ok")
+
+    @property
+    def mean_seconds(self) -> Optional[float]:
+        samples = [
+            row.seconds
+            for row in self.rows
+            if row.status == "ok" and row.seconds is not None
+        ]
+        return sum(samples) / len(samples) if samples else None
+
+    @property
+    def remaining_seconds(self) -> Optional[float]:
+        """Serial work left: unfinished cells x mean ok seconds."""
+        unfinished = sum(
+            1
+            for row in self.rows
+            if row.status in ("pending", "active", "missing")
+        )
+        if unfinished == 0:
+            return 0.0
+        mean = self.mean_seconds
+        return unfinished * mean if mean is not None else None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "generated_at": self.generated_at,
+            "total": self.total,
+            "completed": self.completed,
+            "mean_seconds": self.mean_seconds,
+            "remaining_seconds": self.remaining_seconds,
+            "rows": [row.to_payload() for row in self.rows],
+        }
+
+
+def _spooled_benchmark_jobs(
+    queue: JobQueue, benchmark: Optional[str]
+) -> Dict[str, Dict[str, Any]]:
+    """Benchmark submissions from the spool, first record per job id."""
+    jobs: Dict[str, Dict[str, Any]] = {}
+    try:
+        text = queue.spool_path.read_text()
+    except FileNotFoundError:
+        return jobs
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("kind") != BENCHMARK_JOB_KIND:
+            continue
+        payload = record.get("payload") or {}
+        if benchmark is not None and payload.get("benchmark") != benchmark:
+            continue
+        jobs.setdefault(record["id"], record)
+    return jobs
+
+
+def sweep_report(
+    queue: JobQueue,
+    benchmark: Optional[str] = None,
+    *,
+    load_errors: bool = True,
+    now: Optional[float] = None,
+) -> SweepReport:
+    """Join the spool's benchmark submissions against their receipts.
+
+    The spool is the authoritative record of what a sweep asked for
+    (every actual queueing appends there), the receipts of what
+    happened; the join is therefore resumable-sweep-accurate — cells
+    resumed from earlier receipts never re-enter the spool, yet their
+    receipts still close the original submission. With ``load_errors``
+    each finished cell's pickled :class:`BenchmarkRun` artifact is
+    loaded to report the paper's per-interval-size error table (chosen
+    k, average FLI/VLI CPI error); pass ``False`` to keep the report
+    pure directory reads.
+    """
+    rows: List[SweepReportRow] = []
+    for job_id, record in _spooled_benchmark_jobs(
+        queue, benchmark
+    ).items():
+        payload = record.get("payload") or {}
+        cell_benchmark = str(payload.get("benchmark", "?"))
+        config = payload.get("config") or {}
+        interval_size = int(config.get("interval_size", 0))
+        receipt = queue.receipt(job_id)
+        k = fli = vli = None
+        if receipt is not None:
+            status = receipt.status
+            attempt = receipt.attempt
+            seconds: Optional[float] = receipt.seconds
+            worker = receipt.worker
+            error = receipt.error
+            if receipt.ok and load_errors:
+                k, fli, vli = _artifact_errors(queue, job_id)
+        else:
+            attempt, seconds, worker, error = 0, None, "", None
+            if queue._active_path(job_id).exists():
+                status = "active"
+            elif queue._pending_path(job_id).exists():
+                status = "pending"
+            else:
+                status = "missing"
+        rows.append(
+            SweepReportRow(
+                benchmark=cell_benchmark,
+                interval_size=interval_size,
+                job_id=job_id,
+                status=status,
+                attempt=attempt,
+                seconds=seconds,
+                worker=worker,
+                error=error,
+                k=k,
+                fli_cpi_error=fli,
+                vli_cpi_error=vli,
+            )
+        )
+    rows.sort(key=lambda row: (row.benchmark, row.interval_size))
+    return SweepReport(
+        root=str(queue.root),
+        generated_at=time.time() if now is None else now,
+        rows=rows,
+    )
+
+
+def _artifact_errors(queue: JobQueue, job_id: str):
+    """(k, fli, vli) from a finished cell's artifact, best-effort."""
+    try:
+        run = queue.load_artifact(job_id)
+        return (
+            run.cross.simpoint.k,
+            run.average_cpi_error("fli"),
+            run.average_cpi_error("vli"),
+        )
+    except Exception:  # noqa: BLE001 - report stays best-effort
+        return None, None, None
+
+
+def render_sweep_report(report: SweepReport) -> str:
+    """The ``repro report sweep`` table."""
+    if not report.rows:
+        return f"queue: {report.root}\n(no benchmark jobs in the spool)"
+    remaining = report.remaining_seconds
+    lines = [
+        f"queue: {report.root}",
+        (
+            f"progress: {report.completed}/{report.total} cells ok"
+            + (
+                f"  mean {report.mean_seconds:.2f}s/cell"
+                if report.mean_seconds is not None
+                else ""
+            )
+            + (
+                f"  ~{remaining:.0f}s of serial work left"
+                if remaining
+                else ""
+            )
+        ),
+        "",
+        (
+            f"{'benchmark':<10} {'size':>10} {'status':<10} {'att':>3} "
+            f"{'seconds':>8} {'k':>3} {'FLI err':>8} {'VLI err':>8} error"
+        ),
+        "-" * 78,
+    ]
+    for row in report.rows:
+        lines.append(
+            f"{row.benchmark:<10} {row.interval_size:>10,} "
+            f"{row.status:<10} {row.attempt:>3} "
+            + (
+                f"{row.seconds:>8.2f}"
+                if row.seconds is not None
+                else f"{'-':>8}"
+            )
+            + (f" {row.k:>3}" if row.k is not None else f" {'-':>3}")
+            + (
+                f" {row.fli_cpi_error:>8.2%}"
+                if row.fli_cpi_error is not None
+                else f" {'-':>8}"
+            )
+            + (
+                f" {row.vli_cpi_error:>8.2%}"
+                if row.vli_cpi_error is not None
+                else f" {'-':>8}"
+            )
+            + f" {row.error or '-'}"
+        )
+    return "\n".join(lines)
 
 
 def render_receipts(receipts: Sequence[JobReceipt]) -> str:

@@ -89,6 +89,13 @@ def execute_record(
     job_id = record["id"]
     kind = record["kind"]
     attempt = int(record.get("attempt", 0)) + 1
+    queue.emit(
+        "job.started",
+        job_id=job_id,
+        kind=kind,
+        worker=worker_id or "worker",
+        attempt=attempt,
+    )
     start = time.perf_counter()
     try:
         result = executor_for(kind)(record["payload"])
@@ -132,6 +139,7 @@ def run_worker(
     drain: bool = True,
     poll_seconds: float = 0.05,
     max_jobs: Optional[int] = None,
+    heartbeat_seconds: float = 5.0,
 ) -> int:
     """One worker loop; returns the number of jobs executed.
 
@@ -139,34 +147,68 @@ def run_worker(
     claimable — leases held by *other* workers are their problem, and
     the pool's force-reclaim handles them if those workers died. With
     ``drain=False`` the worker polls forever (a long-lived server).
+
+    With the queue's event journal enabled the loop brackets itself
+    with ``worker.started``/``worker.exited`` events and emits a
+    ``worker.heartbeat`` at most every ``heartbeat_seconds`` while it
+    lives, so ``repro top`` can tell live workers from dead ones. A
+    SIGKILLed worker simply never writes its exit event — its silence
+    *is* the signal.
     """
     executed = 0
-    while True:
-        record = queue.claim(worker_id)
-        if record is None and queue.reclaim_expired():
+    queue.emit("worker.started", worker=worker_id or "worker")
+    last_beat = time.monotonic()
+    try:
+        while True:
+            if queue.journal is not None:
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_seconds:
+                    last_beat = now
+                    queue.emit(
+                        "worker.heartbeat",
+                        worker=worker_id or "worker",
+                        executed=executed,
+                    )
             record = queue.claim(worker_id)
-        if record is None:
-            if drain:
+            if record is None and queue.reclaim_expired():
+                record = queue.claim(worker_id)
+            if record is None:
+                if drain:
+                    return executed
+                time.sleep(poll_seconds)
+                continue
+            execute_record(queue, record, worker_id)
+            executed += 1
+            if max_jobs is not None and executed >= max_jobs:
                 return executed
-            time.sleep(poll_seconds)
-            continue
-        execute_record(queue, record, worker_id)
-        executed += 1
-        if max_jobs is not None and executed >= max_jobs:
-            return executed
+    finally:
+        queue.emit(
+            "worker.exited",
+            worker=worker_id or "worker",
+            executed=executed,
+        )
 
 
 def _pool_worker(
-    root: str, lease_seconds: float, max_attempts: int, worker_id: str
+    root: str,
+    lease_seconds: float,
+    max_attempts: int,
+    worker_id: str,
+    events: bool = False,
 ) -> None:
     """Forked pool member: reopen the queue and drain what it can."""
     # Forked workers inherit the registered executors and runtime
     # defaults; suppress any nested process pools the executors might
-    # otherwise spawn.
+    # otherwise spawn. The parent queue's event-journal toggle travels
+    # explicitly, so a programmatically enabled journal (no env var)
+    # still sees worker-side events.
     parallel._mark_worker()
     run_worker(
         JobQueue(
-            root, lease_seconds=lease_seconds, max_attempts=max_attempts
+            root,
+            lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+            events=events,
         ),
         worker_id,
         drain=True,
@@ -210,6 +252,7 @@ def run_worker_pool(
                         queue.lease_seconds,
                         queue.max_attempts,
                         f"worker-{index}",
+                        queue.journal is not None,
                     ),
                 )
                 for index in range(n_workers)

@@ -244,6 +244,12 @@ class DriftThresholds:
     collapsing although nothing changed) should read as drift.
     ``min_clustering_hit_rate`` is the same floor for the clustering
     reuse ratio (``cache: clustering.reuse_ratio``).
+    ``max_queue_wait_p95`` is an absolute ceiling (seconds) on the
+    candidate run's p95 job queue-wait, read from the
+    ``jobs.queue_wait_seconds`` histogram the event journal feeds into
+    manifests. Off by default — the figure only exists when a
+    ``--via-jobs`` run had events enabled; a candidate without the
+    histogram is not a violation (there is nothing to bound).
     """
 
     max_error_increase: float = 0.002
@@ -259,6 +265,7 @@ class DriftThresholds:
     max_job_retry_rate: float = 0.25
     min_sim_hit_rate: Optional[float] = None
     min_clustering_hit_rate: Optional[float] = None
+    max_queue_wait_p95: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -392,6 +399,7 @@ def check_drift(
         )
     )
     violations.extend(_job_rate_violations(diff, limits))
+    violations.extend(_queue_wait_violations(diff, limits))
     return violations
 
 
@@ -485,6 +493,36 @@ def _job_rate_violations(
             )
         )
     return violations
+
+
+def _queue_wait_violations(
+    diff: RunDiff, limits: DriftThresholds
+) -> List[Violation]:
+    """Absolute ceiling on the candidate's p95 job queue-wait seconds.
+
+    Like the job-rate gates this bounds the *new* run only: jobs
+    sitting in queue is a fleet-health problem regardless of the
+    baseline. A candidate that recorded no queue-wait histogram (events
+    disabled, or no ``--via-jobs`` run) produces no violation — unlike
+    the reuse-ratio floors, absence here means "not measured", not
+    "measured as bad".
+    """
+    ceiling = limits.max_queue_wait_p95
+    if ceiling is None:
+        return []
+    for delta in diff.section("histograms"):
+        if delta.field != "jobs.queue_wait_seconds.p95":
+            continue
+        if delta.new is not None and delta.new > ceiling:
+            return [
+                Violation(
+                    "reliability",
+                    delta,
+                    f"p95 queue wait {delta.new:.2f}s exceeds "
+                    f"{ceiling:.2f}s",
+                )
+            ]
+    return []
 
 
 def _time_violation(

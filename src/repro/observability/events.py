@@ -1,0 +1,249 @@
+"""The fleet event journal: crash-safe structured JSONL events.
+
+While a run-level manifest describes a run *after* it finishes, the
+event journal describes the job service *while it runs*: every queue
+transition (submit, claim, reclaim, exhaustion, receipt), every worker
+lifecycle edge (start, heartbeat, exit, per-attempt start), and every
+sweep wave appends one ``repro.events/v1`` JSON line to
+``<queue>/events.jsonl``. Appends go through
+:func:`repro.runtime.locking.append_line` — one ``O_APPEND`` write
+plus fsync per event — so concurrent submitters, workers, and
+reclaimers can share the journal with no daemon and no torn lines, and
+a SIGKILLed worker's journal is valid up to its last completed write.
+
+Emission follows the span-trace pattern for zero-cost disablement:
+the :class:`~repro.jobs.queue.JobQueue` holds either an
+:class:`EventJournal` or ``None``, and every emit site is one
+attribute read plus an ``is None`` test away from a no-op. With events
+disabled (the default) no journal file is ever created and queue
+behavior is bit-identical to a build without this module.
+
+Every event carries the schema tag, the event name, the emitting
+process id, a wall-clock timestamp (``ts``, for cross-process deltas
+such as queue waits) and a monotonic timestamp (``mono``, meaningful
+only within one process), plus event-specific fields: job id, kind,
+worker id, attempt, lease expiry, config fingerprint. The
+:mod:`repro.observability.status` folder and ``repro top`` /
+``repro report sweep`` read the journal back through
+:func:`read_events`; :func:`validate_event` is the single schema
+authority CI asserts every line against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.errors import FileFormatError
+from repro.runtime.locking import append_line
+
+EVENT_SCHEMA = "repro.events/v1"
+
+#: Environment toggle: any non-empty value enables journaling for
+#: queues constructed without an explicit ``events=`` argument.
+EVENTS_ENV = "REPRO_EVENTS"
+
+#: Every event name the schema admits, by emitting layer.
+QUEUE_EVENTS = (
+    "job.submitted",   # queue.submit actually queued a record
+    "job.claimed",     # claim-by-rename succeeded; lease stamped
+    "job.reclaimed",   # expired lease requeued with a bumped attempt
+    "job.exhausted",   # reclaim burned the last allowed attempt
+    "job.receipt",     # the winning terminal receipt was published
+)
+WORKER_EVENTS = (
+    "worker.started",
+    "worker.heartbeat",
+    "worker.exited",
+    "job.started",     # one execution attempt began on a worker
+)
+SWEEP_EVENTS = (
+    "sweep.started",
+    "sweep.wave",
+    "sweep.finished",
+)
+EVENT_TYPES = frozenset(QUEUE_EVENTS + WORKER_EVENTS + SWEEP_EVENTS)
+
+#: Events that must name the job they concern.
+JOB_EVENTS = frozenset(
+    name for name in EVENT_TYPES if name.startswith("job.")
+)
+#: Events that must name the worker that emitted them.
+WORKER_SCOPED_EVENTS = frozenset(WORKER_EVENTS)
+
+PathLike = Union[str, Path]
+
+
+def events_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the journal toggle: explicit argument beats the env."""
+    if explicit is not None:
+        return bool(explicit)
+    return bool(os.environ.get(EVENTS_ENV))
+
+
+class EventJournal:
+    """One append-only JSONL event stream (usually a queue's)."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record that was written.
+
+        ``None``-valued fields are dropped so emit sites can pass
+        optional context unconditionally. The write is a single
+        ``O_APPEND`` ``os.write`` + fsync, so concurrent emitters
+        never interleave within a line and a crash never leaves a
+        torn record behind.
+        """
+        if event not in EVENT_TYPES:
+            raise FileFormatError(
+                f"unknown event type {event!r}; known: "
+                f"{', '.join(sorted(EVENT_TYPES))}"
+            )
+        record: Dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "event": event,
+            "ts": time.time(),
+            "mono": time.monotonic(),
+            "pid": os.getpid(),
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        validate_event(record)
+        append_line(self.path, json.dumps(record, sort_keys=True))
+        return record
+
+
+def validate_event(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one journal record against ``repro.events/v1``.
+
+    Raises :class:`~repro.errors.FileFormatError` naming the first
+    problem; returns the record unchanged when it conforms. This is
+    the single schema authority — tests and CI validate every journal
+    line through it.
+    """
+
+    def _fail(message: str) -> None:
+        raise FileFormatError(f"{EVENT_SCHEMA}: {message}: {record!r}")
+
+    if record.get("schema") != EVENT_SCHEMA:
+        _fail(f"schema is {record.get('schema')!r}")
+    event = record.get("event")
+    if event not in EVENT_TYPES:
+        _fail(f"unknown event {event!r}")
+    for key in ("ts", "mono"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(f"{key} must be a number, got {value!r}")
+    pid = record.get("pid")
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+        _fail(f"pid must be a non-negative int, got {pid!r}")
+    if event in JOB_EVENTS:
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            _fail("job event without a job_id")
+    if event in WORKER_SCOPED_EVENTS:
+        worker = record.get("worker")
+        if not isinstance(worker, str) or not worker:
+            _fail("worker event without a worker id")
+    attempt = record.get("attempt")
+    if attempt is not None and (
+        not isinstance(attempt, int) or isinstance(attempt, bool)
+    ):
+        _fail(f"attempt must be an int, got {attempt!r}")
+    return record
+
+
+def read_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse and validate a journal; foreign-schema lines are skipped.
+
+    Returns the events in file (= emission-commit) order. A missing
+    journal reads as empty — a queue that never had events enabled is
+    simply a queue with no history. Corrupt JSON or a schema-invalid
+    ``repro.events`` record raises with the offending line number.
+    """
+    journal = Path(path)
+    try:
+        text = journal.read_text()
+    except FileNotFoundError:
+        return []
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FileFormatError(
+                f"{journal}:{lineno}: corrupt journal line: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise FileFormatError(
+                f"{journal}:{lineno}: journal line is not an object"
+            )
+        if record.get("schema") != EVENT_SCHEMA:
+            continue  # a foreign writer's line; not ours to judge
+        try:
+            events.append(validate_event(record))
+        except FileFormatError as exc:
+            raise FileFormatError(f"{journal}:{lineno}: {exc}") from exc
+    return events
+
+
+def events_for_job(
+    events: Iterable[Dict[str, Any]], job_id: str
+) -> List[Dict[str, Any]]:
+    """One job's events, preserving journal order."""
+    return [event for event in events if event.get("job_id") == job_id]
+
+
+def queue_wait_samples(
+    events: Iterable[Dict[str, Any]]
+) -> List[float]:
+    """Per-claim queue waits: seconds from (re)queueing to claim.
+
+    Each ``job.claimed`` is paired with the latest earlier
+    ``job.submitted``/``job.reclaimed`` for the same job, using wall
+    timestamps (the two events usually come from different
+    processes). Claims with no visible queueing event — a journal
+    enabled mid-flight — contribute nothing.
+    """
+    queued_at: Dict[str, float] = {}
+    waits: List[float] = []
+    for event in events:
+        name = event.get("event")
+        job_id = event.get("job_id")
+        if name in ("job.submitted", "job.reclaimed"):
+            queued_at[job_id] = event["ts"]
+        elif name == "job.claimed" and job_id in queued_at:
+            waits.append(max(0.0, event["ts"] - queued_at.pop(job_id)))
+    return waits
+
+
+def lease_age_samples(
+    events: Iterable[Dict[str, Any]]
+) -> List[float]:
+    """Per-lease lifetimes: seconds from claim to the lease's end.
+
+    A lease ends at the job's receipt, or at the reclaim/exhaustion
+    that took it over. Receipts for leases the journal never saw
+    claimed (journal enabled mid-flight) contribute nothing.
+    """
+    claimed_at: Dict[str, float] = {}
+    ages: List[float] = []
+    for event in events:
+        name = event.get("event")
+        job_id = event.get("job_id")
+        if name == "job.claimed":
+            claimed_at[job_id] = event["ts"]
+        elif name in ("job.receipt", "job.reclaimed", "job.exhausted"):
+            if job_id in claimed_at:
+                ages.append(max(0.0, event["ts"] - claimed_at.pop(job_id)))
+    return ages

@@ -1,0 +1,375 @@
+"""Fold a queue's directories, receipts, and journal into one snapshot.
+
+:func:`queue_status` is the read side of the fleet-observability layer:
+it combines what the queue's *directories* say right now (pending
+depth, active leases with ages), what the *receipts* prove happened
+(terminal tallies, retry and failure rates, execution times,
+throughput), and what the *event journal* adds when enabled (which
+workers are alive, how long jobs waited in queue) into a single
+:class:`QueueStatus` value. ``repro top`` renders it as a refreshing
+terminal dashboard; ``--json`` emits :meth:`QueueStatus.to_payload`
+for scripting and CI.
+
+Everything here is read-only and advisory: the snapshot is assembled
+from unsynchronized reads of a live queue, so counts can be a rename
+or two stale — fine for a dashboard, and why terminal truth stays
+with the receipts.
+
+The wait/execution distributions reuse the mergeable log-bucket
+:class:`~repro.observability.metrics.Histogram`, so the quantiles here
+are the same p50/p95/p99 the manifests and the ledger report.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.observability.events import (
+    lease_age_samples,
+    queue_wait_samples,
+    read_events,
+)
+from repro.observability.metrics import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jobs.queue import JobQueue
+
+#: A worker whose last journal sign of life is older than this many
+#: seconds (and that never wrote its exit event) is presumed dead.
+DEFAULT_STALE_AFTER = 30.0
+
+#: Receipts younger than this feed the "recent throughput" figure.
+DEFAULT_THROUGHPUT_WINDOW = 300.0
+
+
+@dataclass(frozen=True)
+class LeaseStatus:
+    """One currently leased job, as the active directory tells it."""
+
+    job_id: str
+    kind: str
+    worker: str
+    age_seconds: Optional[float]
+    expires_in_seconds: Optional[float]
+    attempt: int = 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "worker": self.worker,
+            "age_seconds": self.age_seconds,
+            "expires_in_seconds": self.expires_in_seconds,
+            "attempt": self.attempt,
+        }
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One worker's journal-derived liveness."""
+
+    worker: str
+    state: str  # "live" | "stale" | "exited"
+    seconds_since_seen: float
+    executed: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "state": self.state,
+            "seconds_since_seen": self.seconds_since_seen,
+            "executed": self.executed,
+        }
+
+
+@dataclass(frozen=True)
+class QueueStatus:
+    """One moment's folded view of a queue and its fleet."""
+
+    root: str
+    generated_at: float
+    pending: int
+    active: List[LeaseStatus]
+    workers: List[WorkerStatus]
+    receipts: Dict[str, int]  # ok / failed / exhausted
+    retries: int
+    attempts: Dict[str, int]  # receipt attempt counts, keyed by str(n)
+    failure_rate: Optional[float]
+    retry_rate: Optional[float]
+    throughput_per_minute: Optional[float]
+    eta_seconds: Optional[float]
+    queue_wait: Histogram = field(default_factory=Histogram)
+    execution: Histogram = field(default_factory=Histogram)
+    lease_age: Histogram = field(default_factory=Histogram)
+    events: int = 0
+
+    @property
+    def drained(self) -> bool:
+        return self.pending == 0 and not self.active
+
+    @property
+    def finished(self) -> int:
+        return sum(self.receipts.values())
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``repro top --json`` document (plain JSON-able)."""
+        return {
+            "root": self.root,
+            "generated_at": self.generated_at,
+            "drained": self.drained,
+            "pending": self.pending,
+            "active": [lease.to_payload() for lease in self.active],
+            "workers": [worker.to_payload() for worker in self.workers],
+            "receipts": dict(self.receipts),
+            "retries": self.retries,
+            "attempts": dict(self.attempts),
+            "failure_rate": self.failure_rate,
+            "retry_rate": self.retry_rate,
+            "throughput_per_minute": self.throughput_per_minute,
+            "eta_seconds": self.eta_seconds,
+            "histograms": {
+                "queue_wait_seconds": _histogram_payload(self.queue_wait),
+                "execution_seconds": _histogram_payload(self.execution),
+                "lease_age_seconds": _histogram_payload(self.lease_age),
+            },
+            "events": self.events,
+        }
+
+
+def _histogram_payload(histogram: Histogram) -> Dict[str, Any]:
+    return {
+        "count": histogram.count,
+        "mean": histogram.mean,
+        **histogram.quantiles(),
+    }
+
+
+def queue_status(
+    queue: "JobQueue",
+    *,
+    now: Optional[float] = None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    throughput_window: float = DEFAULT_THROUGHPUT_WINDOW,
+) -> QueueStatus:
+    """Assemble one :class:`QueueStatus` snapshot of a live queue."""
+    now = time.time() if now is None else now
+    events = read_events(queue.events_path)
+
+    active = _active_leases(queue, now)
+    receipts = queue.receipts()
+    tallies = {"ok": 0, "failed": 0, "exhausted": 0}
+    attempts: Dict[str, int] = {}
+    retries = 0
+    execution = Histogram()
+    recent = 0
+    for receipt in receipts:
+        tallies[receipt.status] += 1
+        retries += receipt.retries
+        key = str(receipt.attempt)
+        attempts[key] = attempts.get(key, 0) + 1
+        if receipt.status != "exhausted":
+            execution.observe(receipt.seconds)
+        if receipt.created_at and now - receipt.created_at <= (
+            throughput_window
+        ):
+            recent += 1
+    finished = sum(tallies.values())
+    failure_rate = (
+        (tallies["failed"] + tallies["exhausted"]) / finished
+        if finished
+        else None
+    )
+    retry_rate = retries / finished if finished else None
+    throughput = (
+        recent / (throughput_window / 60.0) if finished else None
+    )
+
+    queue_wait = Histogram()
+    for wait in queue_wait_samples(events):
+        queue_wait.observe(wait)
+    lease_age = Histogram()
+    for age in lease_age_samples(events):
+        lease_age.observe(age)
+
+    workers = _worker_statuses(events, now, stale_after)
+    live = sum(1 for worker in workers if worker.state == "live")
+    open_jobs = len(active) + _pending_count(queue)
+    if open_jobs == 0:
+        eta: Optional[float] = 0.0
+    elif execution.count:
+        eta = open_jobs * execution.mean / max(live, 1)
+    else:
+        eta = None
+
+    return QueueStatus(
+        root=str(queue.root),
+        generated_at=now,
+        pending=_pending_count(queue),
+        active=active,
+        workers=workers,
+        receipts=tallies,
+        retries=retries,
+        attempts=dict(sorted(attempts.items())),
+        failure_rate=failure_rate,
+        retry_rate=retry_rate,
+        throughput_per_minute=throughput,
+        eta_seconds=eta,
+        queue_wait=queue_wait,
+        execution=execution,
+        lease_age=lease_age,
+        events=len(events),
+    )
+
+
+def _pending_count(queue: "JobQueue") -> int:
+    return len(queue.pending_ids())
+
+
+def _active_leases(queue: "JobQueue", now: float) -> List[LeaseStatus]:
+    leases: List[LeaseStatus] = []
+    for path in sorted(queue.active_dir.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            continue  # completed or mid-publish while we scanned
+        leased_at = record.get("leased_at")
+        expires_at = record.get("lease_expires_at")
+        leases.append(
+            LeaseStatus(
+                job_id=str(record.get("id", path.stem)),
+                kind=str(record.get("kind", "?")),
+                worker=str(record.get("leased_by") or "?"),
+                age_seconds=(
+                    max(0.0, now - leased_at)
+                    if isinstance(leased_at, (int, float))
+                    else None
+                ),
+                expires_in_seconds=(
+                    expires_at - now
+                    if isinstance(expires_at, (int, float))
+                    else None
+                ),
+                attempt=int(record.get("attempt", 0)),
+            )
+        )
+    return leases
+
+
+def _worker_statuses(
+    events: List[Dict[str, Any]], now: float, stale_after: float
+) -> List[WorkerStatus]:
+    last_seen: Dict[str, float] = {}
+    executed: Dict[str, int] = {}
+    exited: Dict[str, bool] = {}
+    for event in events:
+        name = event.get("event")
+        if name not in (
+            "worker.started", "worker.heartbeat", "worker.exited"
+        ):
+            continue
+        worker = event["worker"]
+        last_seen[worker] = event["ts"]
+        exited[worker] = name == "worker.exited"
+        if "executed" in event:
+            executed[worker] = int(event["executed"])
+    statuses = []
+    for worker in sorted(last_seen):
+        since = max(0.0, now - last_seen[worker])
+        if exited[worker]:
+            state = "exited"
+        elif since <= stale_after:
+            state = "live"
+        else:
+            state = "stale"
+        statuses.append(
+            WorkerStatus(
+                worker=worker,
+                state=state,
+                seconds_since_seen=since,
+                executed=executed.get(worker, 0),
+            )
+        )
+    return statuses
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1%}"
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 120:
+        return f"{value / 60:.1f}m"
+    return f"{value:.2f}s"
+
+
+def _histogram_line(label: str, histogram: Histogram) -> str:
+    if not histogram.count:
+        return f"{label:<12} (no samples)"
+    quantiles = histogram.quantiles()
+    return (
+        f"{label:<12} n={histogram.count:<5} "
+        f"mean={_fmt_seconds(histogram.mean):<8} "
+        f"p50={_fmt_seconds(quantiles['p50']):<8} "
+        f"p95={_fmt_seconds(quantiles['p95']):<8} "
+        f"p99={_fmt_seconds(quantiles['p99'])}"
+    )
+
+
+def render_status(status: QueueStatus) -> str:
+    """The ``repro top`` dashboard body, one frame."""
+    lines = [
+        f"queue: {status.root}   "
+        f"events: {status.events}   "
+        f"{'DRAINED' if status.drained else 'running'}",
+        (
+            f"pending {status.pending} | active {len(status.active)} | "
+            f"ok {status.receipts['ok']} | "
+            f"failed {status.receipts['failed']} | "
+            f"exhausted {status.receipts['exhausted']} | "
+            f"retries {status.retries}"
+        ),
+        (
+            f"failure rate {_fmt_rate(status.failure_rate)} | "
+            f"retry rate {_fmt_rate(status.retry_rate)} | "
+            f"throughput "
+            + (
+                "-"
+                if status.throughput_per_minute is None
+                else f"{status.throughput_per_minute:.1f}/min"
+            )
+            + f" | eta {_fmt_seconds(status.eta_seconds)}"
+        ),
+        "",
+        _histogram_line("queue wait", status.queue_wait),
+        _histogram_line("execution", status.execution),
+        _histogram_line("lease age", status.lease_age),
+    ]
+    if status.workers:
+        lines.append("")
+        lines.append(f"{'worker':<12} {'state':<7} {'seen':>8} {'jobs':>5}")
+        for worker in status.workers:
+            lines.append(
+                f"{worker.worker:<12} {worker.state:<7} "
+                f"{_fmt_seconds(worker.seconds_since_seen):>8} "
+                f"{worker.executed:>5}"
+            )
+    if status.active:
+        lines.append("")
+        lines.append(
+            f"{'lease':<14} {'kind':<10} {'worker':<12} "
+            f"{'age':>8} {'expires':>8} {'att':>3}"
+        )
+        for lease in status.active:
+            lines.append(
+                f"{lease.job_id[:12]:<14} {lease.kind:<10} "
+                f"{lease.worker:<12} "
+                f"{_fmt_seconds(lease.age_seconds):>8} "
+                f"{_fmt_seconds(lease.expires_in_seconds):>8} "
+                f"{lease.attempt:>3}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,532 @@
+"""Fleet observability: event journal, status folder, sweep reports.
+
+Covers the ``repro.events/v1`` journal (emission, validation, crash
+tolerance, the disabled-is-free contract), the event-pairing helpers
+that derive queue waits and lease ages, the :mod:`~repro.observability.
+status` snapshot behind ``repro top``, the receipt-driven sweep report
+behind ``repro report sweep``, the queue-wait quantile drift gate, and
+the new CLI surfaces (``top``, ``report sweep``, ``inspect --json``).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import FileFormatError
+from repro.jobs import (
+    JobQueue,
+    JobReceipt,
+    JobResult,
+    record_job_metrics,
+    register_executor,
+    render_sweep_report,
+    run_worker,
+    sweep_report,
+)
+from repro.jobs.service import BENCHMARK_JOB_KIND
+from repro.observability import metrics
+from repro.observability.diff import (
+    DriftThresholds,
+    check_drift,
+    diff_manifests,
+    thresholds_from_options,
+)
+from repro.observability.events import (
+    EVENT_SCHEMA,
+    EVENTS_ENV,
+    EventJournal,
+    events_enabled,
+    lease_age_samples,
+    queue_wait_samples,
+    read_events,
+    validate_event,
+)
+from repro.observability.manifest import build_manifest, write_manifest
+from repro.observability.status import queue_status, render_status
+
+
+def _double(payload):
+    return JobResult(value=payload["x"] * 2)
+
+
+def _fail(payload):
+    raise ValueError(f"cannot process {payload['x']}")
+
+
+@dataclasses.dataclass
+class _FakeSimpoint:
+    k: int = 4
+
+
+@dataclasses.dataclass
+class _FakeCross:
+    simpoint: _FakeSimpoint = dataclasses.field(
+        default_factory=_FakeSimpoint
+    )
+
+
+class _FakeRun:
+    """Just enough of a BenchmarkRun for the report's error columns."""
+
+    def __init__(self):
+        self.cross = _FakeCross()
+
+    def average_cpi_error(self, table):
+        return {"fli": 0.021, "vli": 0.034}[table]
+
+
+def _event(name, ts, **fields):
+    """A synthetic, schema-valid journal record at a chosen instant."""
+    record = {
+        "schema": EVENT_SCHEMA,
+        "event": name,
+        "ts": ts,
+        "mono": ts,
+        "pid": 1,
+    }
+    record.update(fields)
+    return validate_event(record)
+
+
+class TestEventJournal:
+    def test_emit_roundtrips_and_drops_none_fields(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        written = journal.emit(
+            "job.submitted", job_id="j1", kind="double",
+            attempt=0, worker=None,
+        )
+        assert "worker" not in written
+        events = read_events(journal.path)
+        assert events == [written]
+        assert events[0]["schema"] == EVENT_SCHEMA
+        assert isinstance(events[0]["ts"], float)
+        assert isinstance(events[0]["pid"], int)
+
+    def test_emit_rejects_unknown_event(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        with pytest.raises(FileFormatError, match="unknown event"):
+            journal.emit("job.teleported", job_id="j1")
+        assert not journal.path.exists()
+
+    @pytest.mark.parametrize(
+        "record, match",
+        [
+            ({"schema": "other/v9"}, "schema"),
+            ({"event": "job.vanished"}, "unknown event"),
+            ({"ts": "late"}, "ts must be a number"),
+            ({"ts": True}, "ts must be a number"),
+            ({"pid": -4}, "pid must be a non-negative int"),
+            ({"job_id": ""}, "without a job_id"),
+            ({"attempt": 1.5}, "attempt must be an int"),
+        ],
+    )
+    def test_validate_rejections(self, record, match):
+        base = {
+            "schema": EVENT_SCHEMA, "event": "job.submitted",
+            "ts": 1.0, "mono": 1.0, "pid": 1, "job_id": "j1",
+        }
+        base.update(record)
+        with pytest.raises(FileFormatError, match=match):
+            validate_event(base)
+
+    def test_worker_events_require_a_worker_id(self):
+        base = {
+            "schema": EVENT_SCHEMA, "event": "worker.started",
+            "ts": 1.0, "mono": 1.0, "pid": 1,
+        }
+        with pytest.raises(FileFormatError, match="without a worker"):
+            validate_event(base)
+
+    def test_read_events_missing_file_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+    def test_read_events_skips_blank_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ours = _event("worker.started", 1.0, worker="w0")
+        path.write_text(
+            "\n".join([
+                json.dumps({"schema": "someone-else/v1", "x": 1}),
+                "",
+                json.dumps(ours),
+            ]) + "\n"
+        )
+        assert read_events(path) == [ours]
+
+    def test_read_events_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(_event("worker.started", 1.0, worker="w0"))
+            + "\n{not json\n"
+        )
+        with pytest.raises(FileFormatError, match=r":2"):
+            read_events(path)
+
+    def test_events_enabled_resolution(self, monkeypatch):
+        monkeypatch.delenv(EVENTS_ENV, raising=False)
+        assert events_enabled() is False
+        assert events_enabled(True) is True
+        monkeypatch.setenv(EVENTS_ENV, "1")
+        assert events_enabled() is True
+        # An explicit decision always beats the environment.
+        assert events_enabled(False) is False
+
+
+class TestEventPairing:
+    def test_queue_wait_pairs_claim_with_latest_queueing(self):
+        events = [
+            _event("job.submitted", 10.0, job_id="a"),
+            _event("job.claimed", 12.5, job_id="a"),
+            _event("job.reclaimed", 20.0, job_id="a", attempt=1),
+            _event("job.claimed", 21.0, job_id="a"),
+        ]
+        assert queue_wait_samples(events) == [2.5, 1.0]
+
+    def test_queue_wait_ignores_claims_without_queueing(self):
+        events = [_event("job.claimed", 5.0, job_id="ghost")]
+        assert queue_wait_samples(events) == []
+
+    def test_lease_age_ends_at_receipt_reclaim_or_exhaustion(self):
+        events = [
+            _event("job.claimed", 10.0, job_id="a"),
+            _event("job.reclaimed", 14.0, job_id="a", attempt=1),
+            _event("job.claimed", 15.0, job_id="a"),
+            _event("job.receipt", 18.5, job_id="a", status="ok"),
+            _event("job.receipt", 99.0, job_id="unclaimed", status="ok"),
+        ]
+        assert lease_age_samples(events) == [4.0, 3.5]
+
+
+class TestQueueEvents:
+    def test_disabled_queue_never_creates_a_journal(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(EVENTS_ENV, raising=False)
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q")
+        assert queue.journal is None
+        queue.submit("double", {"x": 1})
+        run_worker(queue, "w0")
+        assert queue.receipts()[0].ok
+        assert not queue.events_path.exists()
+
+    def test_lifecycle_events_reconcile_with_receipts(self, tmp_path):
+        register_executor("double", _double, replace=True)
+        register_executor("fail", _fail, replace=True)
+        queue = JobQueue(tmp_path / "q", events=True)
+        ids = [
+            queue.submit("double", {"x": 1}),
+            queue.submit("double", {"x": 2}),
+            queue.submit("fail", {"x": 3}),
+        ]
+        run_worker(queue, "w0", heartbeat_seconds=0.0)
+
+        events = read_events(queue.events_path)
+        for event in events:
+            validate_event(event)
+        names = [event["event"] for event in events]
+        assert names.count("job.submitted") == 3
+        assert names.count("job.claimed") == 3
+        assert names.count("job.started") == 3
+        assert names.count("worker.started") == 1
+        assert names.count("worker.exited") == 1
+        assert "worker.heartbeat" in names
+
+        # Receipt events reconcile exactly with receipts on disk: no
+        # missing and no duplicate job ids, matching statuses.
+        receipt_events = sorted(
+            (e["job_id"], e["status"])
+            for e in events
+            if e["event"] == "job.receipt"
+        )
+        on_disk = sorted(
+            (r.job_id, r.status) for r in queue.receipts()
+        )
+        assert receipt_events == on_disk
+        claimed = {
+            e["job_id"] for e in events if e["event"] == "job.claimed"
+        }
+        assert claimed == set(ids)
+
+    def test_reclaim_and_exhaustion_events(self, tmp_path):
+        queue = JobQueue(
+            tmp_path / "q", lease_seconds=60.0, max_attempts=2,
+            events=True,
+        )
+        job_id = queue.submit("double", {"x": 1})
+        for _ in range(2):
+            if queue.pending_ids():
+                queue.claim("w")
+            lease = queue.active_dir / f"{job_id}.json"
+            record = json.loads(lease.read_text())
+            record["lease_expires_at"] = 0.0
+            lease.write_text(json.dumps(record))
+            queue.reclaim_expired()
+        names = [e["event"] for e in read_events(queue.events_path)]
+        assert names.count("job.reclaimed") == 1
+        assert names.count("job.exhausted") == 1
+        # The exhausted receipt is journaled like any other receipt.
+        assert names.count("job.receipt") == 1
+        assert queue.receipt(job_id).status == "exhausted"
+
+
+class TestQueueStatus:
+    def test_folds_queue_receipts_and_journal(self, tmp_path):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q", events=True)
+        queue.submit("double", {"x": 1})
+        queue.submit("double", {"x": 2})
+        run_worker(queue, "w0")
+        queue.submit("double", {"x": 3})  # left pending
+        status = queue_status(queue)
+        assert status.pending == 1
+        assert not status.drained
+        assert status.receipts == {"ok": 2, "failed": 0, "exhausted": 0}
+        assert status.failure_rate == 0.0
+        assert status.execution.count == 2
+        assert status.queue_wait.count == 2
+        assert status.lease_age.count == 2
+        assert status.eta_seconds is not None and status.eta_seconds > 0
+        [worker] = status.workers
+        assert worker.worker == "w0" and worker.state == "exited"
+        assert worker.executed == 2
+        payload = status.to_payload()
+        assert payload == json.loads(json.dumps(payload))
+        assert payload["drained"] is False
+        assert payload["histograms"]["execution_seconds"]["count"] == 2
+
+    def test_active_lease_and_worker_liveness(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_seconds=300.0, events=True)
+        queue.submit("double", {"x": 1})
+        record = queue.claim("w0")
+        queue.emit("worker.started", worker="w0")
+        status = queue_status(queue, stale_after=1e6)
+        [lease] = status.active
+        assert lease.job_id == record["id"]
+        assert lease.worker == "w0"
+        assert lease.age_seconds is not None and lease.age_seconds >= 0
+        assert lease.expires_in_seconds is not None
+        assert lease.expires_in_seconds == pytest.approx(300.0, abs=30)
+        [worker] = status.workers
+        assert worker.state == "live"
+        # Long after its last sign of life, a non-exited worker reads
+        # as stale — the SIGKILL signature.
+        later = queue_status(queue, now=record["leased_at"] + 1e4)
+        assert later.workers[0].state == "stale"
+
+    def test_empty_queue_renders_drained(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        status = queue_status(queue)
+        assert status.drained and status.eta_seconds == 0.0
+        frame = render_status(status)
+        assert "DRAINED" in frame and "(no samples)" in frame
+
+
+class TestSweepReport:
+    def _cell(self, queue, size, benchmark="art"):
+        return queue.submit(
+            BENCHMARK_JOB_KIND,
+            {"benchmark": benchmark, "config": {"interval_size": size}},
+        )
+
+    def test_joins_spool_receipts_and_artifacts(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        done = self._cell(queue, 10_000)
+        failed = self._cell(queue, 20_000)
+        active = self._cell(queue, 30_000)
+        pending = self._cell(queue, 40_000)
+
+        queue.store_artifact(done, _FakeRun())
+        queue.write_receipt(JobReceipt(
+            job_id=done, kind=BENCHMARK_JOB_KIND, status="ok",
+            attempt=1, worker="w0", seconds=2.0,
+        ))
+        queue.write_receipt(JobReceipt(
+            job_id=failed, kind=BENCHMARK_JOB_KIND, status="failed",
+            attempt=1, worker="w1", seconds=0.5,
+            error="ValueError: boom",
+        ))
+        # Claim until the 30k cell holds the lease; requeue the rest.
+        while True:
+            record = queue.claim("w2")
+            if record["id"] == active:
+                break
+            queue.release(record["id"])
+            queue._write_pending(record)
+
+        report = sweep_report(queue)
+        assert [row.interval_size for row in report.rows] == [
+            10_000, 20_000, 30_000, 40_000,
+        ]
+        by_size = {row.interval_size: row for row in report.rows}
+        assert by_size[10_000].status == "ok"
+        assert by_size[10_000].k == 4
+        assert by_size[10_000].fli_cpi_error == pytest.approx(0.021)
+        assert by_size[10_000].vli_cpi_error == pytest.approx(0.034)
+        assert by_size[20_000].status == "failed"
+        assert by_size[20_000].error == "ValueError: boom"
+        assert by_size[30_000].status == "active"
+        assert by_size[40_000].status == "pending"
+        assert report.total == 4 and report.completed == 1
+        assert report.mean_seconds == pytest.approx(2.0)
+        # 2 unfinished cells (active + pending) x 2.0s mean.
+        assert report.remaining_seconds == pytest.approx(4.0)
+        assert report.to_payload() == json.loads(
+            json.dumps(report.to_payload())
+        )
+        del pending
+
+    def test_no_errors_skips_artifact_loads(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        done = self._cell(queue, 10_000)
+        queue.write_receipt(JobReceipt(
+            job_id=done, kind=BENCHMARK_JOB_KIND, status="ok",
+            attempt=1, seconds=1.0,
+        ))
+        [row] = sweep_report(queue, load_errors=False).rows
+        assert row.status == "ok" and row.k is None
+
+    def test_benchmark_filter_and_render(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        self._cell(queue, 10_000, benchmark="art")
+        self._cell(queue, 10_000, benchmark="gcc")
+        report = sweep_report(queue, "gcc", load_errors=False)
+        assert [row.benchmark for row in report.rows] == ["gcc"]
+        text = render_sweep_report(report)
+        assert "0/1 cells ok" in text and "gcc" in text
+
+
+class TestQueueWaitDriftGate:
+    def _manifest(self, p95):
+        with metrics.scoped_registry() as local:
+            histogram = metrics.histogram("jobs.queue_wait_seconds")
+            histogram.observe(p95)
+            snapshot = local.snapshot()
+        return build_manifest(
+            total_seconds=1.0,
+            stages={"sweep": 1.0},
+            metrics_snapshot=snapshot,
+            clusterings={},
+            errors={},
+            config_fingerprint="abc123",
+            command=["summary", "art"],
+        )
+
+    def test_ceiling_trips_and_passes(self):
+        diff = diff_manifests(self._manifest(0.01), self._manifest(5.0))
+        violations = check_drift(
+            diff, DriftThresholds(max_queue_wait_p95=1.0)
+        )
+        assert [v.kind for v in violations] == ["reliability"]
+        assert "p95 queue wait" in violations[0].message
+        assert not check_drift(
+            diff, DriftThresholds(max_queue_wait_p95=60.0)
+        )
+        # Off by default: the same diff is clean without the ceiling.
+        assert not check_drift(diff)
+
+    def test_absent_histogram_is_not_a_violation(self):
+        manifest = build_manifest(
+            total_seconds=1.0, stages={}, metrics_snapshot={},
+            clusterings={}, errors={}, config_fingerprint="abc123",
+            command=[],
+        )
+        diff = diff_manifests(manifest, manifest)
+        assert not check_drift(
+            diff, DriftThresholds(max_queue_wait_p95=0.001)
+        )
+
+    def test_threshold_flag_maps_from_options(self):
+        limits = thresholds_from_options(
+            {"max_queue_wait_p95": 0.5, "unrelated": 9}
+        )
+        assert limits.max_queue_wait_p95 == 0.5
+        assert thresholds_from_options({}).max_queue_wait_p95 is None
+
+
+class TestJobMetricsHistograms:
+    def test_record_job_metrics_folds_fleet_histograms(self, tmp_path):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q", events=True)
+        ids = [queue.submit("double", {"x": n}) for n in (1, 2)]
+        run_worker(queue, "w0")
+        with metrics.scoped_registry() as local:
+            record_job_metrics(queue, ids)
+            snapshot = local.snapshot()
+        histograms = snapshot["histograms"]
+        assert histograms["jobs.execution_seconds"]["count"] == 2
+        assert histograms["jobs.queue_wait_seconds"]["count"] == 2
+        assert histograms["jobs.lease_age_seconds"]["count"] == 2
+
+    def test_without_journal_only_execution_seconds(self, tmp_path):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q", events=False)
+        ids = [queue.submit("double", {"x": 9})]
+        run_worker(queue, "w0")
+        with metrics.scoped_registry() as local:
+            record_job_metrics(queue, ids)
+            snapshot = local.snapshot()
+        histograms = snapshot["histograms"]
+        assert histograms["jobs.execution_seconds"]["count"] == 1
+        assert "jobs.queue_wait_seconds" not in histograms
+
+
+class TestCliSurfaces:
+    def test_top_once_json(self, tmp_path, capsys):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q", events=True)
+        queue.submit("double", {"x": 1})
+        run_worker(queue, "w0")
+        assert main([
+            "top", "--queue", str(tmp_path / "q"), "--once", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drained"] is True
+        assert payload["receipts"]["ok"] == 1
+        assert payload["events"] > 0
+
+    def test_top_once_frame(self, tmp_path, capsys):
+        assert main([
+            "top", "--queue", str(tmp_path / "q"), "--once",
+        ]) == 0
+        assert "DRAINED" in capsys.readouterr().out
+
+    def test_report_sweep_json_and_table(self, tmp_path, capsys):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit(
+            BENCHMARK_JOB_KIND,
+            {"benchmark": "art", "config": {"interval_size": 10_000}},
+        )
+        assert main([
+            "report", "sweep", "--queue", str(tmp_path / "q"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1 and payload["completed"] == 0
+        assert main([
+            "report", "sweep", "--queue", str(tmp_path / "q"),
+        ]) == 0
+        assert "0/1 cells ok" in capsys.readouterr().out
+
+    def test_inspect_json_roundtrips_manifest(self, tmp_path, capsys):
+        manifest = build_manifest(
+            total_seconds=1.0, stages={"profile": 1.0},
+            metrics_snapshot={}, clusterings={}, errors={},
+            config_fingerprint="abc123", command=["summary"],
+        )
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        assert main(["inspect", str(path), "--json"]) == 0
+        emitted = json.loads(capsys.readouterr().out)
+        assert emitted == json.loads(json.dumps(manifest))
+
+    def test_events_flag_enables_the_journal(self, tmp_path, capsys):
+        register_executor("double", _double, replace=True)
+        queue = JobQueue(tmp_path / "q", events=True)
+        queue.submit("double", {"x": 1})
+        run_worker(queue, "w0")
+        # A later CLI call against the same queue reads the journal
+        # even without --events (reading never requires emission).
+        assert main([
+            "top", "--queue", str(tmp_path / "q"), "--once", "--json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["events"] > 0

@@ -95,6 +95,14 @@ def scratch(tmp_path):
     _SCRATCH["dir"] = None
 
 
+def _expire_lease(queue, job_id):
+    """Backdate a lease's embedded expiry stamp (the leaseholder died)."""
+    lease = queue.active_dir / f"{job_id}.json"
+    record = json.loads(lease.read_text())
+    record["lease_expires_at"] = 0.0
+    lease.write_text(json.dumps(record))
+
+
 class TestJobQueue:
     def test_submit_is_idempotent_and_content_addressed(self, tmp_path):
         queue = JobQueue(tmp_path / "q")
@@ -121,8 +129,7 @@ class TestJobQueue:
         queue = JobQueue(tmp_path / "q", lease_seconds=0.01)
         job_id = queue.submit("double", {"x": 1})
         queue.claim("w0")
-        lease = queue.active_dir / f"{job_id}.json"
-        os.utime(lease, (0, 0))  # the leaseholder died long ago
+        _expire_lease(queue, job_id)  # the leaseholder died long ago
         assert queue.reclaim_expired() == 1
         record = queue.claim("w1")
         assert record["attempt"] == 1
@@ -133,13 +140,39 @@ class TestJobQueue:
         for _ in range(2):
             if queue.pending_ids():
                 queue.claim("w")
-            lease = queue.active_dir / f"{job_id}.json"
-            os.utime(lease, (0, 0))
+            _expire_lease(queue, job_id)
             queue.reclaim_expired()
         receipt = queue.receipt(job_id)
         assert receipt.status == "exhausted"
         assert receipt.attempt == 2
         assert queue.is_drained()
+
+    def test_lease_clock_survives_coarse_mtime(self, tmp_path):
+        """The lease expiry lives in the record, not the file mtime.
+
+        Filesystems with coarse (or skewed) timestamps used to make a
+        freshly claimed lease look ancient — ``reclaim_expired``
+        compared ``time.time()`` against ``st_mtime``. The claim now
+        stamps ``lease_expires_at`` inside the active record, so a
+        backdated mtime must NOT expire a live lease.
+        """
+        queue = JobQueue(tmp_path / "q", lease_seconds=60.0)
+        job_id = queue.submit("double", {"x": 1})
+        record = queue.claim("w0")
+        assert record["leased_by"] == "w0"
+        assert record["lease_expires_at"] > record["leased_at"]
+        lease = queue.active_dir / f"{job_id}.json"
+        os.utime(lease, (0, 0))  # coarse/skewed filesystem clock
+        assert queue.reclaim_expired() == 0
+        assert queue.active_ids() == [job_id]
+        # The embedded stamp is the only clock that expires a lease...
+        _expire_lease(queue, job_id)
+        assert queue.reclaim_expired() == 1
+        assert queue.pending_ids() == [job_id]
+        # ...and force-reclaim still ignores every clock.
+        queue.claim("w1")
+        assert queue.reclaim_expired(force=True) == 1
+        assert queue.pending_ids() == [job_id]
 
     def test_receipts_are_exactly_once(self, tmp_path):
         queue = JobQueue(tmp_path / "q")

